@@ -1,0 +1,121 @@
+package netlistre
+
+// The paper's end product is "a high-level netlist with components such as
+// register files, counters, adders and subtractors". This file renders that
+// abstracted netlist: the resolved modules become vertices, connected by
+// the signals flowing between them, in Graphviz DOT for the human analyst.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+)
+
+// AbstractEdge is one module-to-module connection in the abstracted
+// netlist.
+type AbstractEdge struct {
+	From, To int // indices into the module list; -1 = primary I/O
+	// Signals counts distinct nets carrying the connection.
+	Signals int
+}
+
+// AbstractNetlist computes the module-level connectivity of a resolved
+// module set: an edge m1 -> m2 exists when a signal produced inside m1
+// feeds an element of m2.
+func AbstractNetlist(nl *Netlist, mods []*Module) []AbstractEdge {
+	owner := make(map[netlist.ID]int)
+	for i, m := range mods {
+		for _, e := range m.Elements {
+			owner[e] = i
+		}
+	}
+	type key struct{ from, to int }
+	counts := make(map[key]int)
+	for i, m := range mods {
+		for _, e := range m.Elements {
+			for _, fo := range nl.Fanout(e) {
+				j, owned := owner[fo]
+				switch {
+				case !owned:
+					// Signal leaves the module into uncovered logic;
+					// uncovered logic is not drawn.
+				case j != i:
+					counts[key{i, j}]++
+				}
+			}
+		}
+	}
+	// Primary inputs feeding modules.
+	for _, in := range nl.Inputs() {
+		seen := make(map[int]bool)
+		for _, fo := range nl.Fanout(in) {
+			if j, owned := owner[fo]; owned && !seen[j] {
+				seen[j] = true
+				counts[key{-1, j}]++
+			}
+		}
+	}
+	// Modules driving primary outputs.
+	for _, p := range nl.Outputs() {
+		if i, owned := owner[p.Driver]; owned {
+			counts[key{i, -1}]++
+		}
+	}
+
+	var edges []AbstractEdge
+	for k, n := range counts {
+		edges = append(edges, AbstractEdge{From: k.from, To: k.to, Signals: n})
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].From != edges[b].From {
+			return edges[a].From < edges[b].From
+		}
+		return edges[a].To < edges[b].To
+	})
+	return edges
+}
+
+// WriteAbstractDOT renders the abstracted netlist as a Graphviz digraph.
+// Module vertices are labelled with their inferred name and element count;
+// primary I/O appears as a single "pins" vertex.
+func WriteAbstractDOT(w io.Writer, nl *Netlist, mods []*Module) error {
+	edges := AbstractNetlist(nl, mods)
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n", nl.Name); err != nil {
+		return err
+	}
+	shape := func(t module.Type) string {
+		switch t {
+		case module.RAM, module.MultibitRegister, module.Counter, module.ShiftRegister:
+			return "box3d" // stateful
+		default:
+			return "box"
+		}
+	}
+	usesIO := false
+	for _, e := range edges {
+		if e.From == -1 || e.To == -1 {
+			usesIO = true
+		}
+	}
+	if usesIO {
+		fmt.Fprintf(w, "  pins [label=\"chip pins\", shape=oval];\n")
+	}
+	for i, m := range mods {
+		fmt.Fprintf(w, "  m%d [label=\"%s\\n%d elements\", shape=%s];\n",
+			i, m.Name, m.Size(), shape(m.Type))
+	}
+	name := func(i int) string {
+		if i == -1 {
+			return "pins"
+		}
+		return fmt.Sprintf("m%d", i)
+	}
+	for _, e := range edges {
+		fmt.Fprintf(w, "  %s -> %s [label=\"%d\"];\n", name(e.From), name(e.To), e.Signals)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,213 @@
+// Package netlistre reverse-engineers unstructured gate-level netlists,
+// reproducing the algorithm portfolio of Subramanyan et al., "Reverse
+// Engineering Digital Circuits Using Structural and Functional Analyses"
+// (IEEE TETC 2014; the extended version of the DATE 2013 paper "Reverse
+// Engineering Digital Circuits Using Functional Analysis").
+//
+// Given a flat sea of gates and latches with no module boundaries, Analyze
+// infers high-level datapath components — multibit multiplexers, adders,
+// subtractors, parity trees, decoders, demultiplexers, population counters,
+// counters, shift registers, register files/RAMs, multibit registers and
+// QBF-matched word operators — and resolves overlapping inferences with a
+// 0-1 ILP so every netlist element is claimed by at most one module.
+//
+// A minimal session:
+//
+//	nl := netlistre.NewNetlist("dut")
+//	... build or netlistre.ReadVerilog(...) ...
+//	rep := netlistre.Analyze(nl, netlistre.Options{})
+//	netlistre.WriteReport(os.Stdout, rep)
+//
+// For large designs, Simplify first (buffer/inverter-pair removal and
+// structural hashing) and PartitionByResets to split an SoC into per-core
+// sub-netlists (Section V-C of the paper).
+package netlistre
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"netlistre/internal/core"
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+	"netlistre/internal/overlap"
+	"netlistre/internal/partition"
+	"netlistre/internal/simplify"
+)
+
+// Netlist is the gate-level circuit representation. See the methods on
+// netlist.Netlist for the builder API (AddInput, AddGate, AddLatch,
+// MarkOutput, ...).
+type Netlist = netlist.Netlist
+
+// ID identifies a netlist node.
+type ID = netlist.ID
+
+// Kind enumerates netlist primitives (And, Or, Not, Latch, ...).
+type Kind = netlist.Kind
+
+// Module is one inferred high-level component.
+type Module = module.Module
+
+// ModuleType classifies inferred modules (Adder, Mux, Counter, RAM, ...).
+type ModuleType = module.Type
+
+// Report is the outcome of analyzing one netlist.
+type Report = core.Report
+
+// Options configures the analysis portfolio. The zero value runs every
+// algorithm with the paper's parameters.
+type Options = core.Options
+
+// Re-exported netlist primitives.
+const (
+	And   = netlist.And
+	Or    = netlist.Or
+	Nand  = netlist.Nand
+	Nor   = netlist.Nor
+	Xor   = netlist.Xor
+	Xnor  = netlist.Xnor
+	Not   = netlist.Not
+	Buf   = netlist.Buf
+	Latch = netlist.Latch
+)
+
+// Re-exported module types for report inspection.
+const (
+	TypeMux              = module.Mux
+	TypeDecoder          = module.Decoder
+	TypeDemux            = module.Demux
+	TypePopCount         = module.PopCount
+	TypeAdder            = module.Adder
+	TypeSubtractor       = module.Subtractor
+	TypeParityTree       = module.ParityTree
+	TypeCounter          = module.Counter
+	TypeShiftRegister    = module.ShiftRegister
+	TypeRAM              = module.RAM
+	TypeMultibitRegister = module.MultibitRegister
+	TypeWordOp           = module.WordOp
+	TypeGating           = module.Gating
+	TypeFused            = module.Fused
+	TypeCandidate        = module.Candidate
+)
+
+// NewNetlist returns an empty netlist with the given name.
+func NewNetlist(name string) *Netlist { return netlist.New(name) }
+
+// ReadVerilog parses a structural Verilog netlist (the gate-level subset
+// documented in the internal/netlist package).
+func ReadVerilog(r io.Reader) (*Netlist, error) { return netlist.ReadVerilog(r) }
+
+// ReadBLIF parses a netlist in the Berkeley Logic Interchange Format
+// subset (.model/.inputs/.outputs/.names/.latch).
+func ReadBLIF(r io.Reader) (*Netlist, error) { return netlist.ReadBLIF(r) }
+
+// Analyze runs the full reverse-engineering portfolio.
+func Analyze(nl *Netlist, opt Options) *Report { return core.Analyze(nl, opt) }
+
+// SimplifyResult pairs a simplified netlist with its node mapping.
+type SimplifyResult = simplify.Result
+
+// Simplify removes buffers, delay chains and paired inverters and merges
+// structurally equivalent gates (the paper's BigSoC pre-pass, Section
+// V-C.1).
+func Simplify(nl *Netlist) SimplifyResult { return simplify.Run(nl) }
+
+// CorePartition is one reset domain of a partitioned SoC.
+type CorePartition struct {
+	// Name is the reset input's name.
+	Name string
+	// Netlist is the extracted standalone sub-netlist.
+	Netlist *Netlist
+	// Latches and Elements count the partition's contents in the parent.
+	Latches  int
+	Elements int
+}
+
+// PartitionSummary reports whole-design partition accounting (Table 5).
+type PartitionSummary struct {
+	Cores []CorePartition
+	// MultiOwned counts gates placed in more than one partition.
+	MultiOwned int
+	// Unowned counts gates in no partition (inter-core interconnect).
+	Unowned int
+}
+
+// PartitionByResets splits nl into per-core sub-netlists anchored at the
+// named reset inputs (Section V-C.2).
+func PartitionByResets(nl *Netlist, resetNames []string) (PartitionSummary, error) {
+	var resets []ID
+	for _, name := range resetNames {
+		id := nl.FindByName(name)
+		if id == netlist.Nil {
+			return PartitionSummary{}, fmt.Errorf("netlistre: no input named %q", name)
+		}
+		resets = append(resets, id)
+	}
+	s := partition.ByResets(nl, resets)
+	out := PartitionSummary{MultiOwned: s.MultiOwned, Unowned: s.Unowned}
+	for _, p := range s.Partitions {
+		sub, _ := partition.Extract(nl, p)
+		out.Cores = append(out.Cores, CorePartition{
+			Name:     p.Name,
+			Netlist:  sub,
+			Latches:  len(p.Latches),
+			Elements: len(p.Elements),
+		})
+	}
+	return out, nil
+}
+
+// ResolveObjective selects the overlap-resolution objective.
+type ResolveObjective = overlap.Objective
+
+// Overlap-resolution objectives (Section IV).
+const (
+	MaxCoverage = overlap.MaxCoverage
+	MinModules  = overlap.MinModules
+)
+
+// WriteReport renders a human-readable module and coverage summary.
+func WriteReport(w io.Writer, rep *Report) error {
+	stats := rep.Netlist.Stats()
+	if _, err := fmt.Fprintf(w,
+		"design %s: %d inputs, %d outputs, %d gates, %d latches\n",
+		rep.Netlist.Name, stats.Inputs, stats.Outputs, stats.Gates, stats.Latches); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "inferred %d modules (%d after overlap resolution)\n",
+		len(rep.All), len(rep.Resolved))
+	fmt.Fprintf(w, "coverage: %.1f%% before resolution, %.1f%% after\n",
+		100*rep.CoverageFractionBefore(), 100*rep.CoverageFraction())
+	fmt.Fprintf(w, "analysis time: %v\n\n", rep.Runtime)
+
+	type row struct {
+		ty            ModuleType
+		before, after int
+	}
+	var rows []row
+	for ty, n := range rep.CountsBefore {
+		rows = append(rows, row{ty, n, rep.CountsAfter[ty]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ty < rows[j].ty })
+	fmt.Fprintf(w, "%-20s %8s %8s\n", "module type", "found", "selected")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %8d %8d\n", r.ty, r.before, r.after)
+	}
+
+	// Largest resolved modules.
+	sel := append([]*Module(nil), rep.Resolved...)
+	sort.Slice(sel, func(i, j int) bool { return sel[i].Size() > sel[j].Size() })
+	n := len(sel)
+	if n > 12 {
+		n = 12
+	}
+	if n > 0 {
+		fmt.Fprintf(w, "\nlargest resolved modules:\n")
+		for _, m := range sel[:n] {
+			fmt.Fprintf(w, "  %-28s %5d elements\n", m.Name, m.Size())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package netlistre
+
+import (
+	"netlistre/internal/gen"
+	"netlistre/internal/netlist"
+)
+
+// This file exposes the synthetic test articles used by the paper-shaped
+// experiments (Table 2). The real benchmarks are proprietary or require a
+// commercial synthesis flow; these generators reproduce their structural
+// mix — see DESIGN.md for the substitution rationale.
+
+// TestArticleNames lists the available synthetic test articles in Table 2
+// order: mips16, riscfpu, router, oc8051, aemb, msp430, usb, evoter.
+func TestArticleNames() []string { return gen.ArticleNames() }
+
+// TestArticle builds the named synthetic test article.
+func TestArticle(name string) (*Netlist, error) { return gen.Article(name) }
+
+// TestArticleDescription returns the one-line description of an article.
+func TestArticleDescription(name string) string { return gen.ArticleDescriptions[name] }
+
+// BigSoC builds the seven-core SoC case study of Section V-C: per-core
+// reset inputs (rst_<core>), inter-core interconnect, and electrical
+// buffering noise. Pair with Simplify and PartitionByResets.
+func BigSoC() *Netlist { return gen.BigSoC() }
+
+// BigSoCCoreNames lists BigSoC's constituent cores.
+func BigSoCCoreNames() []string { return gen.BigSoCCoreNames() }
+
+// BigSoCResetNames lists the per-core reset input names used for
+// partitioning.
+func BigSoCResetNames() []string {
+	var names []string
+	for _, c := range gen.BigSoCCoreNames() {
+		names = append(names, "rst_"+c)
+	}
+	return names
+}
+
+// EVoterTrojaned builds the eVoter article with the key-sequence backdoor
+// of Section V-D.
+func EVoterTrojaned() *Netlist { return gen.EVoterTrojaned() }
+
+// OC8051Trojaned builds the oc8051 article with the XOR kill switch of
+// Section V-D.
+func OC8051Trojaned() *Netlist { return gen.OC8051Trojaned() }
+
+// AddElectricalNoise rebuilds nl with semantics-preserving buffers, delay
+// chains and paired inverters on a random fraction of edges, emulating a
+// raw physical netlist.
+func AddElectricalNoise(nl *Netlist, seed int64, prob float64) *Netlist {
+	return gen.AddElectricalNoise(nl, seed, prob)
+}
+
+// Nil is the invalid node ID.
+const Nil = netlist.Nil
+
+// VGACore builds a frame buffer with an OR-AND scan-plane read (the
+// structure behind the paper's BigSoC VGA case study). The generic RAM
+// analysis does not cover it; pair with FindFramebufferRead.
+func VGACore(rows, cols int) (*Netlist, []ID) {
+	nl, px := gen.VGACore(rows, cols)
+	return nl, px
+}

@@ -1,0 +1,264 @@
+package netlistre
+
+// Benchmarks regenerating every table of the paper's evaluation (one
+// benchmark per table) plus ablations over the design choices called out in
+// DESIGN.md. Coverage fractions and other qualitative outputs are attached
+// to the benchmark results via ReportMetric so `go test -bench .` records
+// both the runtime and the reproduced result shape.
+
+import (
+	"testing"
+
+	"netlistre/internal/bitslice"
+	"netlistre/internal/core"
+	"netlistre/internal/cuts"
+	"netlistre/internal/gen"
+	"netlistre/internal/overlap"
+	"netlistre/internal/simplify"
+	"netlistre/internal/words"
+)
+
+func BenchmarkTable2Articles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := Table2()
+		if len(rows) != 8 {
+			b.Fatalf("expected 8 articles, got %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable3Portfolio(b *testing.B) {
+	for _, name := range gen.ArticleNames() {
+		b.Run(name, func(b *testing.B) {
+			var cov float64
+			for i := 0; i < b.N; i++ {
+				nl, err := gen.Article(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opt := core.Options{}
+				opt.Overlap.Sliceable = true
+				rep := core.Analyze(nl, opt)
+				cov = rep.CoverageFraction()
+			}
+			b.ReportMetric(100*cov, "coverage%")
+		})
+	}
+}
+
+func BenchmarkTable4ILP(b *testing.B) {
+	// Pre-compute the module sets once; benchmark only the resolution.
+	type inst struct {
+		name string
+		rep  *core.Report
+	}
+	var insts []inst
+	for _, name := range gen.ArticleNames() {
+		nl, err := gen.Article(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts = append(insts, inst{name, core.Analyze(nl, core.Options{})})
+	}
+	for _, formulation := range []string{"basic", "sliceable"} {
+		sliceable := formulation == "sliceable"
+		b.Run(formulation, func(b *testing.B) {
+			var covered, total float64
+			for i := 0; i < b.N; i++ {
+				covered, total = 0, 0
+				for _, in := range insts {
+					res, err := overlap.Resolve(in.rep.All, overlap.Options{Sliceable: sliceable})
+					if err != nil {
+						b.Fatal(err)
+					}
+					covered += float64(res.Coverage)
+					total += float64(in.rep.TotalElements)
+				}
+			}
+			b.ReportMetric(100*covered/total, "coverage%")
+		})
+	}
+}
+
+func BenchmarkTable5Partition(b *testing.B) {
+	var res Table5Result
+	for i := 0; i < b.N; i++ {
+		res = Table5()
+	}
+	b.ReportMetric(100*(1-float64(res.SimplifiedGates)/float64(res.RawGates)), "reduction%")
+	b.ReportMetric(100*res.UnownedFraction, "unowned%")
+}
+
+func BenchmarkTable6BigSoC(b *testing.B) {
+	var rows []Table6Row
+	for i := 0; i < b.N; i++ {
+		rows = Table6()
+	}
+	var covered, total float64
+	for _, r := range rows {
+		covered += r.Coverage * float64(r.Gates+r.Latches)
+		total += float64(r.Gates + r.Latches)
+	}
+	b.ReportMetric(100*covered/total, "coverage%")
+}
+
+func BenchmarkTable7Trojans(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := Table7()
+		if len(rows) != 2 {
+			b.Fatal("expected 2 trojan pairs")
+		}
+	}
+}
+
+func BenchmarkTable8TrojanInference(b *testing.B) {
+	var rows []Table8Row
+	for i := 0; i < b.N; i++ {
+		rows = Table8()
+	}
+	// Attach the analyst-visible deltas as metrics: the trojan must add
+	// modules of its characteristic kinds.
+	dEv := TrojanDelta(rows[0], rows[1])
+	dOc := TrojanDelta(rows[2], rows[3])
+	b.ReportMetric(float64(dEv[TypeMux]), "evoter-extra-muxes")
+	b.ReportMetric(float64(dOc[TypeCounter]), "oc8051-extra-counters")
+	b.ReportMetric(float64(dOc[TypeGating]), "oc8051-extra-gating")
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationCutK sweeps the cut-size limit (the paper fixes k=6 and
+// reports 15-35 cuts per gate at that setting).
+func BenchmarkAblationCutK(b *testing.B) {
+	nl, err := gen.Article("oc8051")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{4, 5, 6} {
+		b.Run(map[int]string{4: "k4", 5: "k5", 6: "k6"}[k], func(b *testing.B) {
+			var avg float64
+			var matches int
+			for i := 0; i < b.N; i++ {
+				sets := cuts.Enumerate(nl, cuts.Options{K: k})
+				avg = cuts.AverageCutsPerGate(nl, sets)
+				res := bitslice.Find(nl, bitslice.Options{Cuts: cuts.Options{K: k}})
+				matches = 0
+				for _, ms := range res.ByClass {
+					matches += len(ms)
+				}
+			}
+			b.ReportMetric(avg, "cuts/gate")
+			b.ReportMetric(float64(matches), "matches")
+		})
+	}
+}
+
+// BenchmarkAblationMinSlices sweeps the MinSlices parameter of the
+// sliceable ILP (the paper fixes 2).
+func BenchmarkAblationMinSlices(b *testing.B) {
+	nl, err := gen.Article("router")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := core.Analyze(nl, core.Options{})
+	for _, ms := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "min1", 2: "min2", 4: "min4"}[ms], func(b *testing.B) {
+			var cov float64
+			for i := 0; i < b.N; i++ {
+				res, err := overlap.Resolve(rep.All, overlap.Options{Sliceable: true, MinSlices: ms})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cov = float64(res.Coverage) / float64(rep.TotalElements)
+			}
+			b.ReportMetric(100*cov, "coverage%")
+		})
+	}
+}
+
+// BenchmarkAblationSimplify compares analyzing a buffered core with and
+// without the structural simplification pre-pass.
+func BenchmarkAblationSimplify(b *testing.B) {
+	base, err := gen.Article("aemb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	noisy := gen.AddElectricalNoise(base, 11, 0.25)
+	run := func(b *testing.B, pre bool) {
+		var cov float64
+		for i := 0; i < b.N; i++ {
+			nl := noisy
+			if pre {
+				nl = simplify.Run(noisy).Netlist
+			}
+			rep := core.Analyze(nl, core.Options{SkipModMatch: true})
+			cov = rep.CoverageFraction()
+		}
+		b.ReportMetric(100*cov, "coverage%")
+	}
+	b.Run("raw", func(b *testing.B) { run(b, false) })
+	b.Run("simplified", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationControlWires sweeps the word-propagation control budget
+// (the paper enumerates combinations of up to 3 control wires).
+func BenchmarkAblationControlWires(b *testing.B) {
+	nl, err := gen.Article("aemb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := core.Analyze(nl, core.Options{SkipWordProp: true, SkipModMatch: true})
+	seeds := rep.Words
+	for _, mc := range []int{1, 2, 3} {
+		b.Run(map[int]string{1: "ctl1", 2: "ctl2", 3: "ctl3"}[mc], func(b *testing.B) {
+			var found int
+			for i := 0; i < b.N; i++ {
+				all, _ := words.PropagateAll(nl, seeds, 3, words.Options{MaxControls: mc})
+				found = len(all)
+			}
+			b.ReportMetric(float64(found), "words")
+		})
+	}
+}
+
+// BenchmarkAblationObjective compares the two overlap-resolution
+// objectives: maximize coverage vs minimize module count at a coverage
+// floor.
+func BenchmarkAblationObjective(b *testing.B) {
+	nl, err := gen.Article("evoter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := core.Analyze(nl, core.Options{})
+	maxRes, err := overlap.Resolve(rep.All, overlap.Options{Sliceable: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("max-coverage", func(b *testing.B) {
+		var mods int
+		for i := 0; i < b.N; i++ {
+			res, err := overlap.Resolve(rep.All, overlap.Options{Sliceable: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mods = len(res.Selected)
+		}
+		b.ReportMetric(float64(mods), "modules")
+		b.ReportMetric(float64(maxRes.Coverage), "elements")
+	})
+	b.Run("min-modules", func(b *testing.B) {
+		target := int(0.9 * float64(maxRes.Coverage))
+		var mods int
+		for i := 0; i < b.N; i++ {
+			res, err := overlap.Resolve(rep.All, overlap.Options{
+				Objective: overlap.MinModules, CoverageTarget: target,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mods = len(res.Selected)
+		}
+		b.ReportMetric(float64(mods), "modules")
+		b.ReportMetric(float64(target), "target-elements")
+	})
+}

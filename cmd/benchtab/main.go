@@ -1,0 +1,56 @@
+// Command benchtab regenerates the tables of the paper's evaluation
+// (Section V) on the synthetic test articles.
+//
+// Usage:
+//
+//	benchtab              # all tables
+//	benchtab -table 3     # one table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netlistre"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number 2-8 (0 = all)")
+	flag.Parse()
+
+	w := os.Stdout
+	run := func(n int) {
+		switch n {
+		case 2:
+			netlistre.WriteTable2(w)
+		case 3:
+			netlistre.WriteTable3(w, netlistre.Table3())
+		case 4:
+			netlistre.WriteTable4(w, netlistre.Table4())
+		case 5:
+			netlistre.WriteTable5(w, netlistre.Table5())
+		case 6:
+			netlistre.WriteTable6(w, netlistre.Table6())
+		case 7:
+			netlistre.WriteTable7(w, netlistre.Table7())
+		case 8:
+			rows := netlistre.Table8()
+			netlistre.WriteTable8(w, rows)
+			fmt.Fprintf(w, "\ntrojan deltas (extra modules in the trojaned design):\n")
+			fmt.Fprintf(w, "  evoter: %v\n", netlistre.TrojanDelta(rows[0], rows[1]))
+			fmt.Fprintf(w, "  oc8051: %v\n", netlistre.TrojanDelta(rows[2], rows[3]))
+		default:
+			fmt.Fprintf(os.Stderr, "benchtab: no table %d\n", n)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+	if *table != 0 {
+		run(*table)
+		return
+	}
+	for n := 2; n <= 8; n++ {
+		run(n)
+	}
+}

@@ -1,0 +1,92 @@
+// Command gennet emits the synthetic test articles as structural Verilog
+// netlists, so they can be inspected, archived, or fed back into revan.
+//
+// Usage:
+//
+//	gennet -article mips16 -o mips16.v
+//	gennet -all -dir ./netlists
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"netlistre"
+)
+
+func main() {
+	var (
+		article = flag.String("article", "", "article to emit (see revan -list)")
+		out     = flag.String("o", "", "output file (default stdout)")
+		all     = flag.Bool("all", false, "emit every article")
+		dir     = flag.String("dir", ".", "output directory for -all")
+		format  = flag.String("format", "verilog", "output format: verilog or blif")
+	)
+	flag.Parse()
+	if *format != "verilog" && *format != "blif" {
+		fmt.Fprintln(os.Stderr, "gennet: -format must be verilog or blif")
+		os.Exit(1)
+	}
+	emitFormat = *format
+
+	if *all {
+		ext := ".v"
+		if *format == "blif" {
+			ext = ".blif"
+		}
+		names := append(netlistre.TestArticleNames(),
+			"bigsoc", "evoter-trojan", "oc8051-trojan")
+		for _, name := range names {
+			path := filepath.Join(*dir, name+ext)
+			if err := emit(name, path); err != nil {
+				fmt.Fprintln(os.Stderr, "gennet:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		}
+		return
+	}
+	if *article == "" {
+		fmt.Fprintln(os.Stderr, "gennet: -article or -all required")
+		os.Exit(1)
+	}
+	if err := emit(*article, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "gennet:", err)
+		os.Exit(1)
+	}
+}
+
+var emitFormat = "verilog"
+
+func emit(name, path string) error {
+	var nl *netlistre.Netlist
+	var err error
+	switch name {
+	case "bigsoc":
+		nl = netlistre.BigSoC()
+	case "evoter-trojan":
+		nl = netlistre.EVoterTrojaned()
+	case "oc8051-trojan":
+		nl = netlistre.OC8051Trojaned()
+	default:
+		nl, err = netlistre.TestArticle(name)
+		if err != nil {
+			return err
+		}
+	}
+	w := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if emitFormat == "blif" {
+		return nl.WriteBLIF(w)
+	}
+	return nl.WriteVerilog(w)
+}

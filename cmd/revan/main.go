@@ -1,0 +1,161 @@
+// Command revan (Reverse-Engineering Analyzer) runs the full inference
+// portfolio on a gate-level netlist and prints the inferred module report.
+//
+// Usage:
+//
+//	revan -in design.v                 # analyze a structural Verilog netlist
+//	revan -article oc8051              # analyze a built-in synthetic article
+//	revan -article bigsoc -simplify -partition auto
+//	revan -in design.v -objective min -target 0.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netlistre"
+)
+
+func main() {
+	var (
+		inFile    = flag.String("in", "", "structural Verilog netlist to analyze")
+		article   = flag.String("article", "", "built-in synthetic article (see -list)")
+		list      = flag.Bool("list", false, "list built-in articles and exit")
+		doSimp    = flag.Bool("simplify", false, "run structural simplification first")
+		partFlag  = flag.String("partition", "", "comma-separated reset inputs to partition by, or 'auto' for BigSoC")
+		objective = flag.String("objective", "max", "overlap resolution objective: max (coverage) or min (modules)")
+		target    = flag.Float64("target", 0.5, "coverage target fraction for -objective min")
+		basic     = flag.Bool("basic-ilp", false, "use the basic (non-sliceable) ILP formulation")
+		skipQBF   = flag.Bool("skip-modmatch", false, "skip QBF word-operator matching")
+		verbose   = flag.Bool("v", false, "list every resolved module")
+		cands     = flag.Bool("candidates", false, "also report unknown-bitslice candidate modules")
+		dotFile   = flag.String("dot", "", "write the abstracted netlist as Graphviz DOT to this file")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range netlistre.TestArticleNames() {
+			fmt.Printf("%-8s  %s\n", name, netlistre.TestArticleDescription(name))
+		}
+		fmt.Printf("%-8s  %s\n", "bigsoc", "seven-core SoC case study (Section V-C)")
+		fmt.Printf("%-8s  %s\n", "evoter-trojan", "eVoter with key-sequence backdoor")
+		fmt.Printf("%-8s  %s\n", "oc8051-trojan", "oc8051 with XOR kill switch")
+		return
+	}
+
+	nl, err := loadNetlist(*inFile, *article)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revan:", err)
+		os.Exit(1)
+	}
+	if err := nl.Check(); err != nil {
+		fmt.Fprintln(os.Stderr, "revan: invalid netlist:", err)
+		os.Exit(1)
+	}
+
+	if *doSimp {
+		before := nl.Stats()
+		res := netlistre.Simplify(nl)
+		nl = res.Netlist
+		after := nl.Stats()
+		fmt.Printf("simplification: %d -> %d combinational elements (%.0f%% reduction)\n\n",
+			before.Gates, after.Gates, 100*(1-float64(after.Gates)/float64(before.Gates)))
+	}
+
+	opt := netlistre.Options{SkipModMatch: *skipQBF, KeepCandidates: *cands}
+	if *objective == "min" {
+		opt.Overlap.Objective = netlistre.MinModules
+	}
+	opt.Overlap.Sliceable = !*basic
+
+	if *partFlag != "" {
+		resets := strings.Split(*partFlag, ",")
+		if *partFlag == "auto" {
+			resets = netlistre.BigSoCResetNames()
+		}
+		summary, err := netlistre.PartitionByResets(nl, resets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "revan:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("partitioned into %d cores (%d multi-owned gates, %d unowned)\n\n",
+			len(summary.Cores), summary.MultiOwned, summary.Unowned)
+		for _, c := range summary.Cores {
+			fmt.Printf("=== core %s (%d latches, %d elements) ===\n", c.Name, c.Latches, c.Elements)
+			analyzeOne(c.Netlist, opt, *target, *verbose, "", *jsonOut)
+			fmt.Println()
+		}
+		return
+	}
+	analyzeOne(nl, opt, *target, *verbose, *dotFile, *jsonOut)
+}
+
+func loadNetlist(inFile, article string) (*netlistre.Netlist, error) {
+	switch {
+	case inFile != "":
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(inFile, ".blif") {
+			return netlistre.ReadBLIF(f)
+		}
+		return netlistre.ReadVerilog(f)
+	case article == "bigsoc":
+		return netlistre.BigSoC(), nil
+	case article == "evoter-trojan":
+		return netlistre.EVoterTrojaned(), nil
+	case article == "oc8051-trojan":
+		return netlistre.OC8051Trojaned(), nil
+	case article != "":
+		return netlistre.TestArticle(article)
+	}
+	return nil, fmt.Errorf("one of -in or -article is required (try -list)")
+}
+
+func analyzeOne(nl *netlistre.Netlist, opt netlistre.Options, target float64, verbose bool, dotFile string, jsonOut bool) {
+	if opt.Overlap.Objective == netlistre.MinModules {
+		stats := nl.Stats()
+		opt.Overlap.CoverageTarget = int(target * float64(stats.Gates+stats.Latches))
+	}
+	rep := netlistre.Analyze(nl, opt)
+	var err error
+	if jsonOut {
+		err = netlistre.WriteJSONReport(os.Stdout, rep)
+	} else {
+		err = netlistre.WriteReport(os.Stdout, rep)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revan:", err)
+		os.Exit(1)
+	}
+	if verbose {
+		fmt.Println("\nall resolved modules:")
+		for _, m := range rep.Resolved {
+			fmt.Printf("  %-28s %5d elements\n", m.Name, m.Size())
+		}
+	}
+	if dotFile != "" {
+		f, err := os.Create(dotFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "revan:", err)
+			os.Exit(1)
+		}
+		if err := netlistre.WriteAbstractDOT(f, nl, rep.Resolved); err != nil {
+			fmt.Fprintln(os.Stderr, "revan:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nabstracted netlist written to %s\n", dotFile)
+	}
+	if len(rep.Candidates) > 0 {
+		fmt.Printf("\ncandidate modules for manual analysis (Section II-B.1): %d\n", len(rep.Candidates))
+		for _, m := range rep.Candidates {
+			fmt.Printf("  %-28s %5d elements  fn=%s\n", m.Name, m.Size(), m.Attr["function"])
+		}
+	}
+}

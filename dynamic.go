@@ -1,0 +1,20 @@
+package netlistre
+
+import (
+	"netlistre/internal/dynamic"
+	"netlistre/internal/netlist"
+)
+
+// Trace records per-cycle node values from a simulation run; it powers the
+// dynamic (simulation-based) analyses of Section VI-B.4: locating where
+// known operand/result value sequences surface in an unknown design.
+type Trace = dynamic.Trace
+
+// WordMatch is the result of locating a value sequence in a trace.
+type WordMatch = dynamic.WordMatch
+
+// RecordTrace simulates nl from the all-zero state, applying stimuli[t] at
+// cycle t, and records every node's value per cycle.
+func RecordTrace(nl *Netlist, stimuli []map[netlist.ID]bool) *Trace {
+	return dynamic.Record(nl, stimuli)
+}

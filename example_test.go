@@ -1,0 +1,57 @@
+package netlistre_test
+
+import (
+	"fmt"
+	"sort"
+
+	"netlistre"
+)
+
+// Example demonstrates the core loop: build an unstructured netlist, run
+// the portfolio, inspect the inferred modules.
+func Example() {
+	nl := netlistre.NewNetlist("demo")
+
+	// A 4-bit ripple adder, flattened to gates.
+	var a, b []netlistre.ID
+	for i := 0; i < 4; i++ {
+		a = append(a, nl.AddInput(fmt.Sprintf("a%d", i)))
+		b = append(b, nl.AddInput(fmt.Sprintf("b%d", i)))
+	}
+	carry := nl.AddConst(false)
+	for i := 0; i < 4; i++ {
+		sum := nl.AddGate(netlistre.Xor, a[i], b[i], carry)
+		carry = nl.AddGate(netlistre.Or,
+			nl.AddGate(netlistre.And, a[i], b[i]),
+			nl.AddGate(netlistre.And, b[i], carry),
+			nl.AddGate(netlistre.And, carry, a[i]))
+		nl.MarkOutput(fmt.Sprintf("s%d", i), sum)
+	}
+	nl.MarkOutput("cout", carry)
+
+	rep := netlistre.Analyze(nl, netlistre.Options{SkipModMatch: true})
+
+	var names []string
+	for _, m := range rep.Resolved {
+		names = append(names, m.Name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	// Output:
+	// adder[4]
+}
+
+// ExampleWriteAbstractDOT renders the analyst-facing abstracted netlist.
+func ExampleWriteAbstractDOT() {
+	nl := netlistre.NewNetlist("tiny")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	x := nl.AddGate(netlistre.Xor, a, b)
+	nl.MarkOutput("y", x)
+	rep := netlistre.Analyze(nl, netlistre.Options{SkipModMatch: true})
+	fmt.Println(len(rep.Resolved), "modules on a single gate")
+	// Output:
+	// 0 modules on a single gate
+}

@@ -1,0 +1,44 @@
+// Framebuffer demonstrates the analyst-extension API of Section VI-B.1:
+// the generic portfolio misses a VGA-style OR-AND framebuffer read plane,
+// and a design-specific pass — written with datasheet knowledge — recovers
+// it and lifts coverage.
+//
+//	go run ./examples/framebuffer
+package main
+
+import (
+	"fmt"
+
+	"netlistre"
+)
+
+func main() {
+	nl, _ := netlistre.VGACore(16, 12)
+	st := nl.Stats()
+	fmt.Printf("VGA core: %d gates, %d latches (16x12 framebuffer + scan counter)\n\n",
+		st.Gates, st.Latches)
+
+	// Generic portfolio only.
+	base := netlistre.Analyze(nl, netlistre.Options{SkipModMatch: true})
+	fmt.Printf("generic portfolio:        %5.1f%% coverage, %d modules\n",
+		100*base.CoverageFraction(), len(base.Resolved))
+
+	// With the design-specific framebuffer pass (the paper's VGA story).
+	opt := netlistre.Options{
+		SkipModMatch: true,
+		ExtraPasses: []func(*netlistre.Netlist) []*netlistre.Module{
+			netlistre.FindFramebufferRead,
+		},
+	}
+	ext := netlistre.Analyze(nl, opt)
+	fmt.Printf("with framebuffer pass:    %5.1f%% coverage, %d modules\n\n",
+		100*ext.CoverageFraction(), len(ext.Resolved))
+
+	for _, m := range ext.Resolved {
+		if m.Attr["kind"] == "or-and scan plane" {
+			fmt.Printf("found %s covering %d elements\n", m.Name, m.Size())
+			fmt.Printf("  pixel outputs: %v\n", m.Port("pixel"))
+			fmt.Printf("  row selects:   %v\n", m.Port("rowsel"))
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Quickstart: build a small datapath as a flat sea of gates, run the
+// reverse-engineering portfolio, and print the inferred module report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"netlistre"
+)
+
+func main() {
+	// Build an unstructured netlist: an 8-bit adder, a 2:1 word mux and a
+	// 5-bit counter, all flattened to primitive gates with no module
+	// boundaries — the reverse-engineering tool sees only gates.
+	nl := netlistre.NewNetlist("quickstart")
+
+	var a, b []netlistre.ID
+	for i := 0; i < 8; i++ {
+		a = append(a, nl.AddInput(fmt.Sprintf("a%d", i)))
+		b = append(b, nl.AddInput(fmt.Sprintf("b%d", i)))
+	}
+
+	// Ripple adder, gate by gate.
+	carry := nl.AddConst(false)
+	var sum []netlistre.ID
+	for i := 0; i < 8; i++ {
+		sum = append(sum, nl.AddGate(netlistre.Xor, a[i], b[i], carry))
+		carry = nl.AddGate(netlistre.Or,
+			nl.AddGate(netlistre.And, a[i], b[i]),
+			nl.AddGate(netlistre.And, b[i], carry),
+			nl.AddGate(netlistre.And, carry, a[i]))
+	}
+
+	// 2:1 mux selecting between the sum and operand a.
+	sel := nl.AddInput("sel")
+	nsel := nl.AddGate(netlistre.Not, sel)
+	for i := 0; i < 8; i++ {
+		y := nl.AddGate(netlistre.Or,
+			nl.AddGate(netlistre.And, sel, sum[i]),
+			nl.AddGate(netlistre.And, nsel, a[i]))
+		nl.MarkOutput(fmt.Sprintf("y%d", i), y)
+	}
+
+	// 5-bit enabled counter with synchronous reset.
+	en := nl.AddInput("en")
+	rst := nl.AddInput("rst")
+	nrst := nl.AddGate(netlistre.Not, rst)
+	var q []netlistre.ID
+	for i := 0; i < 5; i++ {
+		q = append(q, nl.AddLatch(nl.AddConst(false)))
+	}
+	for i := 0; i < 5; i++ {
+		lits := []netlistre.ID{en}
+		lits = append(lits, q[:i]...)
+		var lower netlistre.ID
+		if len(lits) == 1 {
+			lower = en
+		} else {
+			lower = nl.AddGate(netlistre.And, lits...)
+		}
+		nl.SetLatchD(q[i], nl.AddGate(netlistre.And, nrst,
+			nl.AddGate(netlistre.Xor, q[i], lower)))
+		nl.MarkOutput(fmt.Sprintf("q%d", i), q[i])
+	}
+
+	// Run the portfolio and report.
+	rep := netlistre.Analyze(nl, netlistre.Options{})
+	if err := netlistre.WriteReport(os.Stdout, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Programmatic access to the inferred structure.
+	fmt.Println("\ninferred components:")
+	for _, m := range rep.Resolved {
+		switch m.Type {
+		case netlistre.TypeAdder:
+			fmt.Printf("  %d-bit adder over inputs %v / %v\n", m.Width, m.Port("a"), m.Port("b"))
+		case netlistre.TypeMux:
+			fmt.Printf("  %d-bit mux with select node %v\n", m.Width, m.Port("sel"))
+		case netlistre.TypeCounter:
+			fmt.Printf("  %d-bit %s-counter on latches %v\n", m.Width, m.Attr["direction"], m.Port("q"))
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package netlistre
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"netlistre/internal/core"
+	"netlistre/internal/gen"
+	"netlistre/internal/module"
+)
+
+// TestAnalyzeRowOnSmallestArticle exercises the Table 3 pipeline on the
+// cheapest article so the experiment plumbing is covered by plain tests,
+// not only by benchmarks.
+func TestAnalyzeRowOnSmallestArticle(t *testing.T) {
+	nl, err := gen.Article("evoter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := analyzeRow("evoter", nl, core.Options{SkipModMatch: true})
+	if row.CoverageAfter <= 0.30 || row.CoverageAfter > 1 {
+		t.Errorf("coverage = %v", row.CoverageAfter)
+	}
+	if row.CoverageAfter > row.CoverageBefore {
+		t.Error("resolution increased coverage")
+	}
+	if row.Before[module.Counter] != 4 {
+		t.Errorf("evoter counters = %d, want 4", row.Before[module.Counter])
+	}
+}
+
+func TestTableRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTable2(&buf)
+	if !strings.Contains(buf.String(), "mips16") {
+		t.Error("Table 2 missing articles")
+	}
+
+	rows3 := []Table3Row{{
+		Name: "fake", Gates: 100, Latches: 10,
+		Before:         map[module.Type]int{module.Adder: 2},
+		After:          map[module.Type]int{module.Adder: 1},
+		CoverageBefore: 0.5, CoverageAfter: 0.4,
+		Runtime: 10 * time.Millisecond,
+	}}
+	buf.Reset()
+	WriteTable3(&buf, rows3)
+	if !strings.Contains(buf.String(), "fake") || !strings.Contains(buf.String(), "50.0%") {
+		t.Errorf("Table 3 render:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	WriteTable4(&buf, []Table4Row{{Name: "fake", BasicCoverage: 0.5, SliceableCoverage: 0.6,
+		BasicModules: 3, SliceableModules: 4}})
+	if !strings.Contains(buf.String(), "60.0%") {
+		t.Errorf("Table 4 render:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	WriteTable5(&buf, Table5Result{RawGates: 200, SimplifiedGates: 100,
+		Cores: []Table5Row{{Name: "c0", Latches: 5, Elements: 50}}, Unowned: 3, UnownedFraction: 0.03})
+	if !strings.Contains(buf.String(), "50% reduction") {
+		t.Errorf("Table 5 render:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	WriteTable6(&buf, []Table6Row{{Name: "c0", Gates: 80, Latches: 20, Modules: 4,
+		Coverage: 0.75, Runtime: time.Millisecond}})
+	if !strings.Contains(buf.String(), "75.0%") {
+		t.Errorf("Table 6 render:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	WriteTable7(&buf, Table7()) // cheap: just builds netlists
+	if !strings.Contains(buf.String(), "evoter") {
+		t.Error("Table 7 render missing designs")
+	}
+
+	buf.Reset()
+	WriteTable8(&buf, []Table8Row{
+		{Name: "clean", Before: map[module.Type]int{module.Counter: 1}, Coverage: 0.5},
+		{Name: "troj", Before: map[module.Type]int{module.Counter: 2}, Coverage: 0.5},
+	})
+	if !strings.Contains(buf.String(), "troj") {
+		t.Error("Table 8 render missing rows")
+	}
+}
+
+func TestTrojanDeltaHelper(t *testing.T) {
+	clean := Table8Row{Before: map[module.Type]int{module.Counter: 1, module.Mux: 2}}
+	troj := Table8Row{Before: map[module.Type]int{module.Counter: 2, module.Mux: 2, module.Gating: 1}}
+	d := TrojanDelta(clean, troj)
+	if d[module.Counter] != 1 || d[module.Gating] != 1 {
+		t.Errorf("delta = %v", d)
+	}
+	if _, present := d[module.Mux]; present {
+		t.Error("unchanged type present in delta")
+	}
+}
+
+func TestVGACoreAndFramebufferPublic(t *testing.T) {
+	nl, px := VGACore(8, 4)
+	if len(px) != 4 {
+		t.Fatalf("pixels = %d", len(px))
+	}
+	mods := FindFramebufferRead(nl)
+	if len(mods) != 1 {
+		t.Fatalf("framebuffer modules = %d", len(mods))
+	}
+}
+
+func TestRecordTracePublic(t *testing.T) {
+	nl := buildSmallDesign()
+	var stimuli []map[ID]bool
+	for t := 0; t < 8; t++ {
+		inp := map[ID]bool{}
+		for _, in := range nl.Inputs() {
+			inp[in] = t%2 == 0
+		}
+		stimuli = append(stimuli, inp)
+	}
+	tr := RecordTrace(nl, stimuli)
+	if tr.Cycles() != 8 {
+		t.Errorf("cycles = %d", tr.Cycles())
+	}
+}
+
+func TestAbstractNetlistAndDOT(t *testing.T) {
+	// An adder feeding a register: the abstracted netlist must contain an
+	// adder -> register edge and I/O edges, and render as valid-looking DOT.
+	nl := NewNetlist("abs")
+	var a, b []ID
+	for i := 0; i < 4; i++ {
+		a = append(a, nl.AddInput("a"+string(rune('0'+i))))
+		b = append(b, nl.AddInput("b"+string(rune('0'+i))))
+	}
+	carry := nl.AddConst(false)
+	var sum []ID
+	for i := 0; i < 4; i++ {
+		sum = append(sum, nl.AddGate(Xor, a[i], b[i], carry))
+		carry = nl.AddGate(Or,
+			nl.AddGate(And, a[i], b[i]),
+			nl.AddGate(And, b[i], carry),
+			nl.AddGate(And, carry, a[i]))
+	}
+	we := nl.AddInput("we")
+	nwe := nl.AddGate(Not, we)
+	for i := 0; i < 4; i++ {
+		l := nl.AddLatch(nl.AddConst(false))
+		nl.SetLatchD(l, nl.AddGate(Or,
+			nl.AddGate(And, we, sum[i]),
+			nl.AddGate(And, nwe, ID(l))))
+		nl.MarkOutput("q"+string(rune('0'+i)), l)
+	}
+
+	rep := Analyze(nl, Options{SkipModMatch: true})
+	var adderIdx, regIdx = -1, -1
+	for i, m := range rep.Resolved {
+		switch m.Type {
+		case TypeAdder:
+			adderIdx = i
+		case TypeMultibitRegister:
+			regIdx = i
+		}
+	}
+	if adderIdx == -1 || regIdx == -1 {
+		t.Fatalf("adder/register not resolved: %v", rep.CountsAfter)
+	}
+	edges := AbstractNetlist(nl, rep.Resolved)
+	found := false
+	ioIn, ioOut := false, false
+	for _, e := range edges {
+		if e.From == adderIdx && e.To == regIdx {
+			found = true
+		}
+		if e.From == -1 {
+			ioIn = true
+		}
+		if e.To == -1 {
+			ioOut = true
+		}
+	}
+	if !found {
+		t.Errorf("no adder->register edge in %v", edges)
+	}
+	if !ioIn || !ioOut {
+		t.Errorf("I/O edges missing (in=%v out=%v)", ioIn, ioOut)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteAbstractDOT(&buf, nl, rep.Resolved); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, want := range []string{"digraph", "adder", "->", "pins", "}"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	nl := buildSmallDesign()
+	rep := Analyze(nl, Options{SkipModMatch: true})
+	var buf bytes.Buffer
+	if err := WriteJSONReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.Design != "small" || decoded.Gates != nl.Stats().Gates {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if decoded.Coverage.AfterFraction <= 0 {
+		t.Error("coverage missing")
+	}
+	foundAdder := false
+	for _, m := range decoded.Modules {
+		if m.Type == "adder" {
+			foundAdder = true
+			if len(m.Ports["sum"]) != 4 {
+				t.Errorf("adder sum port = %v", m.Ports["sum"])
+			}
+		}
+	}
+	if !foundAdder {
+		t.Error("adder missing from JSON modules")
+	}
+}
+
+// TestCoverageShapeRegression cements the paper-shape claims in the plain
+// test suite (the full portfolio variants live in the benchmarks): every
+// article lands in its documented coverage band, resolution never gains
+// coverage, and the resolved set is disjoint.
+func TestCoverageShapeRegression(t *testing.T) {
+	bands := map[string][2]float64{
+		"mips16":  {0.85, 0.97},
+		"riscfpu": {0.80, 0.95},
+		"router":  {0.78, 0.93},
+		"oc8051":  {0.52, 0.70},
+		"aemb":    {0.58, 0.78},
+		"msp430":  {0.48, 0.66},
+		"usb":     {0.45, 0.64},
+		"evoter":  {0.40, 0.58},
+	}
+	opt := Options{SkipModMatch: true} // QBF matching is benchmarked separately
+	opt.Overlap.Sliceable = true
+	var covs []float64
+	order := TestArticleNames()
+	for _, name := range order {
+		nl, err := TestArticle(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := Analyze(nl, opt)
+		cov := rep.CoverageFraction()
+		covs = append(covs, cov)
+		band := bands[name]
+		if cov < band[0] || cov > band[1] {
+			t.Errorf("%s coverage %.3f outside band [%.2f, %.2f]", name, cov, band[0], band[1])
+		}
+		if rep.CoverageAfter > rep.CoverageBefore {
+			t.Errorf("%s: resolution increased coverage", name)
+		}
+		if _, ok := module.Disjoint(rep.Resolved); !ok {
+			t.Errorf("%s: resolved modules overlap", name)
+		}
+	}
+	// Headline shape: mips16 (index 0) leads and evoter (last) trails.
+	// Without QBF matching the top two swap within a point, so the check
+	// allows a small tolerance; the full-portfolio ordering is asserted by
+	// the Table 3 benchmark.
+	for i, c := range covs {
+		if c > covs[0]+0.02 {
+			t.Errorf("%s coverage %.3f well above mips16's %.3f", order[i], c, covs[0])
+		}
+		if c < covs[len(covs)-1]-0.02 {
+			t.Errorf("%s coverage %.3f well below evoter's", order[i], c)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module netlistre
+
+go 1.22

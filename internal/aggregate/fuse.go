@@ -1,0 +1,184 @@
+package aggregate
+
+// Module fusion post-processing (Section II-F): compatible adjacent modules
+// are fused into larger ones — mux layers into n:1 muxes, decoders feeding
+// mux selects into routing structures. Fused modules are ADDED to the
+// collection; the constituents are kept, and overlap resolution (Section
+// IV) decides which representation survives.
+
+import (
+	"fmt"
+	"sort"
+
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+)
+
+// compatible reports whether a module of type a may fuse into a consumer of
+// type b.
+func compatible(a, b module.Type) bool {
+	switch {
+	case a == module.Mux && b == module.Mux:
+		return true
+	case a == module.Decoder && b == module.Mux:
+		return true
+	}
+	return false
+}
+
+// moduleInputs collects the input signals of a module for fusion-edge
+// construction.
+func moduleInputs(m *module.Module) map[netlist.ID]bool {
+	in := make(map[netlist.ID]bool)
+	for name, port := range m.Ports {
+		if name == "out" {
+			continue
+		}
+		for _, id := range port {
+			in[id] = true
+		}
+	}
+	return in
+}
+
+// Fuse builds the module fusion graph and returns one fused module per
+// connected component with at least two members.
+func Fuse(mods []*module.Module) []*module.Module {
+	inputsOf := make([]map[netlist.ID]bool, len(mods))
+	for i, m := range mods {
+		inputsOf[i] = moduleInputs(m)
+	}
+	// Union-find over module indices.
+	parent := make([]int, len(mods))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// Select-port lookup for the decoder->mux pattern.
+	selOf := make([]map[netlist.ID]bool, len(mods))
+	for i, m := range mods {
+		selOf[i] = make(map[netlist.ID]bool)
+		for _, s := range m.Port("sel") {
+			selOf[i][s] = true
+		}
+	}
+
+	edges := 0
+	for ai, a := range mods {
+		outs := a.Port("out")
+		if len(outs) == 0 {
+			continue
+		}
+		for bi, b := range mods {
+			if ai == bi || !compatible(a.Type, b.Type) {
+				continue
+			}
+			connected := false
+			if a.Type == module.Decoder && b.Type == module.Mux {
+				// A decoder fans its one-hot outputs across SEVERAL muxes'
+				// selects; any select hit links the pair (the component
+				// gathers the rest of the routing structure).
+				for _, o := range outs {
+					if selOf[bi][o] {
+						connected = true
+						break
+					}
+				}
+			} else {
+				// Mux layers fuse only when one layer's outputs are fully
+				// consumed by the next (a genuine tree stage).
+				connected = true
+				for _, o := range outs {
+					if !inputsOf[bi][o] {
+						connected = false
+						break
+					}
+				}
+			}
+			if connected {
+				union(ai, bi)
+				edges++
+			}
+		}
+	}
+	if edges == 0 {
+		return nil
+	}
+
+	comps := make(map[int][]int)
+	for i := range mods {
+		r := find(i)
+		comps[r] = append(comps[r], i)
+	}
+	var reps []int
+	for r, members := range comps {
+		if len(members) >= 2 {
+			reps = append(reps, r)
+		}
+	}
+	sort.Ints(reps)
+
+	var out []*module.Module
+	for _, r := range reps {
+		members := comps[r]
+		sort.Ints(members)
+		var elements []netlist.ID
+		width := 0
+		muxCount := 0
+		hasDecoder := false
+		memberOuts := make(map[netlist.ID]bool)
+		for _, mi := range members {
+			elements = append(elements, mods[mi].Elements...)
+			switch mods[mi].Type {
+			case module.Mux:
+				muxCount++
+				if mods[mi].Width > width {
+					width = mods[mi].Width
+				}
+			case module.Decoder:
+				hasDecoder = true
+			}
+			for _, o := range mods[mi].Port("out") {
+				memberOuts[o] = true
+			}
+		}
+		fused := module.New(module.Fused, width, elements)
+		switch {
+		case hasDecoder:
+			fused.Name = fmt.Sprintf("routing[%d]", width)
+			fused.SetAttr("kind", "decoder+mux routing structure")
+		default:
+			fused.Name = fmt.Sprintf("mux%d:1[%d]", muxCount+1, width)
+			fused.SetAttr("kind", "fused mux tree")
+		}
+		// The fused outputs are the member outputs that are not consumed
+		// by another member.
+		var outs []netlist.ID
+		for _, mi := range members {
+			for _, o := range mods[mi].Port("out") {
+				consumed := false
+				for _, mj := range members {
+					if mi != mj && inputsOf[mj][o] {
+						consumed = true
+						break
+					}
+				}
+				if !consumed {
+					outs = append(outs, o)
+				}
+			}
+		}
+		fused.SetPort("out", netlist.SortedIDs(outs))
+		fused.SetAttr("members", fmt.Sprint(len(members)))
+		out = append(out, fused)
+	}
+	return out
+}

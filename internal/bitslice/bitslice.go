@@ -1,0 +1,179 @@
+// Package bitslice implements Algorithm 1 of the paper: cut-based Boolean
+// matching of netlist nodes against a library of 1-bit datapath slices
+// (Section II-A). For every gate it inspects the node's k-feasible cuts,
+// shrinks away vacuous leaves, and matches the resulting function against
+// the library permutation-independently. A match records which cut leaf
+// plays which formal argument (e.g. which leaf is a mux select), which the
+// aggregation algorithms rely on.
+package bitslice
+
+import (
+	"sort"
+
+	"netlistre/internal/cuts"
+	"netlistre/internal/netlist"
+	"netlistre/internal/truth"
+)
+
+// Match is one node matching one library slice.
+type Match struct {
+	Root  netlist.ID
+	Class truth.Class
+	// Args[j] is the netlist node driving formal argument j of the library
+	// function.
+	Args []netlist.ID
+	// Cone lists the gates implementing the slice: the nodes between Root
+	// (inclusive) and the cut leaves (exclusive), sorted.
+	Cone []netlist.ID
+}
+
+// Result groups matches by class and indexes them by root.
+type Result struct {
+	ByClass map[truth.Class][]*Match
+	ByRoot  map[netlist.ID][]*Match
+	// UnknownClasses groups non-library cut functions by canonical table,
+	// for candidate-module generation (Section II-B.1); keys are canonical
+	// table strings.
+	UnknownClasses map[string][]*Match
+}
+
+// Options tunes identification.
+type Options struct {
+	Cuts cuts.Options
+	// Library is the slice library; nil selects truth.Library().
+	Library []truth.Entry
+	// KeepUnknown enables collecting unknown-function equivalence classes
+	// (more memory; only needed when candidate generation is wanted).
+	KeepUnknown bool
+}
+
+// Find runs cut enumeration and Boolean matching over the whole netlist.
+func Find(nl *netlist.Netlist, opt Options) *Result {
+	lib := opt.Library
+	if lib == nil {
+		lib = truth.Library()
+	}
+	// Index the library by arity for cheap pre-filtering.
+	byArity := make(map[int][]truth.Entry)
+	for _, e := range lib {
+		byArity[e.Table.N] = append(byArity[e.Table.N], e)
+	}
+
+	cutSets := cuts.Enumerate(nl, opt.Cuts)
+	res := &Result{
+		ByClass: make(map[truth.Class][]*Match),
+		ByRoot:  make(map[netlist.ID][]*Match),
+	}
+	if opt.KeepUnknown {
+		res.UnknownClasses = make(map[string][]*Match)
+	}
+
+	// Deterministic iteration over nodes.
+	for id := netlist.ID(0); int(id) < nl.Len(); id++ {
+		if !nl.Kind(id).IsGate() {
+			continue
+		}
+		seenClass := make(map[truth.Class]bool)
+		var seenUnknown map[string]bool
+		if opt.KeepUnknown {
+			seenUnknown = make(map[string]bool)
+		}
+		for _, c := range cutSets[id] {
+			if len(c.Leaves) == 1 && c.Leaves[0] == id {
+				continue // trivial cut matches nothing interesting
+			}
+			shrunk, orig := c.Table.Shrink()
+			if shrunk.N == 0 {
+				continue // constant function
+			}
+			leaves := make([]netlist.ID, shrunk.N)
+			for j, oi := range orig {
+				leaves[j] = c.Leaves[oi]
+			}
+			matched := false
+			for _, entry := range byArity[shrunk.N] {
+				perm, ok := shrunk.MatchAgainst(entry.Table)
+				if !ok {
+					continue
+				}
+				matched = true
+				if seenClass[entry.Class] {
+					continue // keep one match per (root, class)
+				}
+				seenClass[entry.Class] = true
+				args := make([]netlist.ID, len(perm))
+				for j, v := range perm {
+					args[j] = leaves[v]
+				}
+				res.add(&Match{
+					Root:  id,
+					Class: entry.Class,
+					Args:  args,
+					Cone:  coneWithin(nl, id, leaves),
+				})
+			}
+			if !matched && opt.KeepUnknown && shrunk.N >= 3 {
+				canon, _ := shrunk.Canon()
+				key := canon.String()
+				if !seenUnknown[key] {
+					seenUnknown[key] = true
+					res.UnknownClasses[key] = append(res.UnknownClasses[key], &Match{
+						Root:  id,
+						Class: truth.ClassUnknown,
+						Args:  leaves,
+						Cone:  coneWithin(nl, id, leaves),
+					})
+				}
+			}
+		}
+	}
+	return res
+}
+
+func (r *Result) add(m *Match) {
+	r.ByClass[m.Class] = append(r.ByClass[m.Class], m)
+	r.ByRoot[m.Root] = append(r.ByRoot[m.Root], m)
+}
+
+// Matches returns the matches for a class (possibly nil).
+func (r *Result) Matches(c truth.Class) []*Match { return r.ByClass[c] }
+
+// RootMatches returns all matches rooted at id.
+func (r *Result) RootMatches(id netlist.ID) []*Match { return r.ByRoot[id] }
+
+// HasClass reports whether root has a match of the given class and returns
+// it.
+func (r *Result) HasClass(root netlist.ID, c truth.Class) (*Match, bool) {
+	for _, m := range r.ByRoot[root] {
+		if m.Class == c {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// coneWithin returns the gates from root down to (but excluding) the given
+// leaves, sorted ascending.
+func coneWithin(nl *netlist.Netlist, root netlist.ID, leaves []netlist.ID) []netlist.ID {
+	isLeaf := make(map[netlist.ID]bool, len(leaves))
+	for _, l := range leaves {
+		isLeaf[l] = true
+	}
+	seen := map[netlist.ID]bool{root: true}
+	stack := []netlist.ID{root}
+	var out []netlist.ID
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, id)
+		for _, f := range nl.Fanin(id) {
+			if isLeaf[f] || seen[f] || !nl.Kind(f).IsComb() {
+				continue
+			}
+			seen[f] = true
+			stack = append(stack, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

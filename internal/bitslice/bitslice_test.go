@@ -1,0 +1,157 @@
+package bitslice
+
+import (
+	"testing"
+
+	"netlistre/internal/gen"
+	"netlistre/internal/netlist"
+	"netlistre/internal/truth"
+)
+
+func TestFullAdderSlices(t *testing.T) {
+	nl := netlist.New("fa")
+	a := gen.InputWord(nl, "a", 4)
+	b := gen.InputWord(nl, "b", 4)
+	cin := nl.AddInput("cin")
+	sum, _ := gen.RippleAdder(nl, a, b, cin)
+	res := Find(nl, Options{})
+
+	sums := res.Matches(truth.ClassFASum)
+	if len(sums) < 4 {
+		t.Fatalf("found %d fa-sum matches, want >= 4", len(sums))
+	}
+	// Every sum output must be matched as an fa-sum slice.
+	matchedRoots := make(map[netlist.ID]bool)
+	for _, m := range sums {
+		matchedRoots[m.Root] = true
+	}
+	for i, s := range sum {
+		if !matchedRoots[s] {
+			t.Errorf("sum bit %d not matched as fa-sum", i)
+		}
+	}
+	carries := res.Matches(truth.ClassFACarry)
+	if len(carries) < 3 {
+		t.Errorf("found %d fa-carry matches, want >= 3", len(carries))
+	}
+}
+
+func TestMuxSelectIdentification(t *testing.T) {
+	nl := netlist.New("mux")
+	sel := nl.AddInput("sel")
+	d0 := gen.InputWord(nl, "a", 5)
+	d1 := gen.InputWord(nl, "b", 5)
+	out := gen.Mux2Word(nl, sel, d0, d1)
+	res := Find(nl, Options{})
+
+	muxes := res.Matches(truth.ClassMux2)
+	found := 0
+	for _, m := range muxes {
+		isOut := false
+		for _, o := range out {
+			if m.Root == o {
+				isOut = true
+			}
+		}
+		if !isOut {
+			continue
+		}
+		found++
+		// Args are (d0, d1, s): the select must be the sel input.
+		if m.Args[2] != sel {
+			t.Errorf("mux root %d: select arg = %d, want %d", m.Root, m.Args[2], sel)
+		}
+		// Data args must be one bit of each data word.
+		inWord := func(id netlist.ID, w gen.Word) bool {
+			for _, b := range w {
+				if b == id {
+					return true
+				}
+			}
+			return false
+		}
+		if !inWord(m.Args[0], d0) || !inWord(m.Args[1], d1) {
+			t.Errorf("mux root %d: data args %v not aligned to words", m.Root, m.Args[:2])
+		}
+	}
+	if found != 5 {
+		t.Errorf("matched %d mux outputs, want 5", found)
+	}
+}
+
+func TestSubtractorBorrowSlices(t *testing.T) {
+	nl := netlist.New("sub")
+	a := gen.InputWord(nl, "a", 4)
+	b := gen.InputWord(nl, "b", 4)
+	gen.RippleSubtractor(nl, a, b)
+	res := Find(nl, Options{})
+	if n := len(res.Matches(truth.ClassSubBorrow)); n < 3 {
+		t.Errorf("found %d sub-borrow matches, want >= 3", n)
+	}
+}
+
+func TestConeCoversSliceGates(t *testing.T) {
+	nl := netlist.New("fa1")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	c := nl.AddInput("c")
+	sum, carry := gen.FullAdder(nl, a, b, c)
+	res := Find(nl, Options{})
+	m, ok := res.HasClass(carry, truth.ClassFACarry)
+	if !ok {
+		t.Fatal("carry not matched")
+	}
+	// The carry cone must contain the or gate and the three and gates.
+	if len(m.Cone) != 4 {
+		t.Errorf("carry cone = %v, want 4 gates", m.Cone)
+	}
+	ms, ok := res.HasClass(sum, truth.ClassFASum)
+	if !ok {
+		t.Fatal("sum not matched")
+	}
+	if len(ms.Cone) != 1 {
+		t.Errorf("sum cone = %v, want 1 gate (single xor3)", ms.Cone)
+	}
+}
+
+func TestUnknownClassCollection(t *testing.T) {
+	// A function outside the library: f = (a & b) | (c & d & e).
+	nl := netlist.New("u")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	c := nl.AddInput("c")
+	d := nl.AddInput("d")
+	e := nl.AddInput("e")
+	f := nl.AddGate(netlist.Or,
+		nl.AddGate(netlist.And, a, b),
+		nl.AddGate(netlist.And, c, d, e))
+	res := Find(nl, Options{KeepUnknown: true})
+	found := false
+	for _, ms := range res.UnknownClasses {
+		for _, m := range ms {
+			if m.Root == f {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("unknown 5-input function not collected")
+	}
+}
+
+func TestPerRootClassDeduplication(t *testing.T) {
+	nl := netlist.New("x")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	x := nl.AddGate(netlist.Xor, a, b)
+	res := Find(nl, Options{})
+	count := 0
+	for _, m := range res.Matches(truth.ClassHASum) {
+		if m.Root == x {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("xor root matched ha-sum %d times, want exactly 1", count)
+	}
+}

@@ -1,0 +1,223 @@
+// Package core orchestrates the full reverse-engineering portfolio of the
+// paper (Figure 1): bitslice identification and aggregation, word
+// identification and propagation, QBF module matching, common-support
+// analysis, the sequential analyses, module fusion, and ILP overlap
+// resolution — producing a coverage report in the shape of Table 3.
+package core
+
+import (
+	"time"
+
+	"netlistre/internal/aggregate"
+	"netlistre/internal/bitslice"
+	"netlistre/internal/graph"
+	"netlistre/internal/modmatch"
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+	"netlistre/internal/overlap"
+	"netlistre/internal/seq"
+	"netlistre/internal/support"
+	"netlistre/internal/truth"
+	"netlistre/internal/words"
+)
+
+// Options configures the portfolio. The zero value runs every algorithm
+// with the paper's parameters.
+type Options struct {
+	Bitslice  bitslice.Options
+	Aggregate aggregate.Options
+	Words     words.Options
+	// WordRounds bounds iterative word propagation (0 = default 3).
+	WordRounds int
+	ModMatch   modmatch.Options
+	Support    support.Options
+	Seq        seq.Options
+	Overlap    overlap.Options
+
+	// SkipModMatch disables QBF module matching (the most expensive
+	// algorithm on wide datapaths).
+	SkipModMatch bool
+	// SkipWordProp disables symbolic word propagation.
+	SkipWordProp bool
+	// KeepCandidates includes unknown-bitslice candidate modules in the
+	// report (they are never part of overlap resolution or coverage).
+	KeepCandidates bool
+
+	// ExtraLibrary appends design-specific bitslice functions to the
+	// matching library (Section VI-B.1: a human analyst may extend the
+	// tool with bitslices specific to the chip being analyzed).
+	ExtraLibrary []truth.Entry
+	// ExtraPasses run after the built-in portfolio; each returns
+	// additional inferred modules that participate in overlap resolution
+	// like any other (the paper's design-specific algorithms, e.g. the
+	// BigSoC framebuffer-read detector).
+	ExtraPasses []func(*netlist.Netlist) []*module.Module
+}
+
+// Report is the outcome of analyzing one netlist.
+type Report struct {
+	Netlist *netlist.Netlist
+
+	// All lists every inferred module before overlap resolution
+	// (excluding analyst candidates).
+	All []*module.Module
+	// Candidates lists unknown-bitslice candidate modules (Section
+	// II-B.1) when requested.
+	Candidates []*module.Module
+	// Resolved is the non-overlapping selection.
+	Resolved []*module.Module
+
+	// Words holds all identified and propagated words.
+	Words []words.Word
+
+	// TotalElements counts coverable elements (gates + latches).
+	TotalElements int
+	// CoverageBefore/After count elements covered before/after overlap
+	// resolution.
+	CoverageBefore int
+	CoverageAfter  int
+
+	// CountsBefore/After tally modules per type.
+	CountsBefore map[module.Type]int
+	CountsAfter  map[module.Type]int
+
+	// Runtime is the wall-clock analysis time.
+	Runtime time.Duration
+	// OverlapOptimal is false when the ILP hit its node limit.
+	OverlapOptimal bool
+}
+
+// CoverageFractionBefore returns pre-resolution coverage in [0,1].
+func (r *Report) CoverageFractionBefore() float64 {
+	if r.TotalElements == 0 {
+		return 0
+	}
+	return float64(r.CoverageBefore) / float64(r.TotalElements)
+}
+
+// CoverageFraction returns post-resolution coverage in [0,1].
+func (r *Report) CoverageFraction() float64 {
+	if r.TotalElements == 0 {
+		return 0
+	}
+	return float64(r.CoverageAfter) / float64(r.TotalElements)
+}
+
+// Analyze runs the full portfolio on nl.
+func Analyze(nl *netlist.Netlist, opt Options) *Report {
+	start := time.Now()
+	rep := &Report{Netlist: nl}
+	stats := nl.Stats()
+	rep.TotalElements = stats.Gates + stats.Latches
+
+	// Stage 1: cut enumeration + Boolean matching (Algorithm 1).
+	opt.Bitslice.KeepUnknown = opt.KeepCandidates
+	if len(opt.ExtraLibrary) > 0 {
+		lib := opt.Bitslice.Library
+		if lib == nil {
+			lib = truth.Library()
+		}
+		opt.Bitslice.Library = append(append([]truth.Entry(nil), lib...), opt.ExtraLibrary...)
+	}
+	slices := bitslice.Find(nl, opt.Bitslice)
+
+	// Stage 2: aggregation (Algorithm 2).
+	common := aggregate.CommonSignal(nl, slices, opt.Aggregate)
+	propagated := aggregate.PropagatedSignal(nl, slices, opt.Aggregate)
+
+	var mods []*module.Module
+	var muxMods []*module.Module
+	for _, m := range common {
+		if m.Type == module.Candidate {
+			rep.Candidates = append(rep.Candidates, m)
+			continue
+		}
+		mods = append(mods, m)
+		if m.Type == module.Mux {
+			muxMods = append(muxMods, m)
+		}
+	}
+	mods = append(mods, propagated...)
+
+	// Stage 3: common-support analysis (Algorithm 5).
+	supportMods := support.Analyze(nl, opt.Support)
+	mods = append(mods, supportMods...)
+
+	// Stage 4: module fusion post-processing (Section II-F). Fusion
+	// candidates are the mux and decoder modules.
+	var fusable []*module.Module
+	fusable = append(fusable, muxMods...)
+	for _, m := range supportMods {
+		if m.Type == module.Decoder {
+			fusable = append(fusable, m)
+		}
+	}
+	mods = append(mods, aggregate.Fuse(fusable)...)
+
+	// Stage 5: word identification and propagation (Algorithm 3).
+	seeds := words.FromModules(mods)
+	rounds := opt.WordRounds
+	if rounds <= 0 {
+		rounds = 3
+	}
+	if opt.SkipWordProp {
+		rep.Words = seeds
+	} else {
+		all, _ := words.PropagateAll(nl, seeds, rounds, opt.Words)
+		rep.Words = all
+	}
+
+	// Stage 6: QBF module matching between words (Algorithm 4).
+	if !opt.SkipModMatch {
+		mods = append(mods, modmatch.Match(nl, rep.Words, opt.ModMatch)...)
+	}
+
+	// Stage 7: sequential analyses (Algorithms 6-9).
+	lcg := graph.BuildLCG(nl)
+	mods = append(mods, seq.FindCounters(nl, lcg, opt.Seq)...)
+	mods = append(mods, seq.FindShiftRegisters(nl, lcg, opt.Seq)...)
+	mods = append(mods, seq.FindRAMs(nl, slices, opt.Seq)...)
+	mods = append(mods, seq.FindMultibitRegisters(nl, muxMods, opt.Seq)...)
+
+	// Footnote 15: recover multibit-register bit order by matching the
+	// registers against ordered words (word propagation reaches the
+	// registers' D-input gates; the driven latches inherit the order).
+	var regMods []*module.Module
+	for _, m := range mods {
+		if m.Type == module.MultibitRegister {
+			regMods = append(regMods, m)
+		}
+	}
+	if len(regMods) > 0 {
+		var ordered [][]netlist.ID
+		for _, w := range rep.Words {
+			ordered = append(ordered, w.Bits)
+		}
+		seq.OrderRegisterBits(nl, regMods, ordered)
+	}
+
+	// Stage 7b: design-specific passes supplied by the analyst.
+	for _, pass := range opt.ExtraPasses {
+		mods = append(mods, pass(nl)...)
+	}
+
+	rep.All = mods
+	rep.CoverageBefore = module.CoverageCount(mods)
+	rep.CountsBefore = module.CountByType(mods)
+
+	// Stage 8: overlap resolution (Algorithm 10).
+	res, err := overlap.Resolve(mods, opt.Overlap)
+	if err == nil {
+		rep.Resolved = res.Selected
+		rep.CoverageAfter = res.Coverage
+		rep.OverlapOptimal = res.Optimal
+		rep.CountsAfter = module.CountByType(res.Selected)
+	} else {
+		// Infeasible only when a MinModules target exceeds what is
+		// coverable; report the unresolved set.
+		rep.CountsAfter = map[module.Type]int{}
+	}
+
+	rep.Runtime = time.Since(start)
+	return rep
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netlistre/internal/gen"
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+)
+
+func TestAnalyzeComposite(t *testing.T) {
+	// A circuit containing one instance of each major component class; the
+	// full portfolio must find them all.
+	nl := netlist.New("composite")
+	a := gen.InputWord(nl, "a", 8)
+	b := gen.InputWord(nl, "b", 8)
+	sum, _ := gen.RippleAdder(nl, a, b, netlist.Nil)
+	gen.MarkOutputs(nl, "sum", sum)
+
+	sel := nl.AddInput("sel")
+	mx := gen.Mux2Word(nl, sel, a, b)
+	gen.MarkOutputs(nl, "mx", mx)
+
+	en := nl.AddInput("en")
+	rst := nl.AddInput("rst")
+	gen.Counter(nl, 5, en, rst, false)
+	sin := nl.AddInput("sin")
+	gen.ShiftRegister(nl, 5, en, rst, sin)
+
+	waddr := gen.InputWord(nl, "wa", 2)
+	raddr := gen.InputWord(nl, "ra", 2)
+	we := nl.AddInput("we")
+	read, _ := gen.RegisterFile(nl, 4, 8, waddr, gen.InputWord(nl, "wd", 8), we, raddr)
+	gen.MarkOutputs(nl, "rd", read)
+
+	dsel := gen.InputWord(nl, "ds", 3)
+	gen.MarkOutputs(nl, "dec", gen.Decoder(nl, dsel))
+
+	nl.MarkOutput("par", gen.ParityTree(nl, a))
+
+	rep := Analyze(nl, Options{})
+
+	want := []module.Type{module.Adder, module.Mux, module.Counter,
+		module.ShiftRegister, module.RAM, module.Decoder, module.ParityTree}
+	for _, ty := range want {
+		if rep.CountsBefore[ty] == 0 {
+			t.Errorf("no %v found (counts: %v)", ty, rep.CountsBefore)
+		}
+	}
+
+	// Resolved modules must be disjoint and cover a meaningful fraction.
+	if id, ok := module.Disjoint(rep.Resolved); !ok {
+		t.Errorf("resolved modules overlap on element %d", id)
+	}
+	if rep.CoverageFraction() < 0.7 {
+		t.Errorf("coverage = %.2f, want >= 0.7 on a pure-datapath circuit", rep.CoverageFraction())
+	}
+	if rep.CoverageAfter > rep.CoverageBefore {
+		t.Error("resolution cannot increase coverage")
+	}
+	if !rep.OverlapOptimal {
+		t.Error("tiny instance should resolve optimally")
+	}
+	if rep.TotalElements != nl.Stats().Gates+nl.Stats().Latches {
+		t.Error("TotalElements wrong")
+	}
+}
+
+func TestAnalyzeSkipFlags(t *testing.T) {
+	nl := netlist.New("skip")
+	a := gen.InputWord(nl, "a", 4)
+	b := gen.InputWord(nl, "b", 4)
+	sum, _ := gen.RippleAdder(nl, a, b, netlist.Nil)
+	gen.MarkOutputs(nl, "s", sum)
+	rep := Analyze(nl, Options{SkipModMatch: true, SkipWordProp: true})
+	if rep.CountsBefore[module.WordOp] != 0 {
+		t.Error("modmatch ran despite SkipModMatch")
+	}
+	if rep.CountsBefore[module.Adder] == 0 {
+		t.Error("adder missing")
+	}
+}
+
+func TestAnalyzeEmptyNetlist(t *testing.T) {
+	nl := netlist.New("empty")
+	nl.AddInput("a")
+	rep := Analyze(nl, Options{})
+	if len(rep.All) != 0 || rep.CoverageAfter != 0 {
+		t.Errorf("empty netlist produced modules: %v", rep.All)
+	}
+	if rep.CoverageFraction() != 0 {
+		t.Error("coverage fraction on empty design should be 0")
+	}
+}
+
+func TestTrojanInferenceDeltas(t *testing.T) {
+	// Table 8 of the paper: the trojaned articles show extra modules of
+	// the kinds that make up the trojan.
+	cleanO := Analyze(gen.OC8051(), Options{SkipModMatch: true})
+	trojO := Analyze(gen.OC8051Trojaned(), Options{SkipModMatch: true})
+	if trojO.CountsBefore[module.Counter] <= cleanO.CountsBefore[module.Counter] {
+		t.Errorf("oc8051 trojan: counters %d -> %d, want increase",
+			cleanO.CountsBefore[module.Counter], trojO.CountsBefore[module.Counter])
+	}
+	if trojO.CountsBefore[module.Gating] <= cleanO.CountsBefore[module.Gating] {
+		t.Errorf("oc8051 trojan: gating %d -> %d, want increase",
+			cleanO.CountsBefore[module.Gating], trojO.CountsBefore[module.Gating])
+	}
+
+	cleanE := Analyze(gen.EVoter(), Options{SkipModMatch: true})
+	trojE := Analyze(gen.EVoterTrojaned(), Options{SkipModMatch: true})
+	if trojE.CountsBefore[module.Mux] <= cleanE.CountsBefore[module.Mux] {
+		t.Errorf("evoter trojan: muxes %d -> %d, want increase",
+			cleanE.CountsBefore[module.Mux], trojE.CountsBefore[module.Mux])
+	}
+	decDemux := func(r *Report) int {
+		return r.CountsBefore[module.Decoder] + r.CountsBefore[module.Demux]
+	}
+	if decDemux(trojE) <= decDemux(cleanE) {
+		t.Errorf("evoter trojan: decoders+demuxes %d -> %d, want increase",
+			decDemux(cleanE), decDemux(trojE))
+	}
+}
+
+func TestBitOrderInference(t *testing.T) {
+	// Footnote 15 end-to-end: a register fed by an adder gets its q port
+	// ordered by the adder's carry chain through word propagation.
+	nl := netlist.New("ord")
+	a := gen.InputWord(nl, "a", 6)
+	b := gen.InputWord(nl, "b", 6)
+	sum, _ := gen.RippleAdder(nl, a, b, netlist.Nil)
+	we := nl.AddInput("we")
+	q := gen.Register(nl, sum, we)
+	gen.MarkOutputs(nl, "q", q)
+
+	rep := Analyze(nl, Options{SkipModMatch: true})
+	var reg *module.Module
+	for _, m := range rep.All {
+		if m.Type == module.MultibitRegister {
+			reg = m
+		}
+	}
+	if reg == nil {
+		t.Fatal("register not detected")
+	}
+	if reg.Attr["bit-order"] != "inferred" {
+		t.Fatalf("bit order not inferred (attrs %v)", reg.Attr)
+	}
+	got := reg.Port("q")
+	for i := range q {
+		if got[i] != q[i] {
+			t.Errorf("q[%d] = %d, want %d (adder order)", i, got[i], q[i])
+		}
+	}
+}
+
+func TestPortfolioOnRandomNetlists(t *testing.T) {
+	// Robustness fuzz: the portfolio must not crash, must keep its
+	// invariants, and must not hallucinate large structured modules in
+	// pure random logic.
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 8; trial++ {
+		nl := netlist.New("rand")
+		var pool []netlist.ID
+		for i := 0; i < 6; i++ {
+			pool = append(pool, nl.AddInput(fmt.Sprintf("i%d", i)))
+		}
+		var latches []netlist.ID
+		for i := 0; i < 10; i++ {
+			l := nl.AddLatch(pool[rng.Intn(len(pool))])
+			latches = append(latches, l)
+			pool = append(pool, l)
+		}
+		kinds := []netlist.Kind{netlist.And, netlist.Or, netlist.Nand,
+			netlist.Nor, netlist.Xor, netlist.Xnor, netlist.Not}
+		for i := 0; i < 250; i++ {
+			k := kinds[rng.Intn(len(kinds))]
+			if k == netlist.Not {
+				pool = append(pool, nl.AddGate(k, pool[rng.Intn(len(pool))]))
+			} else {
+				pool = append(pool, nl.AddGate(k,
+					pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]))
+			}
+		}
+		for _, l := range latches {
+			nl.SetLatchD(l, pool[rng.Intn(len(pool))])
+		}
+		nl.MarkOutput("y", pool[len(pool)-1])
+		if err := nl.Check(); err != nil {
+			t.Fatal(err)
+		}
+
+		rep := Analyze(nl, Options{})
+		if id, ok := module.Disjoint(rep.Resolved); !ok {
+			t.Fatalf("trial %d: resolved modules overlap on %d", trial, id)
+		}
+		if rep.CoverageAfter > rep.TotalElements {
+			t.Fatalf("trial %d: coverage exceeds element count", trial)
+		}
+		if rep.CoverageAfter > rep.CoverageBefore {
+			t.Fatalf("trial %d: resolution increased coverage", trial)
+		}
+		// Random logic must not produce wide adders or RAMs.
+		for _, m := range rep.All {
+			if m.Type == module.Adder && m.Width >= 6 {
+				t.Errorf("trial %d: %d-bit adder hallucinated in noise", trial, m.Width)
+			}
+			if m.Type == module.RAM {
+				t.Errorf("trial %d: RAM hallucinated in noise", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package cuts
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkEnumerate measures 6-feasible cut enumeration throughput on a
+// random 2k-gate circuit (the paper's k=6 workload).
+func BenchmarkEnumerate(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	nl := randomComb(rng, 12, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Enumerate(nl, Options{})
+	}
+}

@@ -1,0 +1,270 @@
+// Package cuts implements k-feasible cut enumeration with attached cut
+// functions (Section II-A of the paper). A feasible cut of a node G is a set
+// of nodes in G's transitive fan-in whose values determine G; a cut is
+// k-feasible when it has at most k leaves. Cut enumeration was introduced
+// for technology mapping and is reused here to generate candidate bitslice
+// boundaries for Boolean matching.
+package cuts
+
+import (
+	"sort"
+
+	"netlistre/internal/netlist"
+	"netlistre/internal/truth"
+)
+
+// Cut is a k-feasible cut of some root node, together with the Boolean
+// function of the root in terms of the cut leaves (leaf j is variable j of
+// the table).
+type Cut struct {
+	Leaves []netlist.ID // sorted ascending
+	Table  truth.Table
+}
+
+// trivially reports whether the cut is the root's trivial cut {root}.
+func (c Cut) trivial(root netlist.ID) bool {
+	return len(c.Leaves) == 1 && c.Leaves[0] == root
+}
+
+// Options configures enumeration.
+type Options struct {
+	// K is the maximum number of cut leaves. The paper fixes K=6; values
+	// above truth.MaxVars are rejected.
+	K int
+	// MaxCuts bounds the number of cuts kept per node (0 means the
+	// default). Smaller cuts are preferred when truncating.
+	MaxCuts int
+}
+
+// DefaultMaxCuts bounds per-node cut sets; the paper reports an average of
+// 15-35 6-feasible cuts per gate, so 48 loses almost nothing.
+const DefaultMaxCuts = 48
+
+// Enumerate computes the k-feasible cuts of every node in n. Boundary nodes
+// (inputs, latches) get only their trivial cut; constants get a single
+// empty-leaf constant cut.
+func Enumerate(n *netlist.Netlist, opt Options) map[netlist.ID][]Cut {
+	if opt.K <= 0 || opt.K > truth.MaxVars {
+		opt.K = truth.MaxVars
+	}
+	if opt.MaxCuts <= 0 {
+		opt.MaxCuts = DefaultMaxCuts
+	}
+	res := make(map[netlist.ID][]Cut, n.Len())
+	for _, id := range n.TopoOrder() {
+		switch kind := n.Kind(id); {
+		case kind == netlist.Input || kind == netlist.Latch:
+			res[id] = []Cut{{Leaves: []netlist.ID{id}, Table: truth.Var(0, 1)}}
+		case kind == netlist.Const0:
+			res[id] = []Cut{{Table: truth.Const(false, 0)}}
+		case kind == netlist.Const1:
+			res[id] = []Cut{{Table: truth.Const(true, 0)}}
+		default:
+			res[id] = enumerateGate(n, id, res, opt)
+		}
+	}
+	return res
+}
+
+func enumerateGate(n *netlist.Netlist, id netlist.ID, res map[netlist.ID][]Cut, opt Options) []Cut {
+	fanin := n.Fanin(id)
+	kind := n.Kind(id)
+
+	// Fold the fanin cut sets pairwise under the gate's associative
+	// operation (And for And/Nand, Or for Or/Nor, Xor for Xor/Xnor),
+	// pruning between folds so intermediate sets stay bounded. The
+	// negation for inverting kinds is applied once at the end.
+	op, invert := foldOp(kind)
+	partial := res[fanin[0]]
+	if kind == netlist.Not || kind == netlist.Buf {
+		out := make([]Cut, 0, len(partial)+1)
+		for _, c := range partial {
+			t := c.Table
+			if kind == netlist.Not {
+				t = t.Not()
+			}
+			out = append(out, Cut{Leaves: c.Leaves, Table: t})
+		}
+		out = prune(out, opt.MaxCuts)
+		return append(out, Cut{Leaves: []netlist.ID{id}, Table: truth.Var(0, 1)})
+	}
+
+	for fi := 1; fi < len(fanin); fi++ {
+		next := res[fanin[fi]]
+		merged := make([]Cut, 0, len(partial)*len(next)/2)
+		for _, a := range partial {
+			for _, b := range next {
+				leaves := unionLeaves(a.Leaves, b.Leaves, opt.K)
+				if len(leaves) > opt.K {
+					continue
+				}
+				merged = append(merged, combine2(op, a, b, leaves))
+			}
+		}
+		partial = prune(merged, opt.MaxCuts)
+	}
+	if invert {
+		for i := range partial {
+			partial[i].Table = partial[i].Table.Not()
+		}
+	}
+	return append(partial, Cut{Leaves: []netlist.ID{id}, Table: truth.Var(0, 1)})
+}
+
+type binOp uint8
+
+const (
+	opAnd binOp = iota
+	opOr
+	opXor
+)
+
+func foldOp(kind netlist.Kind) (binOp, bool) {
+	switch kind {
+	case netlist.And:
+		return opAnd, false
+	case netlist.Nand:
+		return opAnd, true
+	case netlist.Or:
+		return opOr, false
+	case netlist.Nor:
+		return opOr, true
+	case netlist.Xor:
+		return opXor, false
+	case netlist.Xnor:
+		return opXor, true
+	case netlist.Not, netlist.Buf:
+		return opAnd, false // unused
+	}
+	panic("cuts: foldOp on non-gate kind " + kind.String())
+}
+
+// combine2 merges two cuts under a binary operation on the merged leaf set.
+func combine2(op binOp, a, b Cut, leaves []netlist.ID) Cut {
+	n := len(leaves)
+	pos := make(map[netlist.ID]int, n)
+	for i, l := range leaves {
+		pos[l] = i
+	}
+	expand := func(c Cut) truth.Table {
+		m := make([]int, len(c.Leaves))
+		for j, l := range c.Leaves {
+			m[j] = pos[l]
+		}
+		return c.Table.Expand(m, n)
+	}
+	ta, tb := expand(a), expand(b)
+	var t truth.Table
+	switch op {
+	case opAnd:
+		t = ta.And(tb)
+	case opOr:
+		t = ta.Or(tb)
+	case opXor:
+		t = ta.Xor(tb)
+	}
+	return Cut{Leaves: leaves, Table: t}
+}
+
+// unionLeaves merges two sorted leaf sets, returning a slice longer than k+1
+// at most (callers prune on length).
+func unionLeaves(a, b []netlist.ID, k int) []netlist.ID {
+	out := make([]netlist.ID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+		if len(out) > k+1 {
+			return out // already infeasible; stop merging
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// prune removes duplicate and dominated cuts (a cut is dominated when its
+// leaf set is a strict superset of another cut's) and truncates to maxCuts,
+// preferring cuts with fewer leaves.
+func prune(cs []Cut, maxCuts int) []Cut {
+	sort.Slice(cs, func(i, j int) bool {
+		if len(cs[i].Leaves) != len(cs[j].Leaves) {
+			return len(cs[i].Leaves) < len(cs[j].Leaves)
+		}
+		return lessLeaves(cs[i].Leaves, cs[j].Leaves)
+	})
+	var kept []Cut
+	for _, c := range cs {
+		dominated := false
+		for _, k := range kept {
+			if len(k.Leaves) <= len(c.Leaves) && isSubset(k.Leaves, c.Leaves) {
+				if len(k.Leaves) < len(c.Leaves) || equalLeaves(k.Leaves, c.Leaves) {
+					dominated = true
+					break
+				}
+			}
+		}
+		if !dominated {
+			kept = append(kept, c)
+			if len(kept) >= maxCuts {
+				break
+			}
+		}
+	}
+	return kept
+}
+
+func isSubset(a, b []netlist.ID) bool {
+	i := 0
+	for _, x := range b {
+		if i < len(a) && a[i] == x {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+func equalLeaves(a, b []netlist.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lessLeaves(a, b []netlist.ID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// AverageCutsPerGate returns the mean number of cuts per combinational gate,
+// the statistic the paper reports as 15-35 for k=6.
+func AverageCutsPerGate(n *netlist.Netlist, sets map[netlist.ID][]Cut) float64 {
+	gates := n.Gates()
+	if len(gates) == 0 {
+		return 0
+	}
+	total := 0
+	for _, g := range gates {
+		total += len(sets[g])
+	}
+	return float64(total) / float64(len(gates))
+}

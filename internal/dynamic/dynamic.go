@@ -1,0 +1,185 @@
+// Package dynamic implements the simulation-based analysis sketched in
+// Section VI-B.4 of the paper: simulate the netlist with carefully
+// constructed stimulus and observe *where* known operand and result values
+// show up. The paper's example is finding an FFT co-processor by running
+// FFTs in a loop and watching for the known transform values; the general
+// mechanism is value-sequence matching over a recorded trace.
+//
+// The static portfolio identifies what structures exist; this dynamic pass
+// binds them to architectural meaning (which word is the accumulator,
+// where does the known result surface).
+package dynamic
+
+import (
+	"sort"
+
+	"netlistre/internal/netlist"
+)
+
+// Trace records the value of every node over a simulated run.
+type Trace struct {
+	nl     *netlist.Netlist
+	cycles int
+	// sig[id] packs node id's value per cycle, LSB = cycle 0, chunked into
+	// uint64 words.
+	sig [][]uint64
+}
+
+// Record simulates nl from the all-zero state, applying stimuli[t] at cycle
+// t, and captures every node's value each cycle.
+func Record(nl *netlist.Netlist, stimuli []map[netlist.ID]bool) *Trace {
+	tr := &Trace{nl: nl, cycles: len(stimuli)}
+	words := (len(stimuli) + 63) / 64
+	tr.sig = make([][]uint64, nl.Len())
+	for i := range tr.sig {
+		tr.sig[i] = make([]uint64, words)
+	}
+	st := nl.NewState()
+	for t, inp := range stimuli {
+		vals := nl.Step(st, inp)
+		for id, v := range vals {
+			if v {
+				tr.sig[id][t/64] |= 1 << uint(t%64)
+			}
+		}
+	}
+	return tr
+}
+
+// Cycles returns the trace length.
+func (tr *Trace) Cycles() int { return tr.cycles }
+
+// Value returns node id's value at cycle t.
+func (tr *Trace) Value(id netlist.ID, t int) bool {
+	return tr.sig[id][t/64]>>uint(t%64)&1 == 1
+}
+
+// sigKey builds a comparable key for a node's whole value history.
+func (tr *Trace) sigKey(id netlist.ID) string {
+	b := make([]byte, 0, len(tr.sig[id])*8)
+	for _, w := range tr.sig[id] {
+		for k := 0; k < 8; k++ {
+			b = append(b, byte(w>>uint(8*k)))
+		}
+	}
+	return string(b)
+}
+
+// WordMatch is the outcome of LocateWord: for each bit position of the
+// searched word, the nodes whose simulated history equals that bit's
+// expected sequence.
+type WordMatch struct {
+	// CandidatesPerBit[i] lists the nodes matching bit i of the sequence,
+	// sorted. Empty means bit i was not found anywhere.
+	CandidatesPerBit [][]netlist.ID
+}
+
+// Found reports whether every bit of the word was located somewhere.
+func (m WordMatch) Found() bool {
+	for _, c := range m.CandidatesPerBit {
+		if len(c) == 0 {
+			return false
+		}
+	}
+	return len(m.CandidatesPerBit) > 0
+}
+
+// Unique returns the word if every bit matched exactly one node.
+func (m WordMatch) Unique() ([]netlist.ID, bool) {
+	out := make([]netlist.ID, len(m.CandidatesPerBit))
+	for i, c := range m.CandidatesPerBit {
+		if len(c) != 1 {
+			return nil, false
+		}
+		out[i] = c[0]
+	}
+	return out, true
+}
+
+// LocateWord searches the trace for a width-bit word whose per-cycle values
+// spell the expected sequence (sequence[t] is the word's expected value at
+// cycle t). delay shifts the expectation: the word shows sequence[t] at
+// cycle t+delay, which locates pipelined copies of a known value.
+func (tr *Trace) LocateWord(sequence []uint64, width, delay int) WordMatch {
+	if delay < 0 || len(sequence)+delay > tr.cycles {
+		return WordMatch{}
+	}
+	// Index all node signatures restricted to the window.
+	type window string
+	nodeSig := func(id netlist.ID) window {
+		b := make([]byte, 0, (len(sequence)+7)/8)
+		var cur byte
+		for t := 0; t < len(sequence); t++ {
+			if tr.Value(id, t+delay) {
+				cur |= 1 << uint(t%8)
+			}
+			if t%8 == 7 || t == len(sequence)-1 {
+				b = append(b, cur)
+				cur = 0
+			}
+		}
+		return window(b)
+	}
+	index := make(map[window][]netlist.ID)
+	for id := 0; id < tr.nl.Len(); id++ {
+		k := tr.nl.Kind(netlist.ID(id))
+		if !k.IsGate() && k != netlist.Latch && k != netlist.Input {
+			continue
+		}
+		w := nodeSig(netlist.ID(id))
+		index[w] = append(index[w], netlist.ID(id))
+	}
+
+	m := WordMatch{CandidatesPerBit: make([][]netlist.ID, width)}
+	for bit := 0; bit < width; bit++ {
+		b := make([]byte, 0, (len(sequence)+7)/8)
+		var cur byte
+		for t := 0; t < len(sequence); t++ {
+			if sequence[t]>>uint(bit)&1 == 1 {
+				cur |= 1 << uint(t%8)
+			}
+			if t%8 == 7 || t == len(sequence)-1 {
+				b = append(b, cur)
+				cur = 0
+			}
+		}
+		cands := append([]netlist.ID(nil), index[window(b)]...)
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		m.CandidatesPerBit[bit] = cands
+	}
+	return m
+}
+
+// LocateWordAnyDelay tries delays 0..maxDelay and returns the first delay
+// at which the full word is found.
+func (tr *Trace) LocateWordAnyDelay(sequence []uint64, width, maxDelay int) (WordMatch, int, bool) {
+	for d := 0; d <= maxDelay; d++ {
+		if m := tr.LocateWord(sequence, width, d); m.Found() {
+			return m, d, true
+		}
+	}
+	return WordMatch{}, 0, false
+}
+
+// EquivalentNodes groups nodes by identical whole-trace signatures —
+// a dynamic (unsound but cheap) pre-filter for structural equivalence:
+// nodes in different groups are definitely inequivalent on the stimulus.
+func (tr *Trace) EquivalentNodes() [][]netlist.ID {
+	groups := make(map[string][]netlist.ID)
+	for id := 0; id < tr.nl.Len(); id++ {
+		if !tr.nl.Kind(netlist.ID(id)).IsGate() {
+			continue
+		}
+		k := tr.sigKey(netlist.ID(id))
+		groups[k] = append(groups[k], netlist.ID(id))
+	}
+	var out [][]netlist.ID
+	for _, g := range groups {
+		if len(g) >= 2 {
+			sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,373 @@
+package gen
+
+// This file builds the eight synthetic test articles standing in for the
+// paper's Table 2 netlists. The real articles (opencores designs
+// synthesized with an IBM/ARM 45nm library, plus a proprietary eVoter) are
+// not available, so each generator reproduces the *structural mix* that
+// drives the paper's coverage numbers: datapath-rich designs (MIPS16, RISC
+// FPU) dominated by replicated bitslices, and control-heavy designs
+// (eVoter, USB) where irregular logic dilutes coverage. Absolute sizes are
+// smaller than the paper's; the coverage *shape* across articles is the
+// reproduction target (Table 3).
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"netlistre/internal/netlist"
+)
+
+// ArticleNames lists the available synthetic test articles in Table 2
+// order.
+func ArticleNames() []string {
+	names := make([]string, 0, len(articles))
+	for n := range articles {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return articleOrder[names[i]] < articleOrder[names[j]]
+	})
+	return names
+}
+
+var articleOrder = map[string]int{
+	"mips16": 0, "riscfpu": 1, "router": 2, "oc8051": 3,
+	"aemb": 4, "msp430": 5, "usb": 6, "evoter": 7,
+}
+
+var articles = map[string]func() *netlist.Netlist{
+	"mips16":  MIPS16,
+	"riscfpu": RISCFPU,
+	"router":  Router,
+	"oc8051":  OC8051,
+	"aemb":    AEMB,
+	"msp430":  MSP430,
+	"usb":     USB,
+	"evoter":  EVoter,
+}
+
+// ArticleDescriptions maps article names to one-line descriptions for the
+// Table 2 report.
+var ArticleDescriptions = map[string]string{
+	"mips16":  "16-bit MIPS-like CPU (register file, ALU, PC, decoder)",
+	"riscfpu": "RISC FPU-like datapath (register file, adders, shifters)",
+	"router":  "NoC router (FIFOs, crossbar, CRC, arbiter)",
+	"oc8051":  "8051-like microcontroller (ALU, timers, RAM, decoder)",
+	"aemb":    "small RISC core (register file, adder, PC)",
+	"msp430":  "16-bit MCU datapath (add/sub, registers, timer)",
+	"usb":     "serial interface (shift registers, CRC, bit-stuff counter)",
+	"evoter":  "electronic voting machine (key decoder, vote counters)",
+}
+
+// Article builds the named test article.
+func Article(name string) (*netlist.Netlist, error) {
+	f, ok := articles[name]
+	if !ok {
+		return nil, fmt.Errorf("gen: unknown article %q", name)
+	}
+	return f(), nil
+}
+
+// controlNoise adds irregular control logic: random acyclic gates over the
+// given signals plus a few state latches with random next-state functions.
+// This is the fraction of a real design the portfolio cannot identify.
+func controlNoise(nl *netlist.Netlist, rng *rand.Rand, signals []netlist.ID, nGates, nLatches int) []netlist.ID {
+	pool := append([]netlist.ID(nil), signals...)
+	var latches []netlist.ID
+	for i := 0; i < nLatches; i++ {
+		l := nl.AddLatch(pool[rng.Intn(len(pool))])
+		latches = append(latches, l)
+		pool = append(pool, l)
+	}
+	kinds := []netlist.Kind{netlist.And, netlist.Or, netlist.Nand, netlist.Nor,
+		netlist.Xor, netlist.Xnor, netlist.Not}
+	for i := 0; i < nGates; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		var g netlist.ID
+		if k == netlist.Not {
+			g = nl.AddGate(k, pool[rng.Intn(len(pool))])
+		} else {
+			arity := 2 + rng.Intn(2)
+			fan := make([]netlist.ID, arity)
+			for j := range fan {
+				fan[j] = pool[rng.Intn(len(pool))]
+			}
+			g = nl.AddGate(k, fan...)
+		}
+		pool = append(pool, g)
+	}
+	for _, l := range latches {
+		nl.SetLatchD(l, pool[len(pool)-1-rng.Intn(nGates/2+1)])
+	}
+	return pool[len(signals):]
+}
+
+// alu builds a width-bit ALU: add/sub (mode), bitwise and/or/xor, selected
+// by a 4:1 mux tree over two op bits. Returns the result word.
+func alu(nl *netlist.Netlist, a, b Word, mode netlist.ID, op Word) Word {
+	addsub, _ := AddSub(nl, a, b, mode)
+	andW := Bitwise(nl, netlist.And, a, b)
+	orW := Bitwise(nl, netlist.Or, a, b)
+	xorW := Bitwise(nl, netlist.Xor, a, b)
+	return MuxTree(nl, op, []Word{addsub, andW, orW, xorW})
+}
+
+// MIPS16 builds the 16-bit MIPS-like CPU: the paper's highest-coverage
+// article (93%), dominated by the register file and ALU datapath.
+func MIPS16() *netlist.Netlist {
+	nl := netlist.New("mips16")
+	rng := rand.New(rand.NewSource(101))
+
+	const w = 16
+	waddr := InputWord(nl, "waddr", 3)
+	raddr1 := InputWord(nl, "raddr1", 3)
+	raddr2 := InputWord(nl, "raddr2", 3)
+	we := nl.AddInput("regwe")
+	wdata := InputWord(nl, "wdata", w)
+	read1, cells := RegisterFile(nl, 8, w, waddr, wdata, we, raddr1)
+	read2 := MuxTree(nl, raddr2, cells) // second read port
+
+	mode := nl.AddInput("alumode")
+	op := InputWord(nl, "aluop", 2)
+	result := alu(nl, read1, read2, mode, op)
+	MarkOutputs(nl, "result", result)
+
+	// Program counter: 16-bit up counter with enable/reset.
+	pcEn := nl.AddInput("pcen")
+	rst := nl.AddInput("rst")
+	pc := Counter(nl, w, pcEn, rst, false)
+	MarkOutputs(nl, "pc", pc)
+
+	// Instruction register: load from memory bus or interrupt vector.
+	ibus := InputWord(nl, "ibus", w)
+	ivec := InputWord(nl, "ivec", w)
+	ld := nl.AddInput("irld")
+	iv := nl.AddInput("irvec")
+	ir := MultibitRegister(nl, []Word{ibus, ivec}, []netlist.ID{ld, iv})
+
+	// Opcode decoder over the IR top bits.
+	dec := Decoder(nl, Word{ir[12], ir[13], ir[14], ir[15]})
+	// Branch comparator.
+	eq := EqualComparator(nl, read1, read2)
+	nl.MarkOutput("beq", eq)
+
+	// Irregular control: ~8% of the datapath gates.
+	ctl := append(append(Word{}, dec[:8]...), eq, pcEn, ld)
+	controlNoise(nl, rng, ctl, 150, 8)
+	return nl
+}
+
+// RISCFPU builds the FPU-like article: wide register file, several
+// adders/subtractors, tandem shift registers, parity trees and many
+// registers (the paper reports 140 muxes, 37 adders/subtractors, 7 shift
+// registers, 10 parity trees and a 32x32 register file on its RISC FPU).
+func RISCFPU() *netlist.Netlist {
+	nl := netlist.New("riscfpu")
+	rng := rand.New(rand.NewSource(202))
+
+	const w = 16
+	waddr := InputWord(nl, "waddr", 5)
+	raddr := InputWord(nl, "raddr", 5)
+	raddr2 := InputWord(nl, "raddr2", 5)
+	we := nl.AddInput("we")
+	wdata := InputWord(nl, "wdata", w)
+	read, cells := RegisterFile(nl, 32, w, waddr, wdata, we, raddr)
+	read2 := MuxTree(nl, raddr2, cells) // second read port (paper: 2r1w)
+	MarkOutputs(nl, "rf", read)
+	MarkOutputs(nl, "rf2", read2)
+
+	// Mantissa adders / exponent subtractors.
+	var sums []Word
+	for i := 0; i < 3; i++ {
+		a := InputWord(nl, fmt.Sprintf("ma%d_", i), 24)
+		b := InputWord(nl, fmt.Sprintf("mb%d_", i), 24)
+		s, _ := RippleAdder(nl, a, b, netlist.Nil)
+		sums = append(sums, s)
+	}
+	for i := 0; i < 2; i++ {
+		a := InputWord(nl, fmt.Sprintf("ea%d_", i), 8)
+		b := InputWord(nl, fmt.Sprintf("eb%d_", i), 8)
+		d, _ := RippleSubtractor(nl, a, b)
+		MarkOutputs(nl, fmt.Sprintf("ediff%d_", i), d)
+	}
+
+	// Normalization shifter lanes: 7 tandem shift registers.
+	shEn := nl.AddInput("shen")
+	shRst := nl.AddInput("shrst")
+	for i := 0; i < 7; i++ {
+		sin := nl.AddInput(fmt.Sprintf("sin%d", i))
+		ShiftRegister(nl, 8, shEn, shRst, sin)
+	}
+
+	// Sticky/guard parity trees.
+	for i := 0; i < 4; i++ {
+		nl.MarkOutput(fmt.Sprintf("sticky%d", i), ParityTree(nl, sums[i%3][:12]))
+	}
+
+	// Pipeline registers with write enables (multibit registers).
+	for i := 0; i < 6; i++ {
+		en := nl.AddInput(fmt.Sprintf("pipeen%d", i))
+		Register(nl, sums[i%3][:w], en)
+	}
+
+	// Result selection mux tree.
+	sel := InputWord(nl, "rsel", 2)
+	res := MuxTree(nl, sel, []Word{sums[0][:w], sums[1][:w], sums[2][:w], read})
+	MarkOutputs(nl, "fres", res)
+
+	ctl := Word{shEn, shRst, we}
+	controlNoise(nl, rng, append(ctl, res[:4]...), 850, 24)
+	return nl
+}
+
+// Router builds the NoC-router article: FIFOs with head/tail counters, a
+// crossbar of muxes and CRC parity trees, plus arbiter control.
+func Router() *netlist.Netlist {
+	nl := netlist.New("router")
+	rng := rand.New(rand.NewSource(303))
+
+	const ports = 4
+	var outWords []Word
+	rst := nl.AddInput("rst")
+	for p := 0; p < ports; p++ {
+		// FIFO storage: 8x8 register file + head/tail 3-bit counters.
+		waddr := InputWord(nl, fmt.Sprintf("p%dwa", p), 3)
+		raddr := InputWord(nl, fmt.Sprintf("p%dra", p), 3)
+		we := nl.AddInput(fmt.Sprintf("p%dwe", p))
+		wdata := InputWord(nl, fmt.Sprintf("p%dwd", p), 8)
+		read, _ := RegisterFile(nl, 8, 8, waddr, wdata, we, raddr)
+		outWords = append(outWords, read)
+
+		pushEn := nl.AddInput(fmt.Sprintf("p%dpush", p))
+		popEn := nl.AddInput(fmt.Sprintf("p%dpop", p))
+		Counter(nl, 3, pushEn, rst, false) // tail pointer
+		Counter(nl, 3, popEn, rst, false)  // head pointer
+	}
+
+	// Crossbar: each output port selects among the four FIFO heads.
+	for p := 0; p < ports; p++ {
+		sel := InputWord(nl, fmt.Sprintf("x%dsel", p), 2)
+		out := MuxTree(nl, sel, outWords)
+		MarkOutputs(nl, fmt.Sprintf("out%d_", p), out)
+		// Per-port CRC parity tree.
+		nl.MarkOutput(fmt.Sprintf("crc%d", p), ParityTree(nl, out))
+	}
+
+	var ctl Word
+	for p := 0; p < ports; p++ {
+		ctl = append(ctl, outWords[p][0])
+	}
+	controlNoise(nl, rng, append(ctl, rst), 380, 16)
+	return nl
+}
+
+// OC8051 builds the 8051-like microcontroller (see trojan.go for the
+// parameterized builder shared with the trojan-injected variant).
+func OC8051() *netlist.Netlist { return buildOC8051(false) }
+
+// AEMB builds a small RISC core.
+func AEMB() *netlist.Netlist {
+	nl := netlist.New("aemb")
+	rng := rand.New(rand.NewSource(505))
+
+	waddr := InputWord(nl, "wa", 3)
+	raddr := InputWord(nl, "ra", 3)
+	we := nl.AddInput("we")
+	wdata := InputWord(nl, "wd", 8)
+	read, _ := RegisterFile(nl, 8, 8, waddr, wdata, we, raddr)
+
+	b := InputWord(nl, "b", 8)
+	sum, _ := RippleAdder(nl, read, b, netlist.Nil)
+	MarkOutputs(nl, "sum", sum)
+
+	pcEn := nl.AddInput("pcen")
+	rst := nl.AddInput("rst")
+	pc := Counter(nl, 8, pcEn, rst, false)
+	MarkOutputs(nl, "pc", pc)
+
+	sel := nl.AddInput("wbsel")
+	wb := Mux2Word(nl, sel, sum, read)
+	MarkOutputs(nl, "wb", wb)
+
+	controlNoise(nl, rng, Word{we, pcEn, sel, sum[0], sum[7]}, 260, 12)
+	return nl
+}
+
+// MSP430 builds a 16-bit MCU datapath.
+func MSP430() *netlist.Netlist {
+	nl := netlist.New("msp430")
+	rng := rand.New(rand.NewSource(606))
+
+	const w = 16
+	a := InputWord(nl, "srca", w)
+	b := InputWord(nl, "srcb", w)
+	mode := nl.AddInput("mode")
+	res, _ := AddSub(nl, a, b, mode)
+	MarkOutputs(nl, "res", res)
+
+	// Four general-purpose registers with enables.
+	for i := 0; i < 4; i++ {
+		en := nl.AddInput(fmt.Sprintf("r%den", i))
+		Register(nl, res, en)
+	}
+
+	// Timer A: 16-bit counter; watchdog: 8-bit counter.
+	rst := nl.AddInput("rst")
+	ten := nl.AddInput("taen")
+	Counter(nl, w, ten, rst, false)
+	wen := nl.AddInput("wdten")
+	Counter(nl, 8, wen, rst, false)
+
+	// UART shift register.
+	uen := nl.AddInput("uarten")
+	sin := nl.AddInput("rxd")
+	ShiftRegister(nl, 10, uen, rst, sin)
+
+	// Status mux.
+	ssel := nl.AddInput("ssel")
+	st := Mux2Word(nl, ssel, a, res)
+	MarkOutputs(nl, "st", st)
+
+	controlNoise(nl, rng, Word{mode, ten, wen, uen, res[0], res[15]}, 420, 18)
+	return nl
+}
+
+// USB builds the serial-interface article: shift-register heavy with CRC
+// trees and a bit-stuffing counter, diluted by protocol control logic.
+func USB() *netlist.Netlist {
+	nl := netlist.New("usb")
+	rng := rand.New(rand.NewSource(707))
+
+	rst := nl.AddInput("rst")
+	rxen := nl.AddInput("rxen")
+	txen := nl.AddInput("txen")
+	rxd := nl.AddInput("rxd")
+	txd := nl.AddInput("txd")
+	rxsr := ShiftRegister(nl, 16, rxen, rst, rxd)
+	txsr := ShiftRegister(nl, 8, txen, rst, txd)
+	MarkOutputs(nl, "rx", rxsr[8:])
+
+	// CRC5 and CRC16 reduction trees over the shift registers.
+	nl.MarkOutput("crc5", ParityTree(nl, rxsr[:5]))
+	nl.MarkOutput("crc16", ParityTree(nl, rxsr))
+	nl.MarkOutput("txpar", ParityTree(nl, txsr))
+
+	// Bit-stuffing counter (counts consecutive ones).
+	sen := nl.AddInput("stuffen")
+	Counter(nl, 3, sen, rst, false)
+
+	// Endpoint buffer: 4x8.
+	waddr := InputWord(nl, "epwa", 2)
+	raddr := InputWord(nl, "epra", 2)
+	we := nl.AddInput("epwe")
+	read, _ := RegisterFile(nl, 4, 8, waddr, InputWord(nl, "epwd", 8), we, raddr)
+	MarkOutputs(nl, "ep", read)
+
+	controlNoise(nl, rng, Word{rxen, txen, rxd, rxsr[0], txsr[0], we}, 400, 18)
+	return nl
+}
+
+// EVoter builds the voting-machine article (see trojan.go for the
+// parameterized builder shared with the trojan-injected variant).
+func EVoter() *netlist.Netlist { return buildEVoter(false) }

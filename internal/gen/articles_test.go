@@ -1,0 +1,340 @@
+package gen
+
+import (
+	"testing"
+
+	"netlistre/internal/netlist"
+	"netlistre/internal/simplify"
+)
+
+func TestAllArticlesValid(t *testing.T) {
+	for _, name := range ArticleNames() {
+		nl, err := Article(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := nl.Check(); err != nil {
+			t.Errorf("%s: invalid netlist: %v", name, err)
+		}
+		s := nl.Stats()
+		if s.Gates < 400 {
+			t.Errorf("%s: only %d gates; articles should be non-trivial", name, s.Gates)
+		}
+		if s.Latches < 20 {
+			t.Errorf("%s: only %d latches", name, s.Latches)
+		}
+		if _, ok := ArticleDescriptions[name]; !ok {
+			t.Errorf("%s: missing description", name)
+		}
+	}
+	if _, err := Article("nonsense"); err == nil {
+		t.Error("unknown article did not error")
+	}
+}
+
+func TestArticlesDeterministic(t *testing.T) {
+	a, _ := Article("oc8051")
+	b, _ := Article("oc8051")
+	if a.Len() != b.Len() {
+		t.Errorf("oc8051 not deterministic: %d vs %d nodes", a.Len(), b.Len())
+	}
+}
+
+func TestBigSoC(t *testing.T) {
+	soc := BigSoC()
+	if err := soc.Check(); err != nil {
+		t.Fatalf("bigsoc invalid: %v", err)
+	}
+	raw := soc.Stats()
+	res := simplify.Run(soc)
+	red := res.Netlist.Stats()
+	t.Logf("bigsoc: %d -> %d gates (%.0f%% reduction)", raw.Gates, red.Gates,
+		100*(1-float64(red.Gates)/float64(raw.Gates)))
+	// The paper reports ~55% reduction from buffers/paired inverters; our
+	// noise injection should land in a comparable band.
+	if ratio := float64(red.Gates) / float64(raw.Gates); ratio > 0.65 || ratio < 0.30 {
+		t.Errorf("simplification ratio %.2f outside the expected band", ratio)
+	}
+	// Per-core reset inputs must exist.
+	for _, core := range BigSoCCoreNames() {
+		if soc.FindByName("rst_"+core) == netlist.Nil {
+			t.Errorf("missing reset input for core %s", core)
+		}
+	}
+}
+
+func TestElectricalNoisePreservesSemantics(t *testing.T) {
+	nl := netlist.New("t")
+	a := InputWord(nl, "a", 4)
+	b := InputWord(nl, "b", 4)
+	sum, _ := RippleAdder(nl, a, b, netlist.Nil)
+	MarkOutputs(nl, "s", sum)
+	noisy := AddElectricalNoise(nl, 7, 0.5)
+	if err := noisy.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Stats().Gates <= nl.Stats().Gates {
+		t.Error("noise added no gates")
+	}
+	// Compare behaviour on all inputs.
+	nIn := func(n *netlist.Netlist) map[string]netlist.ID {
+		m := map[string]netlist.ID{}
+		for _, in := range n.Inputs() {
+			m[n.NameOf(in)] = in
+		}
+		return m
+	}
+	oi, ni := nIn(nl), nIn(noisy)
+	for av := uint64(0); av < 16; av += 3 {
+		for bv := uint64(0); bv < 16; bv += 5 {
+			oAssign := map[netlist.ID]bool{}
+			nAssign := map[netlist.ID]bool{}
+			for name, id := range oi {
+				var v bool
+				switch name[0] {
+				case 'a':
+					v = av>>uint(name[1]-'0')&1 == 1
+				case 'b':
+					v = bv>>uint(name[1]-'0')&1 == 1
+				}
+				oAssign[id] = v
+				nAssign[ni[name]] = v
+			}
+			ov := nl.OutputValues(nl.Eval(oAssign))
+			nv := noisy.OutputValues(noisy.Eval(nAssign))
+			for name, want := range ov {
+				if nv[name] != want {
+					t.Fatalf("a=%d b=%d: output %s diverged", av, bv, name)
+				}
+			}
+		}
+	}
+}
+
+// pressKey simulates one eVoter cycle with the given key and confirm.
+func pressKey(nl *netlist.Netlist, st netlist.State, key uint64, confirm bool) []bool {
+	assign := map[netlist.ID]bool{
+		nl.FindByName("confirm"): confirm,
+		nl.FindByName("rst"):     false,
+	}
+	for i := 0; i < 4; i++ {
+		assign[nl.FindByName("key"+string(rune('0'+i)))] = key>>uint(i)&1 == 1
+	}
+	for i := 0; i < 2; i++ {
+		assign[nl.FindByName("dsel"+string(rune('0'+i)))] = false
+	}
+	return nl.Step(st, assign)
+}
+
+// voteCount reads candidate c's count via the display mux.
+func voteCount(nl *netlist.Netlist, st netlist.State, c uint64) uint64 {
+	assign := map[netlist.ID]bool{
+		nl.FindByName("confirm"): false,
+		nl.FindByName("rst"):     false,
+	}
+	for i := 0; i < 4; i++ {
+		assign[nl.FindByName("key"+string(rune('0'+i)))] = false
+	}
+	for i := 0; i < 2; i++ {
+		assign[nl.FindByName("dsel"+string(rune('0'+i)))] = c>>uint(i)&1 == 1
+	}
+	vals := nl.Step(st, assign)
+	out := nl.OutputValues(vals)
+	var v uint64
+	for i := 0; i < 8; i++ {
+		if out["disp"+itoa(i)] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestEVoterTrojanBehaviour(t *testing.T) {
+	nl := EVoterTrojaned()
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st := nl.NewState()
+	// Reset.
+	nl.Step(st, map[netlist.ID]bool{nl.FindByName("rst"): true})
+
+	// Normal voting: candidate 2 gets a vote.
+	pressKey(nl, st, 2, true)
+	if got := voteCount(nl, st, 2); got != 1 {
+		t.Fatalf("candidate 2 count = %d, want 1", got)
+	}
+
+	// Arm the backdoor with the secret sequence; first key after arming
+	// selects the stored candidate (candidate 1).
+	for _, code := range evoterSecret {
+		pressKey(nl, st, code, true)
+	}
+	// Vote for candidate 3 — the trojan redirects it to the candidate
+	// stored at arming time (the last secret key's low bits select the
+	// register at 'done'; the stored candidate is key pressed at done,
+	// i.e. 14 & 3... the stored register loads the key AT the done cycle).
+	before1 := voteCount(nl, st, 1)
+	before3 := voteCount(nl, st, 3)
+	pressKey(nl, st, 3, true)
+	after3 := voteCount(nl, st, 3)
+	if after3 != before3 {
+		t.Errorf("trojaned machine still counted the real vote for 3 (%d -> %d)", before3, after3)
+	}
+	_ = before1
+
+	// The clean machine counts normally.
+	clean := EVoter()
+	cst := clean.NewState()
+	clean.Step(cst, map[netlist.ID]bool{clean.FindByName("rst"): true})
+	for _, code := range evoterSecret {
+		pressKey(clean, cst, code, true)
+	}
+	b3 := voteCount(clean, cst, 3)
+	pressKey(clean, cst, 3, true)
+	if got := voteCount(clean, cst, 3); got != b3+1 {
+		t.Errorf("clean machine: candidate 3 count %d -> %d, want +1", b3, got)
+	}
+}
+
+func TestOC8051TrojanBehaviour(t *testing.T) {
+	nl := OC8051Trojaned()
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st := nl.NewState()
+	inputs := func(aval, bval uint64, selv uint64, ld bool) map[netlist.ID]bool {
+		assign := map[netlist.ID]bool{
+			nl.FindByName("rst"):     false,
+			nl.FindByName("ldalu"):   ld,
+			nl.FindByName("ldbus"):   false,
+			nl.FindByName("alumode"): false,
+			nl.FindByName("iramwe"):  false,
+		}
+		for i := 0; i < 8; i++ {
+			assign[nl.FindByName("acc_in"+itoa(i))] = aval>>uint(i)&1 == 1
+			assign[nl.FindByName("opnd"+itoa(i))] = bval>>uint(i)&1 == 1
+			assign[nl.FindByName("bus"+itoa(i))] = false
+		}
+		for i := 0; i < 2; i++ {
+			assign[nl.FindByName("alusel"+itoa(i))] = selv>>uint(i)&1 == 1
+		}
+		for i := 0; i < 5; i++ {
+			assign[nl.FindByName("t"+itoa(i)+"en")] = false
+		}
+		return assign
+	}
+	accVal := func(vals []bool) uint64 {
+		out := nl.OutputValues(vals)
+		var v uint64
+		for i := 0; i < 8; i++ {
+			if out["acc"+itoa(i)] {
+				v |= 1 << uint(i)
+			}
+		}
+		return v
+	}
+	// Reset.
+	rstAssign := inputs(0, 0, 0, false)
+	rstAssign[nl.FindByName("rst")] = true
+	nl.Step(st, rstAssign)
+
+	// A normal add works: acc = 5 + 3.
+	nl.Step(st, inputs(5, 3, 0, true))
+	if got := accVal(nl.Eval(stateAssign(nl, st, inputs(0, 0, 0, false)))); got != 8 {
+		t.Fatalf("acc after add = %d, want 8", got)
+	}
+
+	// Execute 6 consecutive XOR instructions to trip the kill switch.
+	for i := 0; i < 6; i++ {
+		nl.Step(st, inputs(1, 2, 3, true))
+	}
+	// Now every ALU commit stores zero.
+	nl.Step(st, inputs(5, 3, 0, true))
+	if got := accVal(nl.Eval(stateAssign(nl, st, inputs(0, 0, 0, false)))); got != 0 {
+		t.Errorf("acc after kill = %d, want 0 (kill switch active)", got)
+	}
+
+	// The clean design keeps working after the same sequence.
+	clean := OC8051()
+	cst := clean.NewState()
+	crst := map[netlist.ID]bool{clean.FindByName("rst"): true}
+	clean.Step(cst, crst)
+	cin := func(aval, bval, selv uint64, ld bool) map[netlist.ID]bool {
+		assign := map[netlist.ID]bool{
+			clean.FindByName("rst"):     false,
+			clean.FindByName("ldalu"):   ld,
+			clean.FindByName("ldbus"):   false,
+			clean.FindByName("alumode"): false,
+		}
+		for i := 0; i < 8; i++ {
+			assign[clean.FindByName("acc_in"+itoa(i))] = aval>>uint(i)&1 == 1
+			assign[clean.FindByName("opnd"+itoa(i))] = bval>>uint(i)&1 == 1
+			assign[clean.FindByName("bus"+itoa(i))] = false
+		}
+		for i := 0; i < 2; i++ {
+			assign[clean.FindByName("alusel"+itoa(i))] = selv>>uint(i)&1 == 1
+		}
+		return assign
+	}
+	for i := 0; i < 6; i++ {
+		clean.Step(cst, cin(1, 2, 3, true))
+	}
+	clean.Step(cst, cin(5, 3, 0, true))
+	vals := clean.Eval(stateAssign(clean, cst, cin(0, 0, 0, false)))
+	out := clean.OutputValues(vals)
+	var got uint64
+	for i := 0; i < 8; i++ {
+		if out["acc"+itoa(i)] {
+			got |= 1 << uint(i)
+		}
+	}
+	if got != 8 {
+		t.Errorf("clean acc = %d, want 8", got)
+	}
+}
+
+// stateAssign merges latch state with an input assignment for a pure
+// combinational read-out.
+func stateAssign(nl *netlist.Netlist, st netlist.State, inputs map[netlist.ID]bool) map[netlist.ID]bool {
+	out := make(map[netlist.ID]bool, len(st)+len(inputs))
+	for k, v := range st {
+		out[k] = v
+	}
+	for k, v := range inputs {
+		out[k] = v
+	}
+	return out
+}
+
+func TestTrojanSizeDeltas(t *testing.T) {
+	// Table 7 of the paper: the trojaned designs add a modest number of
+	// gates and latches.
+	for _, tc := range []struct {
+		name        string
+		clean, troj *netlist.Netlist
+	}{
+		{"evoter", EVoter(), EVoterTrojaned()},
+		{"oc8051", OC8051(), OC8051Trojaned()},
+	} {
+		cs, ts := tc.clean.Stats(), tc.troj.Stats()
+		dg, dl := ts.Gates-cs.Gates, ts.Latches-cs.Latches
+		if dg <= 0 || dl <= 0 {
+			t.Errorf("%s: trojan added %d gates %d latches; want positive", tc.name, dg, dl)
+		}
+		if dg > cs.Gates/2 {
+			t.Errorf("%s: trojan too large (%d of %d gates)", tc.name, dg, cs.Gates)
+		}
+	}
+}

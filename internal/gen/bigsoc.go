@@ -1,0 +1,152 @@
+package gen
+
+// BigSoC (Section V-C): a large SoC assembled from seven cores with
+// per-core reset inputs, an inter-core interconnect, and "electrical"
+// buffering noise (buffers, delay chains, paired inverters) emulating the
+// raw synthesized form the paper reduces by ~55% with structural
+// simplification.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netlistre/internal/netlist"
+)
+
+// BigSoCCoreNames lists the constituent cores in datasheet order.
+func BigSoCCoreNames() []string {
+	return []string{"mips16", "riscfpu", "router", "oc8051", "aemb", "msp430", "usb"}
+}
+
+// BigSoC assembles the SoC. Each core's latches are gated by a dedicated
+// reset input named rst_<core> (the handle the paper's partitioning uses).
+// The returned netlist contains the raw form including electrical noise;
+// run simplify.Run to obtain the reduced form.
+func BigSoC() *netlist.Netlist {
+	nl := netlist.New("bigsoc")
+
+	var coreOutputs []netlist.ID
+	for _, name := range BigSoCCoreNames() {
+		src, err := Article(name)
+		if err != nil {
+			panic(err)
+		}
+		rst := nl.AddInput("rst_" + name)
+		outs := importCore(nl, src, name+"_", rst)
+		coreOutputs = append(coreOutputs, outs...)
+	}
+
+	// Inter-core interconnect (~5% of gates end up in no reset partition):
+	// combinational glue reading outputs of several cores.
+	for i := 0; i+3 < len(coreOutputs); i += 4 {
+		x := nl.AddGate(netlist.Xor, coreOutputs[i], coreOutputs[i+2])
+		y := nl.AddGate(netlist.And, coreOutputs[i+1], coreOutputs[i+3])
+		nl.MarkOutput(fmt.Sprintf("link%d", i/4), nl.AddGate(netlist.Or, x, y))
+	}
+
+	return AddElectricalNoise(nl, 4242, 0.22)
+}
+
+// importCore copies every node of src into dst with prefixed names and
+// gates each latch's next state with the given synchronous reset. It
+// returns the IDs (in dst) of src's primary-output drivers.
+func importCore(dst *netlist.Netlist, src *netlist.Netlist, prefix string, rst netlist.ID) []netlist.ID {
+	m := make(map[netlist.ID]netlist.ID, src.Len())
+	var latches []netlist.ID
+	nrst := dst.AddGate(netlist.Not, rst)
+	for _, id := range src.TopoOrder() {
+		node := src.Node(id)
+		switch node.Kind {
+		case netlist.Input:
+			m[id] = dst.AddInput(prefix + src.NameOf(id))
+		case netlist.Latch:
+			l := dst.AddLatch(nrst) // placeholder D; patched below
+			if node.Name != "" {
+				dst.SetName(l, prefix+node.Name)
+			}
+			m[id] = l
+			latches = append(latches, id)
+		case netlist.Const0, netlist.Const1:
+			m[id] = dst.AddConst(node.Kind == netlist.Const1)
+		default:
+			fan := make([]netlist.ID, len(node.Fanin))
+			for i, f := range node.Fanin {
+				fan[i] = m[f]
+			}
+			m[id] = dst.AddGate(node.Kind, fan...)
+		}
+	}
+	for _, l := range latches {
+		d := m[src.Fanin(l)[0]]
+		dst.SetLatchD(m[l], dst.AddGate(netlist.And, nrst, d))
+	}
+	// Register the core's outputs (real SoC cores register their port
+	// interfaces); this also places the output cones into the core's reset
+	// partition, leaving only the inter-core glue unowned.
+	var outs []netlist.ID
+	for _, p := range src.Outputs() {
+		oreg := dst.AddLatch(dst.AddGate(netlist.And, nrst, m[p.Driver]))
+		dst.MarkOutput(prefix+p.Name, oreg)
+		outs = append(outs, oreg)
+	}
+	return outs
+}
+
+// AddElectricalNoise rebuilds nl with buffers, delay chains and paired
+// inverters randomly interposed on a fraction of the gate-to-gate edges,
+// emulating electrically-motivated cells in a physical netlist. Semantics
+// are preserved exactly.
+func AddElectricalNoise(nl *netlist.Netlist, seed int64, prob float64) *netlist.Netlist {
+	rng := rand.New(rand.NewSource(seed))
+	out := netlist.New(nl.Name)
+	m := make(map[netlist.ID]netlist.ID, nl.Len())
+	var latches []netlist.ID
+
+	noisy := func(id netlist.ID) netlist.ID {
+		for rng.Float64() < prob {
+			switch rng.Intn(3) {
+			case 0: // buffer
+				id = out.AddGate(netlist.Buf, id)
+			case 1: // delay chain
+				id = out.AddGate(netlist.Buf, out.AddGate(netlist.Buf, id))
+			default: // paired inverters
+				id = out.AddGate(netlist.Not, out.AddGate(netlist.Not, id))
+			}
+		}
+		return id
+	}
+
+	for _, id := range nl.TopoOrder() {
+		node := nl.Node(id)
+		switch node.Kind {
+		case netlist.Input:
+			m[id] = out.AddInput(nl.NameOf(id))
+		case netlist.Latch:
+			l := out.AddLatch(out.AddConst(false))
+			if node.Name != "" {
+				out.SetName(l, node.Name)
+			}
+			m[id] = l
+			latches = append(latches, id)
+		case netlist.Const0, netlist.Const1:
+			m[id] = out.AddConst(node.Kind == netlist.Const1)
+		default:
+			fan := make([]netlist.ID, len(node.Fanin))
+			for i, f := range node.Fanin {
+				fan[i] = noisy(m[f])
+			}
+			g := out.AddGate(node.Kind, fan...)
+			if node.Name != "" {
+				out.SetName(g, node.Name)
+			}
+			m[id] = g
+		}
+	}
+	for _, l := range latches {
+		out.SetLatchD(m[l], noisy(m[nl.Fanin(l)[0]]))
+	}
+	for _, p := range nl.Outputs() {
+		out.MarkOutput(p.Name, m[p.Driver])
+	}
+	return out
+}

@@ -1,0 +1,472 @@
+// Package gen builds synthetic gate-level circuits: datapath components,
+// full test articles structurally equivalent to the paper's benchmarks, the
+// BigSoC case study, and the trojan-injected variants. The paper's actual
+// netlists are proprietary or synthesized from opencores RTL with a
+// commercial flow; these generators reproduce their structural mix
+// (replicated datapath bitslices + irregular control logic) so that the
+// coverage experiments exercise the same code paths and produce the same
+// qualitative shape.
+package gen
+
+import (
+	"fmt"
+
+	"netlistre/internal/netlist"
+)
+
+// Word is an ordered list of nodes forming a multi-bit signal, LSB first.
+type Word []netlist.ID
+
+// InputWord adds width named inputs (name0..nameN) and returns them as a
+// word.
+func InputWord(nl *netlist.Netlist, name string, width int) Word {
+	w := make(Word, width)
+	for i := range w {
+		w[i] = nl.AddInput(fmt.Sprintf("%s%d", name, i))
+	}
+	return w
+}
+
+// FullAdder adds a 1-bit full adder and returns (sum, carry).
+func FullAdder(nl *netlist.Netlist, a, b, cin netlist.ID) (netlist.ID, netlist.ID) {
+	sum := nl.AddGate(netlist.Xor, a, b, cin)
+	carry := nl.AddGate(netlist.Or,
+		nl.AddGate(netlist.And, a, b),
+		nl.AddGate(netlist.And, b, cin),
+		nl.AddGate(netlist.And, cin, a))
+	return sum, carry
+}
+
+// RippleAdder builds a ripple-carry adder; cin may be netlist.Nil for a
+// constant-zero carry-in. It returns the sum word and the carry-out.
+func RippleAdder(nl *netlist.Netlist, a, b Word, cin netlist.ID) (Word, netlist.ID) {
+	if len(a) != len(b) {
+		panic("gen: adder operand width mismatch")
+	}
+	carry := cin
+	if carry == netlist.Nil {
+		carry = nl.AddConst(false)
+	}
+	sum := make(Word, len(a))
+	for i := range a {
+		sum[i], carry = FullAdder(nl, a[i], b[i], carry)
+	}
+	return sum, carry
+}
+
+// RippleSubtractor builds a - b using full-subtractor slices (difference =
+// a^b^bin, borrow = maj(~a, b, bin)). It returns the difference word and
+// borrow-out.
+func RippleSubtractor(nl *netlist.Netlist, a, b Word) (Word, netlist.ID) {
+	if len(a) != len(b) {
+		panic("gen: subtractor operand width mismatch")
+	}
+	borrow := netlist.ID(nl.AddConst(false))
+	diff := make(Word, len(a))
+	for i := range a {
+		diff[i] = nl.AddGate(netlist.Xor, a[i], b[i], borrow)
+		na := nl.AddGate(netlist.Not, a[i])
+		borrow = nl.AddGate(netlist.Or,
+			nl.AddGate(netlist.And, na, b[i]),
+			nl.AddGate(netlist.And, b[i], borrow),
+			nl.AddGate(netlist.And, borrow, na))
+	}
+	return diff, borrow
+}
+
+// AddSub builds a shared add/subtract unit: out = a + b when mode=0 and
+// a - b (two's complement) when mode=1.
+func AddSub(nl *netlist.Netlist, a, b Word, mode netlist.ID) (Word, netlist.ID) {
+	bx := make(Word, len(b))
+	for i := range b {
+		bx[i] = nl.AddGate(netlist.Xor, b[i], mode)
+	}
+	return RippleAdder(nl, a, bx, mode)
+}
+
+// Mux2 builds a 1-bit 2:1 mux: sel ? d1 : d0.
+func Mux2(nl *netlist.Netlist, sel, d0, d1 netlist.ID) netlist.ID {
+	ns := nl.AddGate(netlist.Not, sel)
+	return nl.AddGate(netlist.Or,
+		nl.AddGate(netlist.And, sel, d1),
+		nl.AddGate(netlist.And, ns, d0))
+}
+
+// Mux2Word builds a word-wide 2:1 mux sharing one select.
+func Mux2Word(nl *netlist.Netlist, sel netlist.ID, d0, d1 Word) Word {
+	if len(d0) != len(d1) {
+		panic("gen: mux operand width mismatch")
+	}
+	out := make(Word, len(d0))
+	ns := nl.AddGate(netlist.Not, sel)
+	for i := range d0 {
+		out[i] = nl.AddGate(netlist.Or,
+			nl.AddGate(netlist.And, sel, d1[i]),
+			nl.AddGate(netlist.And, ns, d0[i]))
+	}
+	return out
+}
+
+// MuxTree selects among 2^len(sel) data words with a tree of 2:1 muxes.
+func MuxTree(nl *netlist.Netlist, sel Word, data []Word) Word {
+	if len(data) != 1<<uint(len(sel)) {
+		panic(fmt.Sprintf("gen: mux tree needs %d inputs, got %d", 1<<uint(len(sel)), len(data)))
+	}
+	layer := data
+	for s := 0; s < len(sel); s++ {
+		nextLayer := make([]Word, len(layer)/2)
+		for i := range nextLayer {
+			nextLayer[i] = Mux2Word(nl, sel[s], layer[2*i], layer[2*i+1])
+		}
+		layer = nextLayer
+	}
+	return layer[0]
+}
+
+// Decoder builds a full 2^n output decoder from n select bits. Output k is
+// high iff sel == k.
+func Decoder(nl *netlist.Netlist, sel Word) Word {
+	n := len(sel)
+	inv := make(Word, n)
+	for i, s := range sel {
+		inv[i] = nl.AddGate(netlist.Not, s)
+	}
+	out := make(Word, 1<<uint(n))
+	for k := range out {
+		lits := make([]netlist.ID, n)
+		for i := 0; i < n; i++ {
+			if k>>uint(i)&1 == 1 {
+				lits[i] = sel[i]
+			} else {
+				lits[i] = inv[i]
+			}
+		}
+		if n == 1 {
+			out[k] = nl.AddGate(netlist.Buf, lits[0])
+		} else {
+			out[k] = nl.AddGate(netlist.And, lits...)
+		}
+	}
+	return out
+}
+
+// ParityTree xors all bits of w pairwise into a single parity output.
+func ParityTree(nl *netlist.Netlist, w Word) netlist.ID {
+	if len(w) == 0 {
+		panic("gen: empty parity tree")
+	}
+	layer := append(Word(nil), w...)
+	for len(layer) > 1 {
+		var nextLayer Word
+		for i := 0; i+1 < len(layer); i += 2 {
+			nextLayer = append(nextLayer, nl.AddGate(netlist.Xor, layer[i], layer[i+1]))
+		}
+		if len(layer)%2 == 1 {
+			nextLayer = append(nextLayer, layer[len(layer)-1])
+		}
+		layer = nextLayer
+	}
+	return layer[0]
+}
+
+// EqualComparator returns a single bit that is high iff a == b.
+func EqualComparator(nl *netlist.Netlist, a, b Word) netlist.ID {
+	eq := make(Word, len(a))
+	for i := range a {
+		eq[i] = nl.AddGate(netlist.Xnor, a[i], b[i])
+	}
+	if len(eq) == 1 {
+		return eq[0]
+	}
+	return nl.AddGate(netlist.And, eq...)
+}
+
+// EqualConst returns a bit that is high iff w equals the constant k.
+func EqualConst(nl *netlist.Netlist, w Word, k uint64) netlist.ID {
+	lits := make([]netlist.ID, len(w))
+	for i := range w {
+		if k>>uint(i)&1 == 1 {
+			lits[i] = w[i]
+		} else {
+			lits[i] = nl.AddGate(netlist.Not, w[i])
+		}
+	}
+	if len(lits) == 1 {
+		return lits[0]
+	}
+	return nl.AddGate(netlist.And, lits...)
+}
+
+// PopCount builds a population counter over w, returning the count word.
+func PopCount(nl *netlist.Netlist, w Word) Word {
+	// Reduce by chaining small adders over (count-so-far, next bit).
+	zero := netlist.ID(nl.AddConst(false))
+	count := Word{nl.AddGate(netlist.Buf, w[0])}
+	for i := 1; i < len(w); i++ {
+		addend := make(Word, len(count))
+		addend[0] = w[i]
+		for j := 1; j < len(count); j++ {
+			addend[j] = zero
+		}
+		var cout netlist.ID
+		count, cout = RippleAdder(nl, count, addend, netlist.Nil)
+		// Extend width when the count can overflow.
+		if 1<<uint(len(count)) <= i+1 {
+			count = append(count, cout)
+		}
+	}
+	return count
+}
+
+// Counter builds a width-bit up or down counter with enable and synchronous
+// reset, following Equation 1 of the paper with s=0: each bit toggles when
+// the counter is enabled and all lower-order bits are 1 (up) or 0 (down).
+// It returns the latch word (LSB first).
+func Counter(nl *netlist.Netlist, width int, en, rst netlist.ID, down bool) Word {
+	q := make(Word, width)
+	for i := range q {
+		q[i] = nl.AddLatch(nl.AddConst(false)) // D patched below
+	}
+	nrst := nl.AddGate(netlist.Not, rst)
+	for i := range q {
+		// lower = AND of lower-order bits (or their complements for a down
+		// counter); empty AND is "1".
+		var lower netlist.ID
+		switch i {
+		case 0:
+			lower = en
+		case 1:
+			b := q[0]
+			if down {
+				b = nl.AddGate(netlist.Not, q[0])
+			}
+			lower = nl.AddGate(netlist.And, en, b)
+		default:
+			lits := make([]netlist.ID, 0, i+1)
+			lits = append(lits, en)
+			for j := 0; j < i; j++ {
+				if down {
+					lits = append(lits, nl.AddGate(netlist.Not, q[j]))
+				} else {
+					lits = append(lits, q[j])
+				}
+			}
+			lower = nl.AddGate(netlist.And, lits...)
+		}
+		toggled := nl.AddGate(netlist.Xor, q[i], lower)
+		nl.SetLatchD(q[i], nl.AddGate(netlist.And, nrst, toggled))
+	}
+	return q
+}
+
+// ShiftRegister builds a width-bit unidirectional shift register with
+// enable and synchronous reset following Equation 3 of the paper (s=0):
+// bit i loads bit i-1 when enabled, holds otherwise; bit 0 loads serialIn.
+// It returns the latch word in shift order.
+func ShiftRegister(nl *netlist.Netlist, width int, en, rst, serialIn netlist.ID) Word {
+	q := make(Word, width)
+	for i := range q {
+		q[i] = nl.AddLatch(nl.AddConst(false))
+	}
+	nrst := nl.AddGate(netlist.Not, rst)
+	for i := range q {
+		prev := serialIn
+		if i > 0 {
+			prev = q[i-1]
+		}
+		sel := Mux2(nl, en, q[i], prev)
+		nl.SetLatchD(q[i], nl.AddGate(netlist.And, nrst, sel))
+	}
+	return q
+}
+
+// Register builds a word-wide register with a write-enable: each bit holds
+// unless we is set, in which case it loads d. It returns the latch word.
+func Register(nl *netlist.Netlist, d Word, we netlist.ID) Word {
+	q := make(Word, len(d))
+	for i := range q {
+		q[i] = nl.AddLatch(nl.AddConst(false))
+	}
+	nwe := nl.AddGate(netlist.Not, we)
+	for i := range q {
+		nl.SetLatchD(q[i], nl.AddGate(netlist.Or,
+			nl.AddGate(netlist.And, we, d[i]),
+			nl.AddGate(netlist.And, nwe, q[i])))
+	}
+	return q
+}
+
+// MultibitRegister builds the Figure 7 structure: a register that each
+// cycle loads one of several source words (selected by one-hot conditions)
+// or holds its value. conds[i] selects sources[i]; when no condition is
+// set, the register holds.
+func MultibitRegister(nl *netlist.Netlist, sources []Word, conds []netlist.ID) Word {
+	if len(sources) != len(conds) || len(sources) == 0 {
+		panic("gen: MultibitRegister needs one condition per source")
+	}
+	width := len(sources[0])
+	q := make(Word, width)
+	for i := range q {
+		q[i] = nl.AddLatch(nl.AddConst(false))
+	}
+	cur := Word(q)
+	for s := range sources {
+		cur = Mux2Word(nl, conds[s], cur, sources[s])
+	}
+	for i := range q {
+		nl.SetLatchD(q[i], cur[i])
+	}
+	return q
+}
+
+// RegisterFile builds a words x width register file with one write port
+// (waddr/wdata/we) and one read port (raddr), in the Figure 6 style: a
+// write decoder gates per-word write-enables driving 2:1 muxes in front of
+// the latches, and the read port is a mux tree. words must be a power of
+// two matching the address widths.
+func RegisterFile(nl *netlist.Netlist, words, width int, waddr Word, wdata Word, we netlist.ID, raddr Word) (read Word, cells []Word) {
+	if words != 1<<uint(len(waddr)) || words != 1<<uint(len(raddr)) {
+		panic("gen: register file address width mismatch")
+	}
+	dec := Decoder(nl, waddr)
+	cells = make([]Word, words)
+	for w := 0; w < words; w++ {
+		wei := nl.AddGate(netlist.And, dec[w], we)
+		nwei := nl.AddGate(netlist.Not, wei)
+		cells[w] = make(Word, width)
+		for b := 0; b < width; b++ {
+			cells[w][b] = nl.AddLatch(nl.AddConst(false))
+		}
+		for b := 0; b < width; b++ {
+			nl.SetLatchD(cells[w][b], nl.AddGate(netlist.Or,
+				nl.AddGate(netlist.And, wei, wdata[b]),
+				nl.AddGate(netlist.And, nwei, cells[w][b])))
+		}
+	}
+	read = MuxTree(nl, raddr, cells)
+	return read, cells
+}
+
+// RotateLeft builds a constant left-rotation of w by k bits (pure wiring
+// plus buffers so the structure is visible as gates).
+func RotateLeft(nl *netlist.Netlist, w Word, k int) Word {
+	out := make(Word, len(w))
+	for i := range w {
+		out[(i+k)%len(w)] = nl.AddGate(netlist.Buf, w[i])
+	}
+	return out
+}
+
+// BitwiseNot negates every bit of w.
+func BitwiseNot(nl *netlist.Netlist, w Word) Word {
+	out := make(Word, len(w))
+	for i := range w {
+		out[i] = nl.AddGate(netlist.Not, w[i])
+	}
+	return out
+}
+
+// Bitwise applies a 2-input gate kind across two words.
+func Bitwise(nl *netlist.Netlist, kind netlist.Kind, a, b Word) Word {
+	if len(a) != len(b) {
+		panic("gen: bitwise width mismatch")
+	}
+	out := make(Word, len(a))
+	for i := range a {
+		out[i] = nl.AddGate(kind, a[i], b[i])
+	}
+	return out
+}
+
+// MarkOutputs declares every bit of w as a primary output named
+// name0..nameN.
+func MarkOutputs(nl *netlist.Netlist, name string, w Word) {
+	for i, b := range w {
+		nl.MarkOutput(fmt.Sprintf("%s%d", name, i), b)
+	}
+}
+
+// JohnsonCounter builds a twisted-ring (Johnson) counter: a shift ring
+// whose feedback is the complement of the last stage. Johnson counters are
+// NOT plain unidirectional shift registers (the ring closes), and they are
+// not binary counters either — a useful negative case for both detectors.
+func JohnsonCounter(nl *netlist.Netlist, width int, en, rst netlist.ID) Word {
+	q := make(Word, width)
+	for i := range q {
+		q[i] = nl.AddLatch(nl.AddConst(false))
+	}
+	nrst := nl.AddGate(netlist.Not, rst)
+	feedback := nl.AddGate(netlist.Not, q[width-1])
+	for i := range q {
+		prev := feedback
+		if i > 0 {
+			prev = q[i-1]
+		}
+		sel := Mux2(nl, en, q[i], prev)
+		nl.SetLatchD(q[i], nl.AddGate(netlist.And, nrst, sel))
+	}
+	return q
+}
+
+// GrayCounter builds a counter that steps through the Gray-code sequence:
+// the state register holds gray(n) and the next state is gray(n+1),
+// computed by decoding to binary, incrementing, and re-encoding. Its
+// latch-to-latch topology resembles a binary counter's, but the toggle
+// conditions differ — the functional check must reject it.
+func GrayCounter(nl *netlist.Netlist, width int, en, rst netlist.ID) Word {
+	q := make(Word, width)
+	for i := range q {
+		q[i] = nl.AddLatch(nl.AddConst(false))
+	}
+	// binary[i] = q[i] ^ q[i+1] ^ ... ^ q[width-1].
+	bin := make(Word, width)
+	acc := netlist.ID(nl.AddConst(false))
+	for i := width - 1; i >= 0; i-- {
+		acc = nl.AddGate(netlist.Xor, acc, q[i])
+		bin[i] = acc
+	}
+	one := make(Word, width)
+	one[0] = nl.AddConst(true)
+	for i := 1; i < width; i++ {
+		one[i] = nl.AddConst(false)
+	}
+	inc, _ := RippleAdder(nl, bin, one, netlist.Nil)
+	// gray(n+1)[i] = inc[i] ^ inc[i+1].
+	gray := make(Word, width)
+	for i := 0; i < width-1; i++ {
+		gray[i] = nl.AddGate(netlist.Xor, inc[i], inc[i+1])
+	}
+	gray[width-1] = nl.AddGate(netlist.Buf, inc[width-1])
+	nrst := nl.AddGate(netlist.Not, rst)
+	for i := range q {
+		sel := Mux2(nl, en, q[i], gray[i])
+		nl.SetLatchD(q[i], nl.AddGate(netlist.And, nrst, sel))
+	}
+	return q
+}
+
+// LFSR builds a Fibonacci linear-feedback shift register with the given
+// tap positions (xor of taps feeds stage 0). The interior stages form a
+// plain shift chain; the feedback makes the whole structure a ring.
+func LFSR(nl *netlist.Netlist, width int, taps []int, en, rst netlist.ID) Word {
+	q := make(Word, width)
+	for i := range q {
+		q[i] = nl.AddLatch(nl.AddConst(false))
+	}
+	fb := q[taps[0]]
+	for _, t := range taps[1:] {
+		fb = nl.AddGate(netlist.Xor, fb, q[t])
+	}
+	// Invert the feedback so the all-zero state is not absorbing.
+	fb = nl.AddGate(netlist.Not, fb)
+	nrst := nl.AddGate(netlist.Not, rst)
+	for i := range q {
+		prev := fb
+		if i > 0 {
+			prev = q[i-1]
+		}
+		sel := Mux2(nl, en, q[i], prev)
+		nl.SetLatchD(q[i], nl.AddGate(netlist.And, nrst, sel))
+	}
+	return q
+}

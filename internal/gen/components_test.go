@@ -1,0 +1,411 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"netlistre/internal/netlist"
+)
+
+// wordValue decodes a word from an evaluation result.
+func wordValue(vals []bool, w Word) uint64 {
+	var v uint64
+	for i, b := range w {
+		if vals[b] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// setWord writes an integer into an input-word assignment.
+func setWord(assign map[netlist.ID]bool, w Word, v uint64) {
+	for i, b := range w {
+		assign[b] = v>>uint(i)&1 == 1
+	}
+}
+
+func TestRippleAdder(t *testing.T) {
+	nl := netlist.New("add")
+	a := InputWord(nl, "a", 6)
+	b := InputWord(nl, "b", 6)
+	sum, cout := RippleAdder(nl, a, b, netlist.Nil)
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		av, bv := uint64(rng.Intn(64)), uint64(rng.Intn(64))
+		assign := map[netlist.ID]bool{}
+		setWord(assign, a, av)
+		setWord(assign, b, bv)
+		vals := nl.Eval(assign)
+		got := wordValue(vals, sum)
+		if vals[cout] {
+			got |= 64
+		}
+		if got != av+bv {
+			t.Fatalf("%d + %d = %d, want %d", av, bv, got, av+bv)
+		}
+	}
+}
+
+func TestRippleSubtractor(t *testing.T) {
+	nl := netlist.New("sub")
+	a := InputWord(nl, "a", 6)
+	b := InputWord(nl, "b", 6)
+	diff, bout := RippleSubtractor(nl, a, b)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		av, bv := uint64(rng.Intn(64)), uint64(rng.Intn(64))
+		assign := map[netlist.ID]bool{}
+		setWord(assign, a, av)
+		setWord(assign, b, bv)
+		vals := nl.Eval(assign)
+		got := wordValue(vals, diff)
+		want := (av - bv) & 63
+		if got != want {
+			t.Fatalf("%d - %d = %d, want %d", av, bv, got, want)
+		}
+		if vals[bout] != (bv > av) {
+			t.Errorf("borrow(%d,%d) = %v", av, bv, vals[bout])
+		}
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	nl := netlist.New("addsub")
+	a := InputWord(nl, "a", 5)
+	b := InputWord(nl, "b", 5)
+	mode := nl.AddInput("mode")
+	out, _ := AddSub(nl, a, b, mode)
+	for av := uint64(0); av < 32; av += 3 {
+		for bv := uint64(0); bv < 32; bv += 5 {
+			for _, m := range []bool{false, true} {
+				assign := map[netlist.ID]bool{mode: m}
+				setWord(assign, a, av)
+				setWord(assign, b, bv)
+				got := wordValue(nl.Eval(assign), out)
+				want := (av + bv) & 31
+				if m {
+					want = (av - bv) & 31
+				}
+				if got != want {
+					t.Fatalf("mode=%v a=%d b=%d: got %d want %d", m, av, bv, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMuxTreeAndDecoder(t *testing.T) {
+	nl := netlist.New("mux")
+	sel := InputWord(nl, "s", 2)
+	var data []Word
+	for i := 0; i < 4; i++ {
+		data = append(data, InputWord(nl, string(rune('a'+i)), 3))
+	}
+	out := MuxTree(nl, sel, data)
+	dec := Decoder(nl, sel)
+	for s := uint64(0); s < 4; s++ {
+		assign := map[netlist.ID]bool{}
+		setWord(assign, sel, s)
+		for i, d := range data {
+			setWord(assign, d, uint64(i+3))
+		}
+		vals := nl.Eval(assign)
+		if got := wordValue(vals, out); got != uint64(s)+3 {
+			t.Errorf("mux sel=%d: got %d want %d", s, got, s+3)
+		}
+		if got := wordValue(vals, dec); got != 1<<s {
+			t.Errorf("decoder sel=%d: got %b want %b", s, got, 1<<s)
+		}
+	}
+}
+
+func TestParityAndPopCount(t *testing.T) {
+	nl := netlist.New("p")
+	w := InputWord(nl, "w", 7)
+	par := ParityTree(nl, w)
+	cnt := PopCount(nl, w)
+	for v := uint64(0); v < 128; v++ {
+		assign := map[netlist.ID]bool{}
+		setWord(assign, w, v)
+		vals := nl.Eval(assign)
+		ones := uint64(0)
+		for i := 0; i < 7; i++ {
+			ones += v >> uint(i) & 1
+		}
+		if vals[par] != (ones%2 == 1) {
+			t.Fatalf("parity(%b) = %v", v, vals[par])
+		}
+		if got := wordValue(vals, cnt); got != ones {
+			t.Fatalf("popcount(%b) = %d, want %d", v, got, ones)
+		}
+	}
+}
+
+func TestComparators(t *testing.T) {
+	nl := netlist.New("cmp")
+	a := InputWord(nl, "a", 4)
+	b := InputWord(nl, "b", 4)
+	eq := EqualComparator(nl, a, b)
+	eqc := EqualConst(nl, a, 9)
+	for av := uint64(0); av < 16; av++ {
+		for bv := uint64(0); bv < 16; bv++ {
+			assign := map[netlist.ID]bool{}
+			setWord(assign, a, av)
+			setWord(assign, b, bv)
+			vals := nl.Eval(assign)
+			if vals[eq] != (av == bv) {
+				t.Fatalf("eq(%d,%d) = %v", av, bv, vals[eq])
+			}
+			if vals[eqc] != (av == 9) {
+				t.Fatalf("eqc(%d) = %v", av, vals[eqc])
+			}
+		}
+	}
+}
+
+func TestCounterBehaviour(t *testing.T) {
+	for _, down := range []bool{false, true} {
+		nl := netlist.New("ctr")
+		en := nl.AddInput("en")
+		rst := nl.AddInput("rst")
+		q := Counter(nl, 4, en, rst, down)
+		if err := nl.Check(); err != nil {
+			t.Fatal(err)
+		}
+		st := nl.NewState()
+		// Reset.
+		nl.Step(st, map[netlist.ID]bool{rst: true, en: false})
+		read := func() uint64 {
+			var v uint64
+			for i, b := range q {
+				if st[b] {
+					v |= 1 << uint(i)
+				}
+			}
+			return v
+		}
+		if read() != 0 {
+			t.Fatal("counter not zero after reset")
+		}
+		expect := uint64(0)
+		for cycle := 0; cycle < 40; cycle++ {
+			enabled := cycle%3 != 0
+			nl.Step(st, map[netlist.ID]bool{rst: false, en: enabled})
+			if enabled {
+				if down {
+					expect = (expect - 1) & 15
+				} else {
+					expect = (expect + 1) & 15
+				}
+			}
+			if read() != expect {
+				t.Fatalf("down=%v cycle %d: counter = %d, want %d", down, cycle, read(), expect)
+			}
+		}
+	}
+}
+
+func TestShiftRegisterBehaviour(t *testing.T) {
+	nl := netlist.New("sh")
+	en := nl.AddInput("en")
+	rst := nl.AddInput("rst")
+	sin := nl.AddInput("sin")
+	q := ShiftRegister(nl, 5, en, rst, sin)
+	st := nl.NewState()
+	nl.Step(st, map[netlist.ID]bool{rst: true})
+	pattern := []bool{true, false, true, true, false}
+	for _, bit := range pattern {
+		nl.Step(st, map[netlist.ID]bool{en: true, sin: bit})
+	}
+	for i := range q {
+		// After 5 shifts, q[4] holds pattern[0], q[0] holds pattern[4].
+		want := pattern[len(pattern)-1-i]
+		if st[q[i]] != want {
+			t.Errorf("q[%d] = %v, want %v", i, st[q[i]], want)
+		}
+	}
+	// Hold when disabled.
+	before := []bool{st[q[0]], st[q[1]], st[q[2]], st[q[3]], st[q[4]]}
+	nl.Step(st, map[netlist.ID]bool{en: false, sin: true})
+	for i := range q {
+		if st[q[i]] != before[i] {
+			t.Errorf("bit %d changed while disabled", i)
+		}
+	}
+}
+
+func TestRegisterFile(t *testing.T) {
+	nl := netlist.New("rf")
+	waddr := InputWord(nl, "wa", 2)
+	raddr := InputWord(nl, "ra", 2)
+	wdata := InputWord(nl, "wd", 4)
+	we := nl.AddInput("we")
+	read, cells := RegisterFile(nl, 4, 4, waddr, wdata, we, raddr)
+	if len(cells) != 4 {
+		t.Fatal("wrong cell count")
+	}
+	st := nl.NewState()
+	// Write distinct values to each word.
+	for wIdx := uint64(0); wIdx < 4; wIdx++ {
+		assign := map[netlist.ID]bool{we: true}
+		setWord(assign, waddr, wIdx)
+		setWord(assign, wdata, wIdx*3+1)
+		nl.Step(st, assign)
+	}
+	// Read them back.
+	for rIdx := uint64(0); rIdx < 4; rIdx++ {
+		assign := map[netlist.ID]bool{we: false}
+		setWord(assign, raddr, rIdx)
+		setWord(assign, waddr, 0)
+		setWord(assign, wdata, 0)
+		vals := nl.Step(st, assign)
+		if got := wordValue(vals, read); got != rIdx*3+1 {
+			t.Errorf("read[%d] = %d, want %d", rIdx, got, rIdx*3+1)
+		}
+	}
+}
+
+func TestMultibitRegister(t *testing.T) {
+	nl := netlist.New("mbr")
+	v1 := InputWord(nl, "v1", 4)
+	v2 := InputWord(nl, "v2", 4)
+	c1 := nl.AddInput("c1")
+	c2 := nl.AddInput("c2")
+	q := MultibitRegister(nl, []Word{v1, v2}, []netlist.ID{c1, c2})
+	st := nl.NewState()
+	read := func() uint64 {
+		var v uint64
+		for i, b := range q {
+			if st[b] {
+				v |= 1 << uint(i)
+			}
+		}
+		return v
+	}
+	assign := map[netlist.ID]bool{c1: true, c2: false}
+	setWord(assign, v1, 5)
+	setWord(assign, v2, 9)
+	nl.Step(st, assign)
+	if read() != 5 {
+		t.Fatalf("after c1 load: %d, want 5", read())
+	}
+	assign[c1] = false
+	nl.Step(st, assign)
+	if read() != 5 {
+		t.Fatalf("hold failed: %d", read())
+	}
+	assign[c2] = true
+	nl.Step(st, assign)
+	if read() != 9 {
+		t.Fatalf("after c2 load: %d, want 9", read())
+	}
+}
+
+func TestRotateAndBitwise(t *testing.T) {
+	nl := netlist.New("rot")
+	w := InputWord(nl, "w", 8)
+	rot := RotateLeft(nl, w, 3)
+	inv := BitwiseNot(nl, w)
+	assign := map[netlist.ID]bool{}
+	setWord(assign, w, 0b10110001)
+	vals := nl.Eval(assign)
+	if got := wordValue(vals, rot); got != 0b10001101 {
+		t.Errorf("rot = %08b", got)
+	}
+	if got := wordValue(vals, inv); got != 0b01001110 {
+		t.Errorf("inv = %08b", got)
+	}
+}
+
+func TestJohnsonCounterBehaviour(t *testing.T) {
+	nl := netlist.New("jc")
+	en := nl.AddInput("en")
+	rst := nl.AddInput("rst")
+	q := JohnsonCounter(nl, 4, en, rst)
+	st := nl.NewState()
+	nl.Step(st, map[netlist.ID]bool{rst: true})
+	// Johnson sequence for 4 bits: 0000, 0001, 0011, 0111, 1111, 1110, ...
+	want := []uint64{1, 3, 7, 15, 14, 12, 8, 0, 1}
+	for i, w := range want {
+		nl.Step(st, map[netlist.ID]bool{en: true})
+		var v uint64
+		for b, l := range q {
+			if st[l] {
+				v |= 1 << uint(b)
+			}
+		}
+		if v != w {
+			t.Fatalf("step %d: state = %04b, want %04b", i, v, w)
+		}
+	}
+}
+
+func TestGrayCounterBehaviour(t *testing.T) {
+	nl := netlist.New("gc")
+	en := nl.AddInput("en")
+	rst := nl.AddInput("rst")
+	q := GrayCounter(nl, 3, en, rst)
+	st := nl.NewState()
+	nl.Step(st, map[netlist.ID]bool{rst: true})
+	prev := uint64(0)
+	seen := map[uint64]bool{0: true}
+	for i := 0; i < 7; i++ {
+		nl.Step(st, map[netlist.ID]bool{en: true})
+		var v uint64
+		for b, l := range q {
+			if st[l] {
+				v |= 1 << uint(b)
+			}
+		}
+		// Gray property: exactly one bit flips per step.
+		diff := v ^ prev
+		if diff == 0 || diff&(diff-1) != 0 {
+			t.Fatalf("step %d: %03b -> %03b flips %d bits", i, prev, v, popcount(diff))
+		}
+		if seen[v] {
+			t.Fatalf("state %03b repeated early", v)
+		}
+		seen[v] = true
+		prev = v
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func TestLFSRBehaviour(t *testing.T) {
+	nl := netlist.New("lfsr")
+	en := nl.AddInput("en")
+	rst := nl.AddInput("rst")
+	q := LFSR(nl, 4, []int{3, 2}, en, rst)
+	st := nl.NewState()
+	nl.Step(st, map[netlist.ID]bool{rst: true})
+	seen := map[uint64]int{}
+	period := 0
+	for i := 0; i < 40; i++ {
+		nl.Step(st, map[netlist.ID]bool{en: true})
+		var v uint64
+		for b, l := range q {
+			if st[l] {
+				v |= 1 << uint(b)
+			}
+		}
+		if first, ok := seen[v]; ok {
+			period = i - first
+			break
+		}
+		seen[v] = i
+	}
+	if period < 8 {
+		t.Errorf("LFSR period = %d, want a long cycle", period)
+	}
+}

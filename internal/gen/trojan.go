@@ -1,0 +1,204 @@
+package gen
+
+// Trojan injection (Section V-D): parameterized builders for the oc8051
+// and eVoter articles with and without the paper's two trojans.
+//
+//   - eVoter: a backdoor armed by a secret seven-key sequence; once armed,
+//     every vote is redirected to a stored candidate. Pressing the
+//     sequence again disarms it. The trojan manifests as extra
+//     decoders/comparators, two muxes and a multibit register — exactly
+//     the modules the paper reports in Table 8.
+//   - oc8051: a kill switch triggered by five consecutive XOR
+//     instructions; once triggered, the ALU-to-accumulator path is
+//     permanently zeroed. It manifests as an extra counter, a gating
+//     module and trigger decoders.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netlistre/internal/netlist"
+)
+
+// OC8051Trojaned builds the oc8051 article with the XOR kill switch.
+func OC8051Trojaned() *netlist.Netlist { return buildOC8051(true) }
+
+// EVoterTrojaned builds the eVoter article with the key-sequence backdoor.
+func EVoterTrojaned() *netlist.Netlist { return buildEVoter(true) }
+
+// buildOC8051 builds the 8051-like microcontroller: the 8-bit ALU
+// (add/sub/rotate/negate selected by side inputs — the paper's QBF
+// example), accumulator, five timers, a small RAM and a heavy share of
+// control logic. With trojan set, the XOR kill switch is inserted between
+// the ALU and the accumulator.
+func buildOC8051(trojan bool) *netlist.Netlist {
+	name := "oc8051"
+	if trojan {
+		name = "oc8051-trojan"
+	}
+	nl := netlist.New(name)
+	rng := rand.New(rand.NewSource(404))
+
+	// ALU with side inputs: op word selects among add, sub, rot, neg.
+	a := InputWord(nl, "acc_in", 8)
+	b := InputWord(nl, "opnd", 8)
+	mode := nl.AddInput("alumode")
+	addsub, _ := AddSub(nl, a, b, mode)
+	rot := RotateLeft(nl, a, 1)
+	neg := BitwiseNot(nl, a)
+	sel := InputWord(nl, "alusel", 2)
+	xorw := Bitwise(nl, netlist.Xor, a, b)
+	aluOut := MuxTree(nl, sel, []Word{addsub, rot, neg, xorw})
+
+	rst := nl.AddInput("rst")
+	ldAlu := nl.AddInput("ldalu")
+	ldBus := nl.AddInput("ldbus")
+
+	accSrc := aluOut
+	if trojan {
+		// Trigger: an XOR instruction is one with alusel == 3 committed to
+		// the accumulator.
+		xorEv := nl.AddGate(netlist.And, EqualConst(nl, sel, 3), ldAlu)
+		notXor := nl.AddGate(netlist.Not, xorEv)
+		ctrRst := nl.AddGate(netlist.Or, notXor, rst)
+		count := Counter(nl, 3, xorEv, ctrRst, false)
+		// Kill switch: sticky latch set when the run length reaches 5.
+		trigger := EqualConst(nl, count, 5)
+		kill := nl.AddLatch(nl.AddConst(false))
+		nrst := nl.AddGate(netlist.Not, rst)
+		nl.SetLatchD(kill, nl.AddGate(netlist.And, nrst,
+			nl.AddGate(netlist.Or, kill, trigger)))
+		// Gating module: zero the ALU result once killed.
+		nkill := nl.AddGate(netlist.Not, kill)
+		gated := make(Word, len(aluOut))
+		for i := range aluOut {
+			gated[i] = nl.AddGate(netlist.And, aluOut[i], nkill)
+		}
+		accSrc = gated
+	}
+
+	// Accumulator: multibit register loading the ALU result or the bus.
+	bus := InputWord(nl, "bus", 8)
+	acc := MultibitRegister(nl, []Word{accSrc, bus}, []netlist.ID{ldAlu, ldBus})
+	MarkOutputs(nl, "acc", acc)
+
+	// Five timers (the paper finds five counters in oc8051).
+	for i := 0; i < 5; i++ {
+		en := nl.AddInput(fmt.Sprintf("t%den", i))
+		width := 8
+		if i >= 3 {
+			width = 13
+		}
+		Counter(nl, width, en, rst, false)
+	}
+
+	// Internal RAM: 16x8 register file.
+	waddr := InputWord(nl, "iramwa", 4)
+	raddr := InputWord(nl, "iramra", 4)
+	we := nl.AddInput("iramwe")
+	read, _ := RegisterFile(nl, 16, 8, waddr, InputWord(nl, "iramwd", 8), we, raddr)
+	MarkOutputs(nl, "iram", read)
+
+	// Opcode decoder.
+	opc := InputWord(nl, "opcode", 4)
+	dec := Decoder(nl, opc)
+
+	// Heavy irregular control (8051s are control-dominated).
+	ctl := append(append(Word{}, dec[:10]...), acc[0], acc[7], we)
+	controlNoise(nl, rng, ctl, 900, 30)
+	return nl
+}
+
+// evoterSecret is the backdoor key sequence (seven keypad codes).
+var evoterSecret = []uint64{3, 7, 1, 12, 5, 9, 14}
+
+// buildEVoter builds the voting-machine article (based on the design of
+// Sturton et al. that the paper evaluates): a keypad decoder, per-candidate
+// vote counters incremented by key+confirm, a display mux and a
+// control-heavy state machine. With trojan set, the key-sequence backdoor
+// is inserted in front of the key decoder.
+func buildEVoter(trojan bool) *netlist.Netlist {
+	name := "evoter"
+	if trojan {
+		name = "evoter-trojan"
+	}
+	nl := netlist.New(name)
+	rng := rand.New(rand.NewSource(808))
+
+	key := InputWord(nl, "key", 4)
+	confirm := nl.AddInput("confirm")
+	rst := nl.AddInput("rst")
+
+	effKey := key
+	if trojan {
+		// Sequence detector: a 3-bit progress register advances when the
+		// pressed key matches the next secret code, and clears otherwise.
+		progress := make(Word, 3)
+		for i := range progress {
+			progress[i] = nl.AddLatch(nl.AddConst(false))
+		}
+		// match = key == secret[progress].
+		var cmps []Word
+		for _, code := range evoterSecret {
+			cmps = append(cmps, Word{EqualConst(nl, key, code)})
+		}
+		cmps = append(cmps, Word{nl.AddConst(false)}) // progress=7: idle
+		match := MuxTree(nl, progress, cmps)[0]
+		step := nl.AddGate(netlist.And, match, confirm)
+
+		// Next progress: +1 on step, 0 on confirmed mismatch, hold else.
+		one := make(Word, 3)
+		one[0] = nl.AddConst(true)
+		one[1] = nl.AddConst(false)
+		one[2] = one[1]
+		inc, _ := RippleAdder(nl, progress, one, netlist.Nil)
+		mismatch := nl.AddGate(netlist.And, nl.AddGate(netlist.Not, match), confirm)
+		nextP := Mux2Word(nl, step, progress, inc)
+		nextP = Mux2Word(nl, mismatch, nextP, Word{one[1], one[1], one[1]})
+		nrst := nl.AddGate(netlist.Not, rst)
+		for i := range progress {
+			nl.SetLatchD(progress[i], nl.AddGate(netlist.And, nrst, nextP[i]))
+		}
+
+		// Arming toggle: sequence complete at progress == 6 with a match.
+		done := nl.AddGate(netlist.And, EqualConst(nl, progress, 6), step)
+		active := nl.AddLatch(nl.AddConst(false))
+		nl.SetLatchD(active, nl.AddGate(netlist.And, nrst,
+			nl.AddGate(netlist.Xor, active, done)))
+
+		// Stored candidate: the first key pressed after arming.
+		stored := Register(nl, key, done)
+
+		// Override: once active, every vote goes to the stored candidate.
+		effKey = Mux2Word(nl, active, key, stored)
+	}
+
+	dec := Decoder(nl, effKey)
+
+	// Vote counters: four candidates, 8-bit counts.
+	var counts []Word
+	for c := 0; c < 4; c++ {
+		en := nl.AddGate(netlist.And, dec[c], confirm)
+		q := Counter(nl, 8, en, rst, false)
+		counts = append(counts, q)
+	}
+
+	// Display: select a candidate's count.
+	dsel := InputWord(nl, "dsel", 2)
+	disp := MuxTree(nl, dsel, counts)
+	MarkOutputs(nl, "disp", disp)
+
+	// Ballot register: latches the current key on confirm.
+	ballot := Register(nl, effKey, confirm)
+	MarkOutputs(nl, "ballot", ballot)
+
+	// Total-votes tally: counts[0] + counts[1] (checked against the
+	// machine's public counter in audits).
+	tally, _ := RippleAdder(nl, counts[0], counts[1], netlist.Nil)
+	MarkOutputs(nl, "tally", tally)
+
+	// Control-heavy state machine.
+	ctl := append(append(Word{}, dec[4:10]...), confirm, rst)
+	controlNoise(nl, rng, ctl, 300, 16)
+	return nl
+}

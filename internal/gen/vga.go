@@ -1,0 +1,66 @@
+package gen
+
+// VGA-like core with a framebuffer read plane (the structure behind the
+// paper's BigSoC VGA case study, Section V-C.3). The frame buffer is read
+// through a wide OR-AND plane selected by a one-hot row decode — a shape
+// the generic RAM analysis does not cover, motivating the design-specific
+// fbscan pass.
+
+import (
+	"fmt"
+
+	"netlistre/internal/netlist"
+)
+
+// VGACore builds a frame buffer of rows x cols 1-bit cells with:
+//   - a row scan counter + decoder producing the one-hot row select,
+//   - per-cell write logic (write the selected row from wdata when wren),
+//   - an OR-AND read plane: pixel_c = OR_r (rowsel_r & cell_{r,c}).
+//
+// It returns the netlist and the pixel output word.
+func VGACore(rows, cols int) (*netlist.Netlist, Word) {
+	if rows&(rows-1) != 0 {
+		panic("gen: VGACore rows must be a power of two")
+	}
+	nl := netlist.New("vga")
+	rst := nl.AddInput("rst")
+	scanEn := nl.AddInput("scanen")
+	wren := nl.AddInput("wren")
+	wdata := InputWord(nl, "wd", cols)
+
+	// Row scan counter and its decoder (one-hot row select).
+	bits := 0
+	for 1<<uint(bits) < rows {
+		bits++
+	}
+	rowctr := Counter(nl, bits, scanEn, rst, false)
+	rowsel := Decoder(nl, rowctr)
+
+	// Cell array with row-selected writes.
+	cells := make([][]netlist.ID, rows)
+	for r := 0; r < rows; r++ {
+		we := nl.AddGate(netlist.And, rowsel[r], wren)
+		nwe := nl.AddGate(netlist.Not, we)
+		cells[r] = make([]netlist.ID, cols)
+		for c := 0; c < cols; c++ {
+			cells[r][c] = nl.AddLatch(nl.AddConst(false))
+		}
+		for c := 0; c < cols; c++ {
+			nl.SetLatchD(cells[r][c], nl.AddGate(netlist.Or,
+				nl.AddGate(netlist.And, we, wdata[c]),
+				nl.AddGate(netlist.And, nwe, cells[r][c])))
+		}
+	}
+
+	// OR-AND read plane.
+	pixels := make(Word, cols)
+	for c := 0; c < cols; c++ {
+		taps := make([]netlist.ID, rows)
+		for r := 0; r < rows; r++ {
+			taps[r] = nl.AddGate(netlist.And, rowsel[r], cells[r][c])
+		}
+		pixels[c] = nl.AddGate(netlist.Or, taps...)
+		nl.MarkOutput(fmt.Sprintf("pixel%d", c), pixels[c])
+	}
+	return nl, pixels
+}

@@ -1,0 +1,323 @@
+// Package graph implements the latch connection graph (LCG) and its
+// single-path variant (SPLCG) from Sections III-A.1 and III-B.1 of the
+// paper, together with the chain-topology searches used to generate counter
+// and shift-register candidates.
+package graph
+
+import (
+	"sort"
+
+	"netlistre/internal/netlist"
+)
+
+// LCG is the latch connection graph: vertices are latches, and a directed
+// edge (u, v) exists iff a combinational path runs from the output of u to
+// the D input of v. Edge multiplicity distinguishes the LCG (any path) from
+// the SPLCG (exactly one path).
+type LCG struct {
+	// Latches lists the vertices in netlist order.
+	Latches []netlist.ID
+	// Succ[u] maps each latch to its successors, with the saturated
+	// combinational path count (1 or 2, where 2 means "more than one").
+	Succ map[netlist.ID]map[netlist.ID]int
+	// Pred is the reverse adjacency (path counts mirrored from Succ).
+	Pred map[netlist.ID]map[netlist.ID]int
+}
+
+// BuildLCG constructs the latch connection graph of nl. Path counts
+// saturate at 2: the analyses only need to distinguish "no path", "exactly
+// one path" and "multiple paths".
+func BuildLCG(nl *netlist.Netlist) *LCG {
+	g := &LCG{
+		Latches: nl.Latches(),
+		Succ:    make(map[netlist.ID]map[netlist.ID]int),
+		Pred:    make(map[netlist.ID]map[netlist.ID]int),
+	}
+	for _, l := range g.Latches {
+		g.Succ[l] = make(map[netlist.ID]int)
+	}
+	for _, l := range g.Latches {
+		g.Pred[l] = make(map[netlist.ID]int)
+	}
+
+	// For each latch v, count combinational paths from every boundary
+	// signal of its D cone. A single backward DP per latch: paths(x) =
+	// number of paths from node x to v's D input, saturated at 2.
+	for _, v := range g.Latches {
+		d := nl.Fanin(v)[0]
+		// Count boundary contributions: for boundary node u, the number of
+		// paths u→v equals the number of paths from each gate g that has u
+		// as fanin, summed over occurrences.
+		boundary := make(map[netlist.ID]int)
+		cone := nl.ConeOf(d)
+		// fanCount(g) = number of paths from output of g to D input.
+		fan := make(map[netlist.ID]int)
+		if nl.Kind(d).IsConeInput() {
+			boundary[d] += 1
+		} else {
+			fan[d] = 1
+			// Process cone nodes in reverse topological order: fan of a
+			// node's fanin accumulates fan of the node.
+			order := topoWithin(nl, cone.Nodes, d)
+			for _, x := range order {
+				fx := fan[x]
+				if fx == 0 {
+					continue
+				}
+				for _, f := range nl.Fanin(x) {
+					if nl.Kind(f).IsConeInput() {
+						boundary[f] += fx
+						if boundary[f] > 2 {
+							boundary[f] = 2
+						}
+					} else {
+						fan[f] += fx
+						if fan[f] > 2 {
+							fan[f] = 2
+						}
+					}
+				}
+			}
+		}
+		for u, c := range boundary {
+			if nl.Kind(u) != netlist.Latch {
+				continue
+			}
+			g.Succ[u][v] = c
+			g.Pred[v][u] = c
+		}
+	}
+	return g
+}
+
+// topoWithin returns the cone nodes ordered so that each node precedes its
+// fanins (reverse topological from root).
+func topoWithin(nl *netlist.Netlist, nodes []netlist.ID, root netlist.ID) []netlist.ID {
+	inCone := make(map[netlist.ID]bool, len(nodes))
+	for _, n := range nodes {
+		inCone[n] = true
+	}
+	var order []netlist.ID
+	state := make(map[netlist.ID]byte)
+	type frame struct {
+		id       netlist.ID
+		expanded bool
+	}
+	stack := []frame{{root, false}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		if state[f.id] == 2 {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if !f.expanded {
+			stack[len(stack)-1].expanded = true
+			for _, fi := range nl.Fanin(f.id) {
+				if inCone[fi] && state[fi] == 0 {
+					state[fi] = 1
+					stack = append(stack, frame{fi, false})
+				}
+			}
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		state[f.id] = 2
+		order = append(order, f.id)
+	}
+	// order currently lists fanins before roots (post-order); reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// HasEdge reports whether the LCG has an edge u -> v (any multiplicity).
+func (g *LCG) HasEdge(u, v netlist.ID) bool { return g.Succ[u][v] > 0 }
+
+// HasSingleEdge reports whether exactly one combinational path u -> v
+// exists (the SPLCG edge relation).
+func (g *LCG) HasSingleEdge(u, v netlist.ID) bool { return g.Succ[u][v] == 1 }
+
+// CounterChains finds ordered latch sets V = {v1..vk} with the counter
+// topology of Figure 5: for all i, j: edge (vi, vj) exists iff i <= j.
+// In particular every member has a self-loop, earlier members feed all
+// later members, and no backward edges exist. Chains shorter than minLen
+// are discarded; maximal chains are returned.
+func (g *LCG) CounterChains(minLen int) [][]netlist.ID {
+	if minLen < 2 {
+		minLen = 2
+	}
+	// Candidates must have self-loops.
+	var selfLoop []netlist.ID
+	for _, l := range g.Latches {
+		if g.HasEdge(l, l) {
+			selfLoop = append(selfLoop, l)
+		}
+	}
+	// Greedy maximal-chain growth from each start, deduplicated by chain
+	// signature. A latch v can follow chain c when every member of c has
+	// an edge to v and v has no edge back to any member (v's own edges to
+	// later members are checked as the chain grows).
+	seen := make(map[string]bool)
+	var chains [][]netlist.ID
+
+	for _, start := range selfLoop {
+		chain := []netlist.ID{start}
+		for {
+			// Eligible candidates: fed by every chain member, feeding none.
+			var elig []netlist.ID
+			for _, cand := range selfLoop {
+				if contains(chain, cand) {
+					continue
+				}
+				ok := true
+				for _, m := range chain {
+					if !g.HasEdge(m, cand) || g.HasEdge(cand, m) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					elig = append(elig, cand)
+				}
+			}
+			if len(elig) == 0 {
+				break
+			}
+			// In a counter, the true next bit dominates: it feeds every
+			// other eligible (higher) bit. Picking a non-dominating
+			// candidate would skip a bit and break the chain.
+			next := elig[0]
+			for _, cand := range elig {
+				dominates := true
+				for _, other := range elig {
+					if other != cand && !g.HasEdge(cand, other) {
+						dominates = false
+						break
+					}
+				}
+				if dominates {
+					next = cand
+					break
+				}
+			}
+			chain = append(chain, next)
+		}
+		if len(chain) < minLen {
+			continue
+		}
+		key := chainKey(chain)
+		if !seen[key] {
+			seen[key] = true
+			chains = append(chains, chain)
+		}
+	}
+	// Drop chains that are strict prefixes/subsets of others.
+	return dropSubChains(chains)
+}
+
+// ShiftChains finds maximal latch chains v1 -> v2 -> ... -> vk in the
+// SPLCG where consecutive latches are connected by exactly one
+// combinational path and non-consecutive members are not connected at all
+// (Section III-B.1). Chains shorter than minLen are discarded.
+func (g *LCG) ShiftChains(minLen int) [][]netlist.ID {
+	if minLen < 2 {
+		minLen = 2
+	}
+	// next[u] = v when u has exactly one SPLCG successor v (self-loops from
+	// hold/enable muxes are ignored: the paper's functional check, Eq. 3,
+	// handles the hold term). Latches with several SPLCG successors are
+	// branch points and terminate chains, since the chain relation requires
+	// an edge iff j = i+1. Multi-bit shift registers shifting in tandem
+	// appear as parallel chains and are aggregated afterwards.
+	next := make(map[netlist.ID]netlist.ID)
+	indeg := make(map[netlist.ID]int)
+	for _, u := range g.Latches {
+		var succ []netlist.ID
+		for v, cnt := range g.Succ[u] {
+			if v == u || cnt != 1 {
+				continue
+			}
+			succ = append(succ, v)
+		}
+		if len(succ) == 1 {
+			next[u] = succ[0]
+			indeg[succ[0]]++
+		}
+	}
+	var chains [][]netlist.ID
+	for _, u := range g.Latches {
+		if indeg[u] != 0 {
+			continue // not a chain head
+		}
+		chain := []netlist.ID{u}
+		cur := u
+		for {
+			v, ok := next[cur]
+			if !ok || contains(chain, v) {
+				break
+			}
+			// v must have at most one usable predecessor (cur) to extend a
+			// clean chain; indeg counts that.
+			if indeg[v] != 1 {
+				break
+			}
+			chain = append(chain, v)
+			cur = v
+		}
+		if len(chain) >= minLen {
+			chains = append(chains, chain)
+		}
+	}
+	sort.Slice(chains, func(i, j int) bool { return chains[i][0] < chains[j][0] })
+	return chains
+}
+
+func contains(ids []netlist.ID, id netlist.ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func chainKey(chain []netlist.ID) string {
+	s := netlist.SortedIDs(chain)
+	b := make([]byte, 0, len(s)*4)
+	for _, id := range s {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
+func dropSubChains(chains [][]netlist.ID) [][]netlist.ID {
+	var out [][]netlist.ID
+	for i, c := range chains {
+		sub := false
+		ci := map[netlist.ID]bool{}
+		for _, x := range c {
+			ci[x] = true
+		}
+		for j, d := range chains {
+			if i == j || len(d) < len(c) || (len(d) == len(c) && j < i) {
+				continue
+			}
+			all := true
+			for _, x := range c {
+				if !contains(d, x) {
+					all = false
+					break
+				}
+			}
+			if all && (len(d) > len(c) || j > i) {
+				sub = true
+				break
+			}
+		}
+		if !sub {
+			out = append(out, c)
+		}
+	}
+	return out
+}

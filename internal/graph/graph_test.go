@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"testing"
+
+	"netlistre/internal/gen"
+	"netlistre/internal/netlist"
+)
+
+func TestLCGEdges(t *testing.T) {
+	nl := netlist.New("t")
+	a := nl.AddInput("a")
+	l1 := nl.AddLatch(a)
+	g1 := nl.AddGate(netlist.Not, l1)
+	l2 := nl.AddLatch(g1)
+	l3 := nl.AddLatch(l2) // direct latch-to-latch
+	g := BuildLCG(nl)
+	if !g.HasEdge(l1, l2) || !g.HasSingleEdge(l1, l2) {
+		t.Error("missing single edge l1->l2")
+	}
+	if !g.HasEdge(l2, l3) {
+		t.Error("missing edge l2->l3 (direct connection)")
+	}
+	if g.HasEdge(l2, l1) || g.HasEdge(l3, l1) {
+		t.Error("spurious backward edges")
+	}
+}
+
+func TestLCGMultiPath(t *testing.T) {
+	nl := netlist.New("t")
+	a := nl.AddInput("a")
+	l1 := nl.AddLatch(a)
+	p1 := nl.AddGate(netlist.Not, l1)
+	p2 := nl.AddGate(netlist.Buf, l1)
+	m := nl.AddGate(netlist.And, p1, p2)
+	l2 := nl.AddLatch(m)
+	g := BuildLCG(nl)
+	if !g.HasEdge(l1, l2) {
+		t.Error("missing edge")
+	}
+	if g.HasSingleEdge(l1, l2) {
+		t.Error("two paths must not be a single edge")
+	}
+}
+
+func TestCounterChainsOnRealCounter(t *testing.T) {
+	nl := netlist.New("ctr")
+	en := nl.AddInput("en")
+	rst := nl.AddInput("rst")
+	q := gen.Counter(nl, 6, en, rst, false)
+	g := BuildLCG(nl)
+	chains := g.CounterChains(2)
+	if len(chains) != 1 {
+		t.Fatalf("found %d chains, want 1: %v", len(chains), chains)
+	}
+	if len(chains[0]) != 6 {
+		t.Fatalf("chain length = %d, want 6", len(chains[0]))
+	}
+	// The chain must be in counter bit order.
+	for i, l := range chains[0] {
+		if l != q[i] {
+			t.Errorf("chain[%d] = %d, want %d", i, l, q[i])
+		}
+	}
+}
+
+func TestCounterChainsIgnoreShiftRegisters(t *testing.T) {
+	nl := netlist.New("sh")
+	en := nl.AddInput("en")
+	rst := nl.AddInput("rst")
+	sin := nl.AddInput("sin")
+	gen.ShiftRegister(nl, 6, en, rst, sin)
+	g := BuildLCG(nl)
+	// Shift register bits have self-loops (hold muxes) but no full counter
+	// triangle: bit j is fed only by bit j-1 and itself.
+	for _, c := range g.CounterChains(2) {
+		if len(c) > 2 {
+			t.Errorf("shift register produced counter chain of length %d", len(c))
+		}
+	}
+}
+
+func TestShiftChainsOnRealShiftRegister(t *testing.T) {
+	nl := netlist.New("sh")
+	en := nl.AddInput("en")
+	rst := nl.AddInput("rst")
+	sin := nl.AddInput("sin")
+	q := gen.ShiftRegister(nl, 5, en, rst, sin)
+	g := BuildLCG(nl)
+	chains := g.ShiftChains(2)
+	if len(chains) != 1 {
+		t.Fatalf("found %d chains, want 1: %v", len(chains), chains)
+	}
+	if len(chains[0]) != 5 {
+		t.Fatalf("chain length = %d, want 5", len(chains[0]))
+	}
+	for i, l := range chains[0] {
+		if l != q[i] {
+			t.Errorf("chain[%d] = %d, want %d", i, l, q[i])
+		}
+	}
+}
+
+func TestShiftChainsParallel(t *testing.T) {
+	// Two independent shift registers must yield two separate chains.
+	nl := netlist.New("sh2")
+	en := nl.AddInput("en")
+	rst := nl.AddInput("rst")
+	s1 := nl.AddInput("s1")
+	s2 := nl.AddInput("s2")
+	gen.ShiftRegister(nl, 4, en, rst, s1)
+	gen.ShiftRegister(nl, 4, en, rst, s2)
+	g := BuildLCG(nl)
+	chains := g.ShiftChains(2)
+	if len(chains) != 2 {
+		t.Fatalf("found %d chains, want 2", len(chains))
+	}
+	for _, c := range chains {
+		if len(c) != 4 {
+			t.Errorf("chain length = %d, want 4", len(c))
+		}
+	}
+}
+
+func TestCounterChainOnMixedDesign(t *testing.T) {
+	// A counter embedded next to a register file should still be found.
+	nl := netlist.New("mix")
+	en := nl.AddInput("en")
+	rst := nl.AddInput("rst")
+	q := gen.Counter(nl, 4, en, rst, false)
+	waddr := gen.InputWord(nl, "wa", 2)
+	raddr := gen.InputWord(nl, "ra", 2)
+	wdata := gen.InputWord(nl, "wd", 4)
+	we := nl.AddInput("we")
+	gen.RegisterFile(nl, 4, 4, waddr, wdata, we, raddr)
+	g := BuildLCG(nl)
+	found := false
+	for _, c := range g.CounterChains(3) {
+		if len(c) == 4 && c[0] == q[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("counter not found next to register file")
+	}
+}

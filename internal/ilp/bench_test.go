@@ -1,0 +1,32 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSetPacking measures the branch & bound on overlap-shaped
+// instances: unit packing rows over weighted binaries.
+func BenchmarkSetPacking(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const vars = 150
+	p := &Problem{NumVars: vars, Sense: Maximize}
+	p.Objective = make([]int64, vars)
+	for i := range p.Objective {
+		p.Objective[i] = int64(1 + rng.Intn(40))
+	}
+	for c := 0; c < 120; c++ {
+		k := 2 + rng.Intn(3)
+		terms := make([]Term, k)
+		for j := range terms {
+			terms[j] = Term{rng.Intn(vars), 1}
+		}
+		p.AddConstraint(terms, LE, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, Options{NodeLimit: 500_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package modmatch
+
+import (
+	"testing"
+
+	"netlistre/internal/gen"
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+	"netlistre/internal/words"
+)
+
+func mkWords(ws ...gen.Word) []words.Word {
+	var out []words.Word
+	for _, w := range ws {
+		out = append(out, words.Word{Bits: w})
+	}
+	return out
+}
+
+func TestMatchAddSubALU(t *testing.T) {
+	// The paper's flagship example: an 8-bit ALU whose operation is
+	// selected by side inputs. With mode as a side input, the unit must
+	// match "add" (mode=0) — and the side assignment must be reported.
+	nl := netlist.New("alu")
+	a := gen.InputWord(nl, "a", 8)
+	b := gen.InputWord(nl, "b", 8)
+	mode := nl.AddInput("mode")
+	out, _ := gen.AddSub(nl, a, b, mode)
+
+	ws := mkWords(a, b, out)
+	mods := Match(nl, ws, Options{})
+	var got *module.Module
+	for _, m := range mods {
+		if m.Attr["op"] == "add" {
+			got = m
+		}
+	}
+	if got == nil {
+		t.Fatalf("add/sub unit not matched as add; modules: %d", len(mods))
+	}
+	if got.Width != 8 {
+		t.Errorf("width = %d, want 8", got.Width)
+	}
+	// The mode side input must have been set to 0.
+	if v, ok := got.Attr["side"+itoa(int(mode))]; !ok || v != "0" {
+		t.Errorf("side assignment for mode = %q, want 0 (attrs %v)", v, got.Attr)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestMatchSubtractor(t *testing.T) {
+	nl := netlist.New("sub")
+	a := gen.InputWord(nl, "a", 6)
+	b := gen.InputWord(nl, "b", 6)
+	diff, _ := gen.RippleSubtractor(nl, a, b)
+	mods := Match(nl, mkWords(a, b, gen.Word(diff)), Options{})
+	found := false
+	for _, m := range mods {
+		if m.Attr["op"] == "sub" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("subtractor not matched (%d modules)", len(mods))
+	}
+}
+
+func TestMatchBitwiseXor(t *testing.T) {
+	nl := netlist.New("bx")
+	a := gen.InputWord(nl, "a", 4)
+	b := gen.InputWord(nl, "b", 4)
+	x := gen.Bitwise(nl, netlist.Xor, a, b)
+	mods := Match(nl, mkWords(a, b, x), Options{})
+	found := false
+	for _, m := range mods {
+		if m.Attr["op"] == "xor" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bitwise xor not matched")
+	}
+}
+
+func TestMatchRotate(t *testing.T) {
+	nl := netlist.New("rot")
+	a := gen.InputWord(nl, "a", 6)
+	r := gen.RotateLeft(nl, a, 2)
+	mods := Match(nl, mkWords(a, r), Options{})
+	found := false
+	for _, m := range mods {
+		if m.Attr["op"] == "rotl2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rotate-left-2 not matched (%d mods)", len(mods))
+	}
+}
+
+func TestNoMatchForRandomLogic(t *testing.T) {
+	// An adder output word against unrelated random logic: no match.
+	nl := netlist.New("rand")
+	a := gen.InputWord(nl, "a", 4)
+	b := gen.InputWord(nl, "b", 4)
+	var out gen.Word
+	for i := range a {
+		// A function that is none of the library ops: (a&b) | (a>>?).
+		j := (i + 1) % 4
+		out = append(out, nl.AddGate(netlist.Or,
+			nl.AddGate(netlist.And, a[i], b[i]),
+			nl.AddGate(netlist.And, a[j], b[i])))
+	}
+	mods := Match(nl, mkWords(a, b, out), Options{})
+	for _, m := range mods {
+		t.Errorf("random logic matched %s", m.Name)
+	}
+}
+
+func TestCandidateCarving(t *testing.T) {
+	nl := netlist.New("carve")
+	a := gen.InputWord(nl, "a", 4)
+	b := gen.InputWord(nl, "b", 4)
+	mode := nl.AddInput("mode")
+	out, _ := gen.AddSub(nl, a, b, mode)
+	cands := Candidates(nl, mkWords(a, b, out), Options{})
+	if len(cands) != 1 {
+		t.Fatalf("got %d candidates, want 1", len(cands))
+	}
+	c := cands[0]
+	if len(c.Inputs) != 2 {
+		t.Errorf("input words = %d, want 2", len(c.Inputs))
+	}
+	if len(c.Side) != 1 || c.Side[0] != mode {
+		t.Errorf("side inputs = %v, want [mode]", c.Side)
+	}
+	if len(c.Gates) < 4*5 {
+		t.Errorf("carved region has only %d gates", len(c.Gates))
+	}
+}

@@ -1,0 +1,96 @@
+package module
+
+import (
+	"testing"
+
+	"netlistre/internal/netlist"
+)
+
+func ids(xs ...int) []netlist.ID {
+	out := make([]netlist.ID, len(xs))
+	for i, x := range xs {
+		out[i] = netlist.ID(x)
+	}
+	return out
+}
+
+func TestNewDeduplicatesAndSorts(t *testing.T) {
+	m := New(Adder, 4, ids(5, 3, 5, 1, 3))
+	want := ids(1, 3, 5)
+	if len(m.Elements) != 3 {
+		t.Fatalf("elements = %v", m.Elements)
+	}
+	for i := range want {
+		if m.Elements[i] != want[i] {
+			t.Errorf("elements[%d] = %d, want %d", i, m.Elements[i], want[i])
+		}
+	}
+	if m.Size() != 3 {
+		t.Errorf("size = %d", m.Size())
+	}
+	if m.Name != "adder[4]" {
+		t.Errorf("name = %q", m.Name)
+	}
+}
+
+func TestSharedElements(t *testing.T) {
+	m := New(Mux, 2, ids(1, 2, 3, 9))
+	m.Slices = [][]netlist.ID{ids(1, 9), ids(2, 9)}
+	shared := m.SharedElements()
+	// 9 is in both slices; 3 is in no slice: both shared.
+	if len(shared) != 2 || shared[0] != 3 || shared[1] != 9 {
+		t.Errorf("shared = %v, want [3 9]", shared)
+	}
+	if !m.Sliceable() {
+		t.Error("module with slices not sliceable")
+	}
+}
+
+func TestCoverageAndDisjoint(t *testing.T) {
+	a := New(Adder, 2, ids(1, 2, 3))
+	b := New(Mux, 2, ids(4, 5))
+	if got := CoverageCount([]*Module{a, b}); got != 5 {
+		t.Errorf("coverage = %d, want 5", got)
+	}
+	if _, ok := Disjoint([]*Module{a, b}); !ok {
+		t.Error("disjoint modules reported overlapping")
+	}
+	c := New(RAM, 1, ids(3, 6))
+	if id, ok := Disjoint([]*Module{a, c}); ok || id != 3 {
+		t.Errorf("overlap not detected (id=%d ok=%v)", id, ok)
+	}
+	if got := CoverageCount([]*Module{a, c}); got != 4 {
+		t.Errorf("coverage = %d, want 4", got)
+	}
+}
+
+func TestPortsAndAttrs(t *testing.T) {
+	m := New(Counter, 3, ids(1, 2, 3))
+	m.SetPort("q", ids(1, 2, 3))
+	m.SetAttr("direction", "up")
+	if got := m.Port("q"); len(got) != 3 {
+		t.Errorf("port = %v", got)
+	}
+	if m.Port("missing") != nil {
+		t.Error("missing port should be nil")
+	}
+	if m.Attr["direction"] != "up" {
+		t.Error("attr lost")
+	}
+}
+
+func TestCountByType(t *testing.T) {
+	mods := []*Module{New(Adder, 1, nil), New(Adder, 2, nil), New(Mux, 3, nil)}
+	counts := CountByType(mods)
+	if counts[Adder] != 2 || counts[Mux] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty := Unknown; ty < numTypes; ty++ {
+		if ty.String() == "" || ty.String() == "type(?)" {
+			t.Errorf("type %d has no name", ty)
+		}
+	}
+}

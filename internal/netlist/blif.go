@@ -1,0 +1,373 @@
+package netlist
+
+// BLIF (Berkeley Logic Interchange Format) reader and writer. BLIF is the
+// lingua franca of academic logic-synthesis tools (SIS, ABC, mockturtle),
+// so supporting it lets this library exchange netlists with the ecosystem
+// the paper's techniques come from.
+//
+// Supported subset: .model/.inputs/.outputs/.names/.latch/.end, with
+// multi-line cover tables for .names. Latches use the re (rising-edge)
+// convention; clock and init fields are accepted and ignored (the analyses
+// are clock-agnostic and assume zero initialization).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteBLIF serializes the netlist in BLIF. Gates become .names cover
+// tables; latches become .latch lines.
+func (n *Netlist) WriteBLIF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	name := n.Name
+	if name == "" {
+		name = "top"
+	}
+	netName := func(id ID) string {
+		if nm := n.nodes[id].Name; nm != "" {
+			return sanitize(nm)
+		}
+		return fmt.Sprintf("n%d", id)
+	}
+
+	fmt.Fprintf(bw, ".model %s\n", sanitize(name))
+	fmt.Fprintf(bw, ".inputs")
+	for _, in := range n.Inputs() {
+		fmt.Fprintf(bw, " %s", netName(in))
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, ".outputs")
+	seenOut := map[string]bool{}
+	for _, p := range n.outputs {
+		nm := sanitize(p.Name)
+		if !seenOut[nm] {
+			seenOut[nm] = true
+			fmt.Fprintf(bw, " %s", nm)
+		}
+	}
+	fmt.Fprintln(bw)
+
+	for i := range n.nodes {
+		id := ID(i)
+		node := &n.nodes[i]
+		switch node.Kind {
+		case Input:
+		case Latch:
+			fmt.Fprintf(bw, ".latch %s %s re clk 0\n", netName(node.Fanin[0]), netName(id))
+		case Const0:
+			fmt.Fprintf(bw, ".names %s\n", netName(id)) // empty cover = constant 0
+		case Const1:
+			fmt.Fprintf(bw, ".names %s\n1\n", netName(id))
+		default:
+			writeCover(bw, n, id, netName)
+		}
+	}
+	for _, p := range n.outputs {
+		nm := sanitize(p.Name)
+		if netName(p.Driver) != nm {
+			// Alias buffer for the output name.
+			fmt.Fprintf(bw, ".names %s %s\n1 1\n", netName(p.Driver), nm)
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// writeCover emits the .names cover of one gate.
+func writeCover(bw *bufio.Writer, n *Netlist, id ID, netName func(ID) string) {
+	node := &n.nodes[id]
+	fmt.Fprintf(bw, ".names")
+	for _, f := range node.Fanin {
+		fmt.Fprintf(bw, " %s", netName(f))
+	}
+	fmt.Fprintf(bw, " %s\n", netName(id))
+	k := len(node.Fanin)
+	switch node.Kind {
+	case Buf:
+		fmt.Fprintln(bw, "1 1")
+	case Not:
+		fmt.Fprintln(bw, "0 1")
+	case And:
+		fmt.Fprintln(bw, strings.Repeat("1", k)+" 1")
+	case Nand:
+		// ~AND as a sum of single-zero cubes.
+		for i := 0; i < k; i++ {
+			row := make([]byte, k)
+			for j := range row {
+				row[j] = '-'
+			}
+			row[i] = '0'
+			fmt.Fprintf(bw, "%s 1\n", row)
+		}
+	case Or:
+		for i := 0; i < k; i++ {
+			row := make([]byte, k)
+			for j := range row {
+				row[j] = '-'
+			}
+			row[i] = '1'
+			fmt.Fprintf(bw, "%s 1\n", row)
+		}
+	case Nor:
+		fmt.Fprintln(bw, strings.Repeat("0", k)+" 1")
+	case Xor, Xnor:
+		// Enumerate parity rows (gate arity in this IR is small).
+		wantOdd := node.Kind == Xor
+		for m := 0; m < 1<<uint(k); m++ {
+			ones := 0
+			row := make([]byte, k)
+			for j := 0; j < k; j++ {
+				if m>>uint(j)&1 == 1 {
+					row[j] = '1'
+					ones++
+				} else {
+					row[j] = '0'
+				}
+			}
+			if (ones%2 == 1) == wantOdd {
+				fmt.Fprintf(bw, "%s 1\n", row)
+			}
+		}
+	}
+}
+
+// ReadBLIF parses the BLIF subset emitted by WriteBLIF plus common
+// variations (multi-cube .names, '-' don't-cares, single-output covers).
+// Cover tables are converted to netlist gates: each cube becomes an AND of
+// literals and cubes are ORed; covers listing output 0 are complemented.
+func ReadBLIF(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	type cover struct {
+		inputs []string
+		out    string
+		cubes  []string // input-plane rows
+		outVal byte     // '1' or '0'
+	}
+	type latchDecl struct{ d, q string }
+
+	var model string
+	var inputs, outputs []string
+	var covers []cover
+	var latches []latchDecl
+	var cur *cover
+
+	flush := func() {
+		if cur != nil {
+			covers = append(covers, *cur)
+			cur = nil
+		}
+	}
+
+	// Join continuation lines ending in '\'.
+	var lines []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		for strings.HasSuffix(line, "\\") && sc.Scan() {
+			line = strings.TrimSuffix(line, "\\") + " " + strings.TrimSpace(sc.Text())
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".model":
+			if len(fields) > 1 {
+				model = fields[1]
+			}
+		case ".inputs":
+			flush()
+			inputs = append(inputs, fields[1:]...)
+		case ".outputs":
+			flush()
+			outputs = append(outputs, fields[1:]...)
+		case ".latch":
+			flush()
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("blif: malformed .latch %q", line)
+			}
+			latches = append(latches, latchDecl{d: fields[1], q: fields[2]})
+		case ".names":
+			flush()
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif: malformed .names %q", line)
+			}
+			cur = &cover{
+				inputs: fields[1 : len(fields)-1],
+				out:    fields[len(fields)-1],
+				outVal: '1',
+			}
+		case ".end":
+			flush()
+		default:
+			if fields[0][0] == '.' {
+				return nil, fmt.Errorf("blif: unsupported construct %q", fields[0])
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("blif: cover row outside .names: %q", line)
+			}
+			switch len(fields) {
+			case 1:
+				if len(cur.inputs) != 0 {
+					return nil, fmt.Errorf("blif: missing input plane in %q", line)
+				}
+				cur.cubes = append(cur.cubes, "")
+				cur.outVal = fields[0][0]
+			case 2:
+				if len(fields[0]) != len(cur.inputs) {
+					return nil, fmt.Errorf("blif: cube width mismatch in %q", line)
+				}
+				cur.cubes = append(cur.cubes, fields[0])
+				cur.outVal = fields[1][0]
+			default:
+				return nil, fmt.Errorf("blif: malformed cover row %q", line)
+			}
+		}
+	}
+	flush()
+
+	n := New(model)
+	ids := make(map[string]ID)
+	for _, in := range inputs {
+		if _, dup := ids[in]; dup {
+			return nil, fmt.Errorf("blif: duplicate input %q", in)
+		}
+		ids[in] = n.AddInput(in)
+	}
+	// Latches first (feedback), patched later.
+	for _, l := range latches {
+		if _, dup := ids[l.q]; dup {
+			return nil, fmt.Errorf("blif: latch output %q already driven", l.q)
+		}
+		ids[l.q] = n.AddNamedLatch(l.q, n.AddConst(false))
+	}
+
+	coverOf := make(map[string]*cover, len(covers))
+	for i := range covers {
+		c := &covers[i]
+		if _, dup := coverOf[c.out]; dup {
+			return nil, fmt.Errorf("blif: net %q driven by two covers", c.out)
+		}
+		coverOf[c.out] = c
+	}
+
+	var build func(net string, trail map[string]bool) (ID, error)
+	build = func(net string, trail map[string]bool) (ID, error) {
+		if id, ok := ids[net]; ok {
+			return id, nil
+		}
+		if trail[net] {
+			return Nil, fmt.Errorf("blif: combinational cycle through %q", net)
+		}
+		trail[net] = true
+		defer delete(trail, net)
+		c, ok := coverOf[net]
+		if !ok {
+			return Nil, fmt.Errorf("blif: net %q has no driver", net)
+		}
+		fan := make([]ID, len(c.inputs))
+		for i, in := range c.inputs {
+			fid, err := build(in, trail)
+			if err != nil {
+				return Nil, err
+			}
+			fan[i] = fid
+		}
+		id, err := buildCoverGate(n, c.cubes, c.outVal, fan)
+		if err != nil {
+			return Nil, fmt.Errorf("blif: cover for %q: %w", net, err)
+		}
+		n.SetName(id, net)
+		ids[net] = id
+		return id, nil
+	}
+
+	var nets []string
+	for net := range coverOf {
+		nets = append(nets, net)
+	}
+	sort.Strings(nets)
+	for _, net := range nets {
+		if _, err := build(net, map[string]bool{}); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range latches {
+		d, err := build(l.d, map[string]bool{})
+		if err != nil {
+			return nil, err
+		}
+		n.SetLatchD(ids[l.q], d)
+	}
+	for _, out := range outputs {
+		id, ok := ids[out]
+		if !ok {
+			return nil, fmt.Errorf("blif: output %q has no driver", out)
+		}
+		n.MarkOutput(out, id)
+	}
+	return n, nil
+}
+
+// buildCoverGate converts a BLIF cover into gates: OR of cube ANDs (or the
+// complement for output-0 covers).
+func buildCoverGate(n *Netlist, cubes []string, outVal byte, fan []ID) (ID, error) {
+	if len(cubes) == 0 {
+		// Empty cover: constant 0 (or 1 for output-0 covers).
+		return n.AddConst(outVal == '0'), nil
+	}
+	var terms []ID
+	for _, cube := range cubes {
+		var lits []ID
+		for i := 0; i < len(cube); i++ {
+			switch cube[i] {
+			case '1':
+				lits = append(lits, fan[i])
+			case '0':
+				lits = append(lits, n.AddGate(Not, fan[i]))
+			case '-':
+			default:
+				return Nil, fmt.Errorf("bad cube char %q", cube[i])
+			}
+		}
+		switch len(lits) {
+		case 0:
+			// Tautological cube: cover is constant 1.
+			return n.AddConst(outVal == '1'), nil
+		case 1:
+			if len(cubes) == 1 && cube[strings.IndexAny(cube, "01")] == '1' && outVal == '1' {
+				// A pure buffer cover: materialize a Buf gate so the cover
+				// output gets its own node (naming the fanin directly would
+				// clobber the fanin's name).
+				return n.AddGate(Buf, lits[0]), nil
+			}
+			terms = append(terms, lits[0])
+		default:
+			terms = append(terms, n.AddGate(And, lits...))
+		}
+	}
+	var sum ID
+	if len(terms) == 1 {
+		sum = terms[0]
+	} else {
+		sum = n.AddGate(Or, terms...)
+	}
+	if outVal == '0' {
+		sum = n.AddGate(Not, sum)
+	}
+	return sum, nil
+}

@@ -1,0 +1,172 @@
+package netlist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBLIFRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 25; trial++ {
+		orig := randomNetlist(rng, 3+rng.Intn(4), 5+rng.Intn(20), rng.Intn(4))
+		var buf bytes.Buffer
+		if err := orig.WriteBLIF(&buf); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := ReadBLIF(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: read: %v\n%s", trial, err, buf.String())
+		}
+		if err := got.Check(); err != nil {
+			t.Fatalf("trial %d: parsed netlist invalid: %v", trial, err)
+		}
+		// Co-simulate.
+		inByName := func(nl *Netlist) map[string]ID {
+			m := make(map[string]ID)
+			for _, in := range nl.Inputs() {
+				m[nl.NameOf(in)] = in
+			}
+			return m
+		}
+		oIn, gIn := inByName(orig), inByName(got)
+		if len(oIn) != len(gIn) {
+			t.Fatalf("trial %d: input count changed", trial)
+		}
+		oSt, gSt := orig.NewState(), got.NewState()
+		for cycle := 0; cycle < 6; cycle++ {
+			oAssign := map[ID]bool{}
+			gAssign := map[ID]bool{}
+			for name, oid := range oIn {
+				v := rng.Intn(2) == 1
+				oAssign[oid] = v
+				gAssign[gIn[name]] = v
+			}
+			oOut := orig.OutputValues(orig.Step(oSt, oAssign))
+			gOut := got.OutputValues(got.Step(gSt, gAssign))
+			for name, ov := range oOut {
+				if gv, ok := gOut[name]; !ok || gv != ov {
+					t.Fatalf("trial %d cycle %d: output %q = %v, want %v\n%s",
+						trial, cycle, name, gv, ov, buf.String())
+				}
+			}
+		}
+	}
+}
+
+func TestReadBLIFHandWritten(t *testing.T) {
+	src := `
+# a tiny sequential design
+.model demo
+.inputs a b
+.outputs y q
+.names a b w1   # and
+11 1
+.names w1 nw    # not with dont-care style
+0 1
+.latch nw q re clk 0
+.names a b q y
+1-- 1
+-11 1
+.end
+`
+	nl, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if nl.Name != "demo" {
+		t.Errorf("model name = %q", nl.Name)
+	}
+	s := nl.Stats()
+	if s.Inputs != 2 || s.Latches != 1 || s.Outputs != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Behaviour: y = a | (b & q); q' = ~(a & b).
+	a, b := nl.FindByName("a"), nl.FindByName("b")
+	st := nl.NewState()
+	vals := nl.Step(st, map[ID]bool{a: true, b: true})
+	out := nl.OutputValues(vals)
+	if !out["y"] {
+		t.Error("y should be 1 when a=1")
+	}
+	// q' = ~(1&1) = 0.
+	vals = nl.Step(st, map[ID]bool{a: false, b: true})
+	out = nl.OutputValues(vals)
+	if out["q"] {
+		t.Error("q should be 0 after a=b=1 cycle")
+	}
+	if out["y"] {
+		t.Error("y = a | b&q = 0 | 1&0 = 0")
+	}
+}
+
+func TestReadBLIFConstantsAndComplementCover(t *testing.T) {
+	src := `
+.model consts
+.inputs a
+.outputs z0 z1 yc
+.names z0
+.names z1
+1
+.names a yc
+1 0
+.end
+`
+	nl, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := nl.FindByName("a")
+	for _, av := range []bool{false, true} {
+		out := nl.OutputValues(nl.Eval(map[ID]bool{a: av}))
+		if out["z0"] != false || out["z1"] != true {
+			t.Errorf("constants wrong: %v", out)
+		}
+		// yc lists cube "1" with output 0: f = ~(a) per complement cover.
+		if out["yc"] != !av {
+			t.Errorf("complement cover: yc(a=%v) = %v", av, out["yc"])
+		}
+	}
+}
+
+func TestReadBLIFErrors(t *testing.T) {
+	cases := []string{
+		".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end",  // cube width
+		".model m\n.inputs a\n.outputs y\n.end",                    // missing driver
+		".model m\n.inputs a\n.outputs y\n.gate foo a y\n.end",     // unsupported
+		".model m\n.inputs a\n.outputs y\n.names y y\n1 1\n.end",   // cycle
+		".model m\n.inputs a a\n.outputs y\n.names a y\n1 1\n.end", // dup input
+	}
+	for i, src := range cases {
+		if _, err := ReadBLIF(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestBLIFBufferCoverDoesNotClobberNames(t *testing.T) {
+	src := `
+.model buf
+.inputs a
+.outputs y
+.names a y
+1 1
+.end
+`
+	nl, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := nl.FindByName("a")
+	if nl.Kind(a) != Input || nl.NameOf(a) != "a" {
+		t.Errorf("input a renamed or replaced")
+	}
+	y := nl.FindByName("y")
+	if y == Nil || nl.Kind(y) != Buf {
+		t.Errorf("y should be a distinct buffer node, got %v", nl.Kind(y))
+	}
+}

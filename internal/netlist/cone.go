@@ -1,0 +1,187 @@
+package netlist
+
+// This file implements combinational fan-in cone traversal and topological
+// ordering. Cones are the basic unit of functional analysis: the "full
+// combinational fan-in cone" of a node stops at primary inputs and latch
+// outputs, so the cone computes a pure Boolean function of those boundary
+// signals.
+
+// Cone describes the full combinational fan-in cone of one or more roots.
+type Cone struct {
+	// Roots are the nodes whose cone was traversed.
+	Roots []ID
+	// Inputs are the boundary signals (primary inputs and latch outputs)
+	// the cone depends on, sorted ascending.
+	Inputs []ID
+	// Nodes are the combinational nodes inside the cone (including the
+	// roots when they are combinational), sorted ascending.
+	Nodes []ID
+}
+
+// ConeOf computes the full combinational fan-in cone of root.
+func (n *Netlist) ConeOf(root ID) Cone { return n.ConeOfAll([]ID{root}) }
+
+// ConeOfAll computes the merged full combinational fan-in cone of several
+// roots.
+func (n *Netlist) ConeOfAll(roots []ID) Cone {
+	c := Cone{Roots: append([]ID(nil), roots...)}
+	seen := make(map[ID]bool)
+	var stack []ID
+	push := func(id ID) {
+		if !seen[id] {
+			seen[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, r := range roots {
+		if n.nodes[r].Kind.IsConeInput() {
+			// A root that is itself an input/latch contributes itself as a
+			// boundary signal but no interior nodes.
+			if !seen[r] {
+				seen[r] = true
+				c.Inputs = append(c.Inputs, r)
+			}
+			continue
+		}
+		push(r)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c.Nodes = append(c.Nodes, id)
+		for _, f := range n.nodes[id].Fanin {
+			if n.nodes[f].Kind.IsConeInput() {
+				if !seen[f] {
+					seen[f] = true
+					c.Inputs = append(c.Inputs, f)
+				}
+				continue
+			}
+			push(f)
+		}
+	}
+	c.Inputs = SortedIDs(c.Inputs)
+	c.Nodes = SortedIDs(c.Nodes)
+	return c
+}
+
+// SupportOf returns the sorted boundary signals (inputs and latches) that
+// node id transitively depends on combinationally. For an input or latch it
+// returns the node itself.
+func (n *Netlist) SupportOf(id ID) []ID {
+	if n.nodes[id].Kind.IsConeInput() {
+		return []ID{id}
+	}
+	return n.ConeOf(id).Inputs
+}
+
+// TopoOrder returns all nodes in a topological order where every
+// combinational node appears after its fanins. Inputs, constants and latches
+// (whose outputs are state, not combinational functions) come first.
+func (n *Netlist) TopoOrder() []ID {
+	order := make([]ID, 0, len(n.nodes))
+	state := make([]byte, len(n.nodes)) // 0 unvisited, 1 on stack, 2 done
+	type frame struct {
+		id  ID
+		idx int
+	}
+	var stack []frame
+	for i := range n.nodes {
+		if state[i] != 0 {
+			continue
+		}
+		if !n.nodes[i].Kind.IsGate() {
+			// Boundary node: emit immediately.
+			state[i] = 2
+			order = append(order, ID(i))
+			continue
+		}
+		stack = append(stack[:0], frame{ID(i), 0})
+		state[i] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			node := &n.nodes[f.id]
+			if f.idx >= len(node.Fanin) {
+				state[f.id] = 2
+				order = append(order, f.id)
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			child := node.Fanin[f.idx]
+			f.idx++
+			if state[child] != 0 {
+				continue
+			}
+			if !n.nodes[child].Kind.IsGate() {
+				state[child] = 2
+				order = append(order, child)
+				continue
+			}
+			state[child] = 1
+			stack = append(stack, frame{child, 0})
+		}
+	}
+	return order
+}
+
+// HasCombPath reports whether there is a purely combinational path from the
+// output of node from to node to (to itself is not considered a path unless
+// a cycle through gates exists, which Check forbids).
+func (n *Netlist) HasCombPath(from, to ID) bool {
+	seen := make(map[ID]bool)
+	var stack []ID
+	for _, g := range n.fanout[from] {
+		if g == to {
+			return true
+		}
+		if n.nodes[g].Kind.IsGate() && !seen[g] {
+			seen[g] = true
+			stack = append(stack, g)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, g := range n.fanout[id] {
+			if g == to {
+				return true
+			}
+			if n.nodes[g].Kind.IsGate() && !seen[g] {
+				seen[g] = true
+				stack = append(stack, g)
+			}
+		}
+	}
+	return false
+}
+
+// CountCombPaths counts the number of distinct combinational paths from the
+// output of from to node to, saturating at limit (counting all paths can be
+// exponential; callers only ever need "zero, one, or more").
+func (n *Netlist) CountCombPaths(from, to ID, limit int) int {
+	// memo[g] = number of paths from the output of g to node `to`,
+	// saturated at limit.
+	memo := make(map[ID]int)
+	var paths func(g ID) int
+	paths = func(g ID) int {
+		if v, ok := memo[g]; ok {
+			return v
+		}
+		memo[g] = 0 // cycle guard; combinational logic is acyclic anyway
+		total := 0
+		for _, fo := range n.fanout[g] {
+			if fo == to {
+				total++
+			} else if n.nodes[fo].Kind.IsGate() {
+				total += paths(fo)
+			}
+			if total >= limit {
+				total = limit
+				break
+			}
+		}
+		memo[g] = total
+		return total
+	}
+	return paths(from)
+}

@@ -1,0 +1,111 @@
+package netlist
+
+// This file implements concrete Boolean evaluation of a netlist: pure
+// combinational evaluation given values for inputs and latches, and a
+// single-clock sequential step function. These are used by tests (to verify
+// that generated circuits and simplifications behave correctly) and by the
+// dynamic parts of the benchmark harness.
+
+// EvalKind computes the output of a gate of the given kind over the fanin
+// values. It panics for non-combinational kinds.
+func EvalKind(k Kind, in []bool) bool {
+	switch k {
+	case Const0:
+		return false
+	case Const1:
+		return true
+	case And, Nand:
+		v := true
+		for _, b := range in {
+			v = v && b
+		}
+		if k == Nand {
+			return !v
+		}
+		return v
+	case Or, Nor:
+		v := false
+		for _, b := range in {
+			v = v || b
+		}
+		if k == Nor {
+			return !v
+		}
+		return v
+	case Xor, Xnor:
+		v := false
+		for _, b := range in {
+			v = v != b
+		}
+		if k == Xnor {
+			return !v
+		}
+		return v
+	case Not:
+		return !in[0]
+	case Buf:
+		return in[0]
+	}
+	panic("netlist: EvalKind on non-combinational kind " + k.String())
+}
+
+// Eval computes the value of every node given an assignment to the boundary
+// signals. boundary must supply a value for every primary input and latch;
+// missing entries default to false. The returned slice is indexed by node
+// ID.
+func (n *Netlist) Eval(boundary map[ID]bool) []bool {
+	vals := make([]bool, len(n.nodes))
+	order := n.TopoOrder()
+	var buf []bool
+	for _, id := range order {
+		node := &n.nodes[id]
+		switch {
+		case node.Kind == Input || node.Kind == Latch:
+			vals[id] = boundary[id]
+		case node.Kind == Const1:
+			vals[id] = true
+		case node.Kind == Const0:
+			vals[id] = false
+		default:
+			buf = buf[:0]
+			for _, f := range node.Fanin {
+				buf = append(buf, vals[f])
+			}
+			vals[id] = EvalKind(node.Kind, buf)
+		}
+	}
+	return vals
+}
+
+// State holds the latch values of a netlist between sequential steps.
+type State map[ID]bool
+
+// NewState returns an all-zero state for the netlist.
+func (n *Netlist) NewState() State { return make(State) }
+
+// Step performs one clock cycle: it evaluates the combinational logic under
+// the current state and input assignment, returns the node values, and
+// advances every latch to the value of its D input.
+func (n *Netlist) Step(st State, inputs map[ID]bool) []bool {
+	boundary := make(map[ID]bool, len(st)+len(inputs))
+	for id, v := range st {
+		boundary[id] = v
+	}
+	for id, v := range inputs {
+		boundary[id] = v
+	}
+	vals := n.Eval(boundary)
+	for _, l := range n.Latches() {
+		st[l] = vals[n.nodes[l].Fanin[0]]
+	}
+	return vals
+}
+
+// OutputValues extracts the primary output values from an Eval/Step result.
+func (n *Netlist) OutputValues(vals []bool) map[string]bool {
+	out := make(map[string]bool, len(n.outputs))
+	for _, p := range n.outputs {
+		out[p.Name] = vals[p.Driver]
+	}
+	return out
+}

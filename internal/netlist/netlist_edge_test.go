@@ -1,0 +1,131 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestBuilderPanics(t *testing.T) {
+	n := New("p")
+	a := n.AddInput("a")
+	mustPanic(t, "AddGate with latch kind", func() { n.AddGate(Latch, a) })
+	mustPanic(t, "Not with 2 fanins", func() { n.AddGate(Not, a, a) })
+	mustPanic(t, "And with 1 fanin", func() { n.AddGate(And, a) })
+	mustPanic(t, "out-of-range fanin", func() { n.AddGate(And, a, ID(99)) })
+	l := n.AddLatch(a)
+	mustPanic(t, "SetLatchD on non-latch", func() { n.SetLatchD(a, l) })
+}
+
+func TestCheckReportsArityErrors(t *testing.T) {
+	n := New("c")
+	a := n.AddInput("a")
+	g := n.AddGate(And, a, a)
+	// Corrupt arity directly.
+	n.nodes[g].Fanin = n.nodes[g].Fanin[:1]
+	if err := n.Check(); err == nil || !strings.Contains(err.Error(), "fanins") {
+		t.Errorf("Check = %v", err)
+	}
+}
+
+func TestNameOfAnonymous(t *testing.T) {
+	n := New("x")
+	a := n.AddInput("a")
+	g := n.AddGate(Not, a)
+	if got := n.NameOf(g); got != "n1" {
+		t.Errorf("NameOf anonymous = %q", got)
+	}
+	if n.FindByName("missing") != Nil {
+		t.Error("FindByName on missing should be Nil")
+	}
+}
+
+func TestKindStringsAndPredicates(t *testing.T) {
+	for k := Const0; k < numKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	if !And.IsGate() || Latch.IsGate() || Input.IsGate() {
+		t.Error("IsGate wrong")
+	}
+	if !Const0.IsComb() || Input.IsComb() {
+		t.Error("IsComb wrong")
+	}
+	if !Input.IsConeInput() || !Latch.IsConeInput() || Buf.IsConeInput() {
+		t.Error("IsConeInput wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := New("orig")
+	a := n.AddInput("a")
+	g := n.AddGate(Not, a)
+	n.MarkOutput("y", g)
+	c := n.Clone()
+	// Extending the clone must not disturb the original.
+	c.AddGate(Buf, g)
+	if n.Len() == c.Len() {
+		t.Error("clone shares node storage")
+	}
+	if c.FindByName("a") != a {
+		t.Error("clone lost name map")
+	}
+	if len(c.Outputs()) != 1 || c.Outputs()[0].Name != "y" {
+		t.Error("clone lost outputs")
+	}
+}
+
+func TestVerilogParseErrors(t *testing.T) {
+	cases := []string{
+		"module m (a); input a; xor g (a); endmodule",                  // gate arity
+		"module m (a, y); input a; output y; endmodule",                // undriven output
+		"module m (y); output y; and g (y, z, z); endmodule",           // undriven net
+		"module m (a); input a; frob g (x, a); endmodule",              // unknown gate
+		"module m (a, y); input a; output y; not g1 (y, y); endmodule", // cycle
+	}
+	for i, src := range cases {
+		if _, err := ReadVerilog(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestVerilogComments(t *testing.T) {
+	src := `
+// top comment
+module m (a, y);
+  input a; // the input
+  output y;
+  not g0 (y, a); // inverter
+endmodule
+`
+	nl, err := ReadVerilog(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Stats().Gates != 1 {
+		t.Errorf("gates = %d", nl.Stats().Gates)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("a.b[3]"); strings.ContainsAny(got, ".[]") {
+		t.Errorf("sanitize left specials: %q", got)
+	}
+	if sanitize("") != "_" {
+		t.Error("empty name should sanitize to _")
+	}
+	if got := sanitize("3x"); got[0] == '3' {
+		t.Errorf("leading digit survived: %q", got)
+	}
+}

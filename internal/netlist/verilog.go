@@ -1,0 +1,458 @@
+package netlist
+
+// This file implements a structural Verilog subset reader and writer. The
+// paper's tool consumes synthesized Verilog netlists; we support the subset
+// such netlists use when mapped to primitive gates:
+//
+//	module name (p0, p1, ...);
+//	  input a; output y; wire w1;
+//	  and  g0 (w1, a, b);     // output port first, then inputs
+//	  not  g1 (y, w1);
+//	  dff  r0 (q, d);         // Q first, then D
+//	  assign w2 = 1'b0;
+//	endmodule
+//
+// Gate types: and, or, nand, nor, xor, xnor (n-ary), not, buf (unary),
+// dff (2 ports). This is deliberately a tiny grammar: the point of the
+// repository is netlist analysis, not Verilog parsing.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteVerilog serializes the netlist in the structural subset described in
+// the package documentation. Node names are preserved; anonymous nodes get
+// synthesized names.
+func (n *Netlist) WriteVerilog(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	name := n.Name
+	if name == "" {
+		name = "top"
+	}
+
+	netName := func(id ID) string {
+		node := &n.nodes[id]
+		if node.Name != "" {
+			return sanitize(node.Name)
+		}
+		return fmt.Sprintf("n%d", id)
+	}
+
+	var ports []string
+	for _, in := range n.Inputs() {
+		ports = append(ports, netName(in))
+	}
+	outPort := make(map[string]ID)
+	var outNames []string
+	for _, p := range n.outputs {
+		nm := sanitize(p.Name)
+		if _, dup := outPort[nm]; !dup {
+			outPort[nm] = p.Driver
+			outNames = append(outNames, nm)
+		}
+	}
+	ports = append(ports, outNames...)
+
+	fmt.Fprintf(bw, "module %s (%s);\n", sanitize(name), strings.Join(ports, ", "))
+	for _, in := range n.Inputs() {
+		fmt.Fprintf(bw, "  input %s;\n", netName(in))
+	}
+	for _, nm := range outNames {
+		fmt.Fprintf(bw, "  output %s;\n", nm)
+	}
+	for i, node := range n.nodes {
+		if node.Kind == Input {
+			continue
+		}
+		fmt.Fprintf(bw, "  wire %s;\n", netName(ID(i)))
+	}
+	gi := 0
+	for i, node := range n.nodes {
+		id := ID(i)
+		switch node.Kind {
+		case Input:
+			// ports only
+		case Const0:
+			fmt.Fprintf(bw, "  assign %s = 1'b0;\n", netName(id))
+		case Const1:
+			fmt.Fprintf(bw, "  assign %s = 1'b1;\n", netName(id))
+		case Latch:
+			fmt.Fprintf(bw, "  dff g%d (%s, %s);\n", gi, netName(id), netName(node.Fanin[0]))
+			gi++
+		default:
+			args := make([]string, 0, len(node.Fanin)+1)
+			args = append(args, netName(id))
+			for _, f := range node.Fanin {
+				args = append(args, netName(f))
+			}
+			fmt.Fprintf(bw, "  %s g%d (%s);\n", node.Kind, gi, strings.Join(args, ", "))
+			gi++
+		}
+	}
+	for _, nm := range outNames {
+		drv := outPort[nm]
+		if netName(drv) != nm {
+			fmt.Fprintf(bw, "  assign %s = %s;\n", nm, netName(drv))
+		}
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+var gateKinds = map[string]Kind{
+	"and": And, "or": Or, "nand": Nand, "nor": Nor,
+	"xor": Xor, "xnor": Xnor, "not": Not, "buf": Buf,
+}
+
+// ReadVerilog parses a netlist in the structural subset emitted by
+// WriteVerilog.
+func ReadVerilog(r io.Reader) (*Netlist, error) {
+	toks, err := tokenize(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &vparser{toks: toks}
+	return p.parseModule()
+}
+
+type vparser struct {
+	toks []string
+	pos  int
+}
+
+func (p *vparser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *vparser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *vparser) expect(t string) error {
+	if got := p.next(); got != t {
+		return fmt.Errorf("verilog: expected %q, got %q", t, got)
+	}
+	return nil
+}
+
+// pending records facts collected during the parse, resolved once all nets
+// are known.
+type pendingGate struct {
+	kind Kind
+	out  string
+	ins  []string
+}
+
+func (p *vparser) parseModule() (*Netlist, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name == "" {
+		return nil, fmt.Errorf("verilog: missing module name")
+	}
+	// Port list.
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for p.peek() != ")" && p.peek() != "" {
+		p.next()
+		if p.peek() == "," {
+			p.next()
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	var inputs, outputs, wires []string
+	var gates []pendingGate
+	assigns := make(map[string]string) // lhs -> rhs net or "0"/"1"
+
+	for {
+		switch t := p.next(); t {
+		case "endmodule":
+			return buildFromParse(name, inputs, outputs, wires, gates, assigns)
+		case "":
+			return nil, fmt.Errorf("verilog: unexpected end of input")
+		case "input", "output", "wire":
+			for {
+				nm := p.next()
+				if nm == "" || nm == ";" {
+					return nil, fmt.Errorf("verilog: bad %s declaration", t)
+				}
+				switch t {
+				case "input":
+					inputs = append(inputs, nm)
+				case "output":
+					outputs = append(outputs, nm)
+				case "wire":
+					wires = append(wires, nm)
+				}
+				if sep := p.next(); sep == ";" {
+					break
+				} else if sep != "," {
+					return nil, fmt.Errorf("verilog: expected , or ; in %s declaration, got %q", t, sep)
+				}
+			}
+		case "assign":
+			lhs := p.next()
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			rhs := p.next()
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			switch rhs {
+			case "1'b0":
+				assigns[lhs] = "0"
+			case "1'b1":
+				assigns[lhs] = "1"
+			default:
+				assigns[lhs] = rhs
+			}
+		case "dff":
+			p.next() // instance name
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			if len(args) != 2 {
+				return nil, fmt.Errorf("verilog: dff needs 2 ports, got %d", len(args))
+			}
+			gates = append(gates, pendingGate{kind: Latch, out: args[0], ins: args[1:]})
+		default:
+			kind, ok := gateKinds[t]
+			if !ok {
+				return nil, fmt.Errorf("verilog: unknown statement %q", t)
+			}
+			p.next() // instance name
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			if len(args) < 2 {
+				return nil, fmt.Errorf("verilog: gate %s needs >=2 ports", t)
+			}
+			gates = append(gates, pendingGate{kind: kind, out: args[0], ins: args[1:]})
+		}
+	}
+}
+
+func (p *vparser) parseArgs() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []string
+	for {
+		a := p.next()
+		if a == "" {
+			return nil, fmt.Errorf("verilog: unexpected end of port list")
+		}
+		args = append(args, a)
+		switch sep := p.next(); sep {
+		case ",":
+		case ")":
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			return args, nil
+		default:
+			return nil, fmt.Errorf("verilog: expected , or ) in port list, got %q", sep)
+		}
+	}
+}
+
+func buildFromParse(name string, inputs, outputs, wires []string,
+	gates []pendingGate, assigns map[string]string) (*Netlist, error) {
+
+	n := New(name)
+	ids := make(map[string]ID)
+	for _, in := range inputs {
+		if _, dup := ids[in]; dup {
+			return nil, fmt.Errorf("verilog: duplicate input %q", in)
+		}
+		ids[in] = n.AddInput(in)
+	}
+
+	driver := make(map[string]int) // net -> index into gates, or -2 for const/alias
+	for i, g := range gates {
+		if _, dup := driver[g.out]; dup {
+			return nil, fmt.Errorf("verilog: net %q driven twice", g.out)
+		}
+		if _, isIn := ids[g.out]; isIn {
+			return nil, fmt.Errorf("verilog: input %q driven by gate", g.out)
+		}
+		driver[g.out] = i
+	}
+
+	// Create latches first so feedback resolves; the D input is patched in
+	// a second pass.
+	for i := range gates {
+		if gates[i].kind == Latch {
+			ids[gates[i].out] = n.AddNamedLatch(gates[i].out, n.AddConst(false))
+		}
+	}
+
+	var resolve func(net string, trail map[string]bool) (ID, error)
+	resolve = func(net string, trail map[string]bool) (ID, error) {
+		if id, ok := ids[net]; ok {
+			return id, nil
+		}
+		if trail[net] {
+			return Nil, fmt.Errorf("verilog: combinational cycle through net %q", net)
+		}
+		trail[net] = true
+		defer delete(trail, net)
+		if rhs, ok := assigns[net]; ok {
+			switch rhs {
+			case "0":
+				id := n.AddConst(false)
+				n.SetName(id, net)
+				ids[net] = id
+				return id, nil
+			case "1":
+				id := n.AddConst(true)
+				n.SetName(id, net)
+				ids[net] = id
+				return id, nil
+			default:
+				src, err := resolve(rhs, trail)
+				if err != nil {
+					return Nil, err
+				}
+				ids[net] = src
+				return src, nil
+			}
+		}
+		gi, ok := driver[net]
+		if !ok {
+			return Nil, fmt.Errorf("verilog: net %q has no driver", net)
+		}
+		g := gates[gi]
+		fan := make([]ID, 0, len(g.ins))
+		for _, in := range g.ins {
+			fid, err := resolve(in, trail)
+			if err != nil {
+				return Nil, err
+			}
+			fan = append(fan, fid)
+		}
+		id := n.AddNamedGate(net, g.kind, fan...)
+		ids[net] = id
+		return id, nil
+	}
+
+	// Resolve every declared wire and output, plus all gate outputs.
+	all := append(append([]string{}, wires...), outputs...)
+	for _, g := range gates {
+		all = append(all, g.out)
+	}
+	sort.Strings(all)
+	for _, net := range all {
+		if _, err := resolve(net, map[string]bool{}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Patch latch D inputs.
+	for _, g := range gates {
+		if g.kind != Latch {
+			continue
+		}
+		d, err := resolve(g.ins[0], map[string]bool{})
+		if err != nil {
+			return nil, err
+		}
+		n.SetLatchD(ids[g.out], d)
+	}
+
+	for _, out := range outputs {
+		id, ok := ids[out]
+		if !ok {
+			return nil, fmt.Errorf("verilog: output %q has no driver", out)
+		}
+		n.MarkOutput(out, id)
+	}
+	return n, nil
+}
+
+func tokenize(r io.Reader) ([]string, error) {
+	br := bufio.NewReader(r)
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for {
+		c, _, err := br.ReadRune()
+		if err == io.EOF {
+			flush()
+			return toks, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case c == '/':
+			// Possible // comment.
+			c2, _, err2 := br.ReadRune()
+			if err2 == nil && c2 == '/' {
+				flush()
+				for {
+					c3, _, err3 := br.ReadRune()
+					if err3 != nil || c3 == '\n' {
+						break
+					}
+				}
+				continue
+			}
+			if err2 == nil {
+				if uerr := br.UnreadRune(); uerr != nil {
+					return nil, uerr
+				}
+			}
+			cur.WriteRune(c)
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			flush()
+		case c == '(' || c == ')' || c == ',' || c == ';' || c == '=':
+			flush()
+			toks = append(toks, string(c))
+		default:
+			cur.WriteRune(c)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSolveRandom3SAT measures CDCL throughput near the phase
+// transition.
+func BenchmarkSolveRandom3SAT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const nVars = 120
+	nClauses := int(4.2 * nVars)
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for c := 0; c < nClauses; c++ {
+			s.AddClause(
+				MkLit(rng.Intn(nVars), rng.Intn(2) == 0),
+				MkLit(rng.Intn(nVars), rng.Intn(2) == 0),
+				MkLit(rng.Intn(nVars), rng.Intn(2) == 0))
+		}
+		s.Solve()
+	}
+}
+
+// BenchmarkPigeonhole measures learned-clause performance on a classic
+// unsat family.
+func BenchmarkPigeonhole(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		n := 7
+		vars := make([][]int, n+1)
+		for p := range vars {
+			vars[p] = make([]int, n)
+			for h := range vars[p] {
+				vars[p][h] = s.NewVar()
+			}
+		}
+		for p := 0; p <= n; p++ {
+			lits := make([]Lit, n)
+			for h := 0; h < n; h++ {
+				lits[h] = MkLit(vars[p][h], false)
+			}
+			s.AddClause(lits...)
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					s.AddClause(MkLit(vars[p1][h], true), MkLit(vars[p2][h], true))
+				}
+			}
+		}
+		if s.Solve() != Unsat {
+			b.Fatal("PHP sat?")
+		}
+	}
+}

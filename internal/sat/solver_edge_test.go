@@ -1,0 +1,118 @@
+package sat
+
+import (
+	"testing"
+)
+
+func TestMaxConflictsUnknown(t *testing.T) {
+	// A hard pigeonhole instance with a tiny conflict budget must return
+	// Unknown, not hang or misreport.
+	s := New()
+	s.MaxConflicts = 20
+	n := 7
+	vars := make([][]int, n+1)
+	for p := range vars {
+		vars[p] = make([]int, n)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = MkLit(vars[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(vars[p1][h], true), MkLit(vars[p2][h], true))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unknown {
+		t.Errorf("Solve with tiny budget = %v, want Unknown", got)
+	}
+	// Raising the budget must eventually decide it.
+	s.MaxConflicts = 0
+	if got := s.Solve(); got != Unsat {
+		t.Errorf("Solve with no budget = %v, want Unsat", got)
+	}
+}
+
+func TestTautologyAndDuplicateLiterals(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	// Tautology is dropped silently.
+	if !s.AddClause(MkLit(a, false), MkLit(a, true)) {
+		t.Error("tautology rejected")
+	}
+	// Duplicates collapse.
+	if !s.AddClause(MkLit(b, false), MkLit(b, false)) {
+		t.Error("duplicate-literal clause rejected")
+	}
+	if s.Solve() != Sat || !s.Value(b) {
+		t.Error("unit b not enforced")
+	}
+}
+
+func TestAddClauseAfterUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(a, true)) // now unsat
+	if s.AddClause(MkLit(a, false)) {
+		t.Error("AddClause on dead solver should report failure")
+	}
+	if s.Solve() != Unsat {
+		t.Error("dead solver should stay unsat")
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	l := MkLit(5, false)
+	if l.Var() != 5 || l.Sign() || l.Neg().Sign() != true || l.Neg().Var() != 5 {
+		t.Error("literal helpers broken")
+	}
+	if l.String() != "x5" || l.Neg().String() != "~x5" {
+		t.Errorf("literal strings: %s %s", l, l.Neg())
+	}
+	for _, st := range []Status{Sat, Unsat, Unknown} {
+		if st.String() == "" {
+			t.Error("empty status string")
+		}
+	}
+}
+
+func TestLubySequence(t *testing.T) {
+	want := []int{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(i + 1); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestManyRandomRestarting(t *testing.T) {
+	// A satisfiable instance large enough to trigger restarts.
+	s := New()
+	const n = 60
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	// Chain implications x0 -> x1 -> ... -> x59 plus x0.
+	s.AddClause(MkLit(0, false))
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(MkLit(i, true), MkLit(i+1, false))
+	}
+	if s.Solve() != Sat {
+		t.Fatal("chain unsat?")
+	}
+	for i := 0; i < n; i++ {
+		if !s.Value(i) {
+			t.Fatalf("x%d should be true", i)
+		}
+	}
+}

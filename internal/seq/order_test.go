@@ -1,0 +1,66 @@
+package seq
+
+import (
+	"testing"
+
+	"netlistre/internal/gen"
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+)
+
+func TestOrderRegisterBits(t *testing.T) {
+	// A register whose D inputs come from an adder; the adder's sum word
+	// is ordered by its carry chain. Present the register with a scrambled
+	// q port and check the inference restores sum order.
+	nl := netlist.New("ord")
+	a := gen.InputWord(nl, "a", 6)
+	b := gen.InputWord(nl, "b", 6)
+	sum, _ := gen.RippleAdder(nl, a, b, netlist.Nil)
+	we := nl.AddInput("we")
+	q := gen.Register(nl, sum, we)
+
+	// The register module as detection would produce it, but scrambled.
+	scrambled := []netlist.ID{q[3], q[0], q[5], q[1], q[4], q[2]}
+	reg := module.New(module.MultibitRegister, 6, scrambled)
+	reg.SetPort("q", scrambled)
+
+	// The D-input word of the register: the or-gates driving the latches,
+	// in sum order (this is what word propagation from the sum discovers).
+	dWord := make([]netlist.ID, 6)
+	for i, l := range q {
+		dWord[i] = nl.Fanin(l)[0]
+	}
+	OrderRegisterBits(nl, []*module.Module{reg}, [][]netlist.ID{dWord})
+
+	if reg.Attr["bit-order"] != "inferred" {
+		t.Fatal("bit order not inferred")
+	}
+	got := reg.Port("q")
+	for i := range q {
+		if got[i] != q[i] {
+			t.Errorf("q[%d] = %d, want %d", i, got[i], q[i])
+		}
+	}
+}
+
+func TestOrderRegisterBitsNoMatch(t *testing.T) {
+	// A word driving DIFFERENT latches must not reorder the register.
+	nl := netlist.New("nomatch")
+	d1 := gen.InputWord(nl, "d1", 4)
+	d2 := gen.InputWord(nl, "d2", 4)
+	we := nl.AddInput("we")
+	q1 := gen.Register(nl, d1, we)
+	q2 := gen.Register(nl, d2, we)
+
+	reg := module.New(module.MultibitRegister, 4, q1)
+	reg.SetPort("q", q1)
+	// Offer only q2's D word.
+	dWord := make([]netlist.ID, 4)
+	for i, l := range q2 {
+		dWord[i] = nl.Fanin(l)[0]
+	}
+	OrderRegisterBits(nl, []*module.Module{reg}, [][]netlist.ID{dWord})
+	if reg.Attr["bit-order"] == "inferred" {
+		t.Error("order inferred from an unrelated word")
+	}
+}

@@ -1,0 +1,610 @@
+package seq
+
+// RAM / register-file identification (Section III-C): read-logic marking,
+// BDD verification of read behavior, and write-logic identification with
+// mutual-exclusion checks on the write enables.
+
+import (
+	"fmt"
+	"sort"
+
+	"netlistre/internal/bdd"
+	"netlistre/internal/bitslice"
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+	"netlistre/internal/truth"
+)
+
+// FindRAMs runs the full RAM analysis. slices supplies mux bitslice matches
+// for write-logic identification (pass the result of bitslice.Find; write
+// logic is skipped when nil).
+func FindRAMs(nl *netlist.Netlist, slices *bitslice.Result, opt Options) []*module.Module {
+	opt.defaults()
+	marked := markReadLogic(nl)
+	roots := readRoots(nl, marked, opt)
+
+	type readBit struct {
+		root    netlist.ID
+		selects []netlist.ID // select signals, sorted
+		cells   []netlist.ID // storage latches, sorted
+	}
+	var bits []readBit
+	for _, root := range roots {
+		sel, cells, ok := verifyReadBehavior(nl, marked, root, opt)
+		if !ok {
+			continue
+		}
+		bits = append(bits, readBit{root, sel, cells})
+	}
+
+	// Interior mux-tree levels verify as sub-reads of the same tree; keep
+	// only roots not contained in another verified root's cone.
+	if len(bits) > 1 {
+		interior := make(map[netlist.ID]bool)
+		for _, b := range bits {
+			for _, n := range nl.ConeOf(b.root).Nodes {
+				if n != b.root {
+					interior[n] = true
+				}
+			}
+		}
+		kept := bits[:0]
+		for _, b := range bits {
+			if !interior[b.root] {
+				kept = append(kept, b)
+			}
+		}
+		bits = kept
+	}
+
+	// Aggregate read bits sharing the same select set into one array
+	// (footnote 12 of the paper).
+	bySel := make(map[string][]readBit)
+	for _, b := range bits {
+		bySel[idKeySeq(b.selects)] = append(bySel[idKeySeq(b.selects)], b)
+	}
+	var keys []string
+	for k := range bySel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Merge select groups reading the SAME storage cells: those are
+	// multiple read ports of one array (the paper reports its 32x32
+	// register file with two read ports and one write port as a single
+	// RAM module).
+	type port struct {
+		selects []netlist.ID
+		bits    []readBit
+	}
+	byCells := make(map[string][]port)
+	var cellKeys []string
+	for _, k := range keys {
+		group := bySel[k]
+		var cells []netlist.ID
+		for _, b := range group {
+			cells = append(cells, b.cells...)
+		}
+		ck := idKeySeq(dedupeIDs(cells))
+		if _, seenCK := byCells[ck]; !seenCK {
+			cellKeys = append(cellKeys, ck)
+		}
+		byCells[ck] = append(byCells[ck], port{selects: group[0].selects, bits: group})
+	}
+
+	// Nested mux-tree levels verify as smaller sub-arrays of the same
+	// storage; keep only cell sets not strictly contained in another.
+	cellSets := make(map[string]map[netlist.ID]bool, len(cellKeys))
+	for _, ck := range cellKeys {
+		set := make(map[netlist.ID]bool)
+		for _, p := range byCells[ck] {
+			for _, b := range p.bits {
+				for _, c := range b.cells {
+					set[c] = true
+				}
+			}
+		}
+		cellSets[ck] = set
+	}
+	contained := func(a, b map[netlist.ID]bool) bool {
+		if len(a) >= len(b) {
+			return false
+		}
+		for c := range a {
+			if !b[c] {
+				return false
+			}
+		}
+		return true
+	}
+	var keptKeys []string
+	for _, ck := range cellKeys {
+		sub := false
+		for _, other := range cellKeys {
+			if other != ck && contained(cellSets[ck], cellSets[other]) {
+				sub = true
+				break
+			}
+		}
+		if !sub {
+			keptKeys = append(keptKeys, ck)
+		}
+	}
+	cellKeys = keptKeys
+
+	var out []*module.Module
+	for _, ck := range cellKeys {
+		ports := byCells[ck]
+		var cells, elements []netlist.ID
+		width := 0
+		for pi, p := range ports {
+			var readOuts []netlist.ID
+			for _, b := range p.bits {
+				cells = append(cells, b.cells...)
+				readOuts = append(readOuts, b.root)
+				// Read-logic elements: marked nodes in the root's cone,
+				// plus the unmarked inverters/buffers the verification
+				// built through (select inverters shared across the port's
+				// bits stay unmarked because of their fanout).
+				for _, n := range nl.ConeOf(b.root).Nodes {
+					if marked[n] || nl.Kind(n) == netlist.Not || nl.Kind(n) == netlist.Buf {
+						elements = append(elements, n)
+					}
+				}
+				elements = append(elements, b.root)
+			}
+			if len(p.bits) > width {
+				width = len(p.bits)
+			}
+			_ = pi
+		}
+		cells = dedupeIDs(cells)
+		if len(cells) < 4 || len(cells) < 2*width {
+			// Too small to be an array, or fewer than two words: a
+			// "one-word RAM" is just a register bank misread through its
+			// hold muxes.
+			continue
+		}
+		elements = append(elements, cells...)
+
+		m := module.New(module.RAM, width, elements)
+		m.SetPort("cells", cells)
+		var allReads []netlist.ID
+		for pi, p := range ports {
+			var readOuts []netlist.ID
+			for _, b := range p.bits {
+				readOuts = append(readOuts, b.root)
+			}
+			m.SetPort(fmt.Sprintf("read%d", pi), readOuts)
+			m.SetPort(fmt.Sprintf("select%d", pi), p.selects)
+			allReads = append(allReads, readOuts...)
+		}
+		m.SetPort("read", allReads)
+		m.SetPort("select", ports[0].selects)
+		m.SetAttr("read-ports", fmt.Sprint(len(ports)))
+
+		if slices != nil {
+			if weis, writeElems, ok := identifyWriteLogic(nl, slices, cells); ok {
+				all := append(append([]netlist.ID(nil), m.Elements...), writeElems...)
+				m.SetElements(all)
+				m.SetPort("we", weis)
+				m.SetAttr("write-logic", "verified")
+			}
+		}
+		m.Name = fmt.Sprintf("ram[%dw x %db]", len(cells)/width, width)
+		if len(ports) > 1 {
+			m.Name = fmt.Sprintf("ram[%dw x %db, %dr]", len(cells)/width, width, len(ports))
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// markReadLogic implements the marking pass of Section III-C.1: latches are
+// marked, then any gate with at least one marked input and at most one
+// fanout, to a fixed point. (The paper says "only one fanout"; gates with
+// zero fanout drive primary outputs and play the same tree-interior role,
+// so they are marked as well.)
+func markReadLogic(nl *netlist.Netlist) map[netlist.ID]bool {
+	marked := make(map[netlist.ID]bool)
+	for _, l := range nl.Latches() {
+		marked[l] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for id := netlist.ID(0); int(id) < nl.Len(); id++ {
+			if marked[id] || !nl.Kind(id).IsGate() || len(nl.Fanout(id)) > 1 {
+				continue
+			}
+			for _, f := range nl.Fanin(id) {
+				if marked[f] {
+					marked[id] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// readRoots returns candidate read-tree roots using a support-purity
+// analysis: a marked gate is "pure" when its combinational support consists
+// of storage latches plus at most MaxSelectVars other signals — the shape
+// of a genuine read tree. Candidates are the MAXIMAL pure marked gates
+// (their consumer is unmarked or impure: the point where the read value
+// leaves the array and mixes into the datapath), plus unmarked gates
+// directly consuming a pure marked gate (read tops whose fanout keeps them
+// unmarked). The BDD verification discards false candidates cheaply.
+func readRoots(nl *netlist.Netlist, marked map[netlist.ID]bool, opt Options) []netlist.ID {
+	type supInfo struct {
+		latches map[netlist.ID]bool
+		others  map[netlist.ID]bool
+		impure  bool
+	}
+	info := make(map[netlist.ID]*supInfo)
+
+	// resolveThrough follows unmarked Not/Buf chains, mirroring
+	// buildMarked's pass-through behaviour.
+	var resolveThrough func(id netlist.ID) netlist.ID
+	resolveThrough = func(id netlist.ID) netlist.ID {
+		k := nl.Kind(id)
+		if (k == netlist.Not || k == netlist.Buf) && !marked[id] {
+			return resolveThrough(nl.Fanin(id)[0])
+		}
+		return id
+	}
+
+	for _, id := range nl.TopoOrder() {
+		if !marked[id] || !nl.Kind(id).IsGate() {
+			continue
+		}
+		si := &supInfo{latches: map[netlist.ID]bool{}, others: map[netlist.ID]bool{}}
+		for _, f0 := range nl.Fanin(id) {
+			f := resolveThrough(f0)
+			switch {
+			case nl.Kind(f) == netlist.Latch:
+				si.latches[f] = true
+			case marked[f] && nl.Kind(f).IsGate():
+				fi := info[f]
+				if fi == nil || fi.impure {
+					si.impure = true
+				} else {
+					for l := range fi.latches {
+						si.latches[l] = true
+					}
+					for o := range fi.others {
+						si.others[o] = true
+					}
+				}
+			default:
+				// Primary input or unmarked gate: a select-side signal.
+				si.others[f] = true
+			}
+			if len(si.others) > opt.MaxSelectVars {
+				si.impure = true
+			}
+			if si.impure {
+				si.latches, si.others = nil, nil
+				break
+			}
+		}
+		info[id] = si
+	}
+
+	pure := func(id netlist.ID) bool {
+		si := info[id]
+		return si != nil && !si.impure && len(si.latches) >= 2
+	}
+
+	var roots []netlist.ID
+	seen := make(map[netlist.ID]bool)
+	add := func(id netlist.ID) {
+		if !seen[id] {
+			seen[id] = true
+			roots = append(roots, id)
+		}
+	}
+	for id := netlist.ID(0); int(id) < nl.Len(); id++ {
+		if !nl.Kind(id).IsGate() {
+			continue
+		}
+		if marked[id] {
+			if !pure(id) {
+				continue
+			}
+			// Frontier pure gates: a consumer that is unmarked, impure, or
+			// that WIDENS the select set marks a potential array boundary
+			// (nested mux-tree levels each add a select; larger trees
+			// subsume smaller ones during aggregation).
+			isRoot := len(nl.Fanout(id)) == 0 // output-driving top
+			for _, fo := range nl.Fanout(id) {
+				if !marked[fo] || !nl.Kind(fo).IsGate() || !pure(fo) {
+					isRoot = true
+					break
+				}
+				for o := range info[fo].others {
+					if !info[id].others[o] {
+						isRoot = true
+						break
+					}
+				}
+				if isRoot {
+					break
+				}
+			}
+			if isRoot {
+				add(id)
+			}
+			continue
+		}
+		// Unmarked tree top over a pure marked subtree.
+		for _, f := range nl.Fanin(id) {
+			if marked[f] && nl.Kind(f).IsGate() && pure(f) {
+				add(id)
+				break
+			}
+		}
+	}
+	return roots
+}
+
+// verifyReadBehavior builds a BDD for the root in terms of latches, inputs
+// and unmarked nodes, and checks the two properties of Section III-C.2:
+// every select assignment propagates exactly one latch (possibly negated)
+// to the output, and every latch in the support is propagated for some
+// select assignment.
+func verifyReadBehavior(nl *netlist.Netlist, marked map[netlist.ID]bool, root netlist.ID, opt Options) (selects, cells []netlist.ID, ok bool) {
+	mgr := bdd.New(0)
+	mgr.Limit = 1 << 20 // genuine read trees are small; cap runaway cones
+	varOf := make(map[netlist.ID]int)
+	ids := []netlist.ID{}
+	ref, err := buildMarked(mgr, nl, root, marked, varOf, &ids)
+	if err != nil {
+		return nil, nil, false
+	}
+	sup := mgr.Support(ref)
+	var selVars, cellVars []int
+	for _, v := range sup {
+		if nl.Kind(ids[v]) == netlist.Latch {
+			cellVars = append(cellVars, v)
+		} else {
+			selVars = append(selVars, v)
+		}
+	}
+	if len(cellVars) < 2 || len(selVars) == 0 || len(selVars) > opt.MaxSelectVars {
+		return nil, nil, false
+	}
+
+	// Enumerate select assignments; each restriction must be exactly one
+	// storage variable or its negation.
+	seen := make(map[int]bool)
+	for m := 0; m < 1<<uint(len(selVars)); m++ {
+		f := ref
+		for i, v := range selVars {
+			f = mgr.Restrict(f, v, m>>uint(i)&1 == 1)
+		}
+		v, isVar := singleVar(mgr, f)
+		if !isVar {
+			return nil, nil, false
+		}
+		seen[v] = true
+	}
+	// Property 2: every storage latch is propagated.
+	for _, v := range cellVars {
+		if !seen[v] {
+			return nil, nil, false
+		}
+	}
+	for _, v := range selVars {
+		selects = append(selects, ids[v])
+	}
+	for _, v := range cellVars {
+		cells = append(cells, ids[v])
+	}
+	selects = netlist.SortedIDs(selects)
+	cells = netlist.SortedIDs(cells)
+	return selects, cells, true
+}
+
+// singleVar reports whether f is exactly a variable or its negation,
+// returning the variable index.
+func singleVar(mgr *bdd.Manager, f bdd.Ref) (int, bool) {
+	sup := mgr.Support(f)
+	if len(sup) != 1 {
+		return 0, false
+	}
+	v := sup[0]
+	if f == mgr.Var(v) || f == mgr.NVar(v) {
+		return v, true
+	}
+	return 0, false
+}
+
+// buildMarked builds the BDD of root treating unmarked nodes, inputs and
+// latches as variables (Section III-C.2: "in terms of the latches, inputs
+// and unmarked nodes").
+func buildMarked(mgr *bdd.Manager, nl *netlist.Netlist, root netlist.ID,
+	marked map[netlist.ID]bool, varOf map[netlist.ID]int, ids *[]netlist.ID) (bdd.Ref, error) {
+
+	memo := make(map[netlist.ID]bdd.Ref)
+	var ref bdd.Ref
+	err := mgr.Run(func() {
+		var build func(id netlist.ID) bdd.Ref
+		build = func(id netlist.ID) bdd.Ref {
+			if r, done := memo[id]; done {
+				return r
+			}
+			node := nl.Node(id)
+			var r bdd.Ref
+			// Unmarked inverters and buffers are built through rather than
+			// treated as variables: select inverters are commonly shared
+			// across the bits of a read port (fanout > 1, hence unmarked),
+			// and modeling them as free variables would let the check see
+			// inconsistent select assignments.
+			passThrough := node.Kind == netlist.Not || node.Kind == netlist.Buf
+			switch {
+			case id != root && !passThrough && (!marked[id] || !node.Kind.IsGate()):
+				// Boundary: unmarked node, input, or latch.
+				v, okVar := varOf[id]
+				if !okVar {
+					v = mgr.AddVar()
+					varOf[id] = v
+					*ids = append(*ids, id)
+				}
+				r = mgr.Var(v)
+			case node.Kind == netlist.Const0:
+				r = bdd.False
+			case node.Kind == netlist.Const1:
+				r = bdd.True
+			default:
+				fan := make([]bdd.Ref, len(node.Fanin))
+				for i, f := range node.Fanin {
+					fan[i] = build(f)
+				}
+				r = combineBDD(mgr, node.Kind, fan)
+			}
+			memo[id] = r
+			return r
+		}
+		ref = build(root)
+	})
+	return ref, err
+}
+
+func combineBDD(mgr *bdd.Manager, kind netlist.Kind, fan []bdd.Ref) bdd.Ref {
+	switch kind {
+	case netlist.Not:
+		return mgr.Not(fan[0])
+	case netlist.Buf:
+		return fan[0]
+	case netlist.And, netlist.Nand:
+		r := bdd.True
+		for _, f := range fan {
+			r = mgr.And(r, f)
+		}
+		if kind == netlist.Nand {
+			r = mgr.Not(r)
+		}
+		return r
+	case netlist.Or, netlist.Nor:
+		r := bdd.False
+		for _, f := range fan {
+			r = mgr.Or(r, f)
+		}
+		if kind == netlist.Nor {
+			r = mgr.Not(r)
+		}
+		return r
+	case netlist.Xor, netlist.Xnor:
+		r := bdd.False
+		for _, f := range fan {
+			r = mgr.Xor(r, f)
+		}
+		if kind == netlist.Xnor {
+			r = mgr.Not(r)
+		}
+		return r
+	}
+	panic("seq: cannot build " + kind.String())
+}
+
+// identifyWriteLogic implements Section III-C.3: for every cell, the D
+// input must be a 2:1 mux whose one data leg is the cell itself; the mux
+// select is the write enable. Write enables are grouped (one per word) and
+// checked for satisfiability and pairwise mutual exclusion with BDDs.
+func identifyWriteLogic(nl *netlist.Netlist, slices *bitslice.Result, cells []netlist.ID) (weis, elements []netlist.ID, ok bool) {
+	type writeInfo struct {
+		we       netlist.ID
+		activeLo bool
+		cone     []netlist.ID
+	}
+	infos := make(map[netlist.ID]writeInfo, len(cells))
+	for _, cell := range cells {
+		d := nl.Fanin(cell)[0]
+		m, found := slices.HasClass(d, truth.ClassMux2)
+		if !found {
+			return nil, nil, false
+		}
+		switch {
+		case m.Args[0] == cell:
+			// d0 = hold leg: select high writes (active-high WE).
+			infos[cell] = writeInfo{we: m.Args[2], activeLo: false, cone: m.Cone}
+		case m.Args[1] == cell:
+			// d1 = hold leg: select low writes (active-low WE).
+			infos[cell] = writeInfo{we: m.Args[2], activeLo: true, cone: m.Cone}
+		default:
+			return nil, nil, false
+		}
+	}
+	// Group cells by write enable -> words.
+	byWE := make(map[netlist.ID][]netlist.ID)
+	for cell, info := range infos {
+		byWE[info.we] = append(byWE[info.we], cell)
+	}
+	var wes []netlist.ID
+	for we := range byWE {
+		wes = append(wes, we)
+	}
+	wes = netlist.SortedIDs(wes)
+	if len(wes) < 2 {
+		return nil, nil, false
+	}
+
+	// BDD checks: each WE satisfiable, no two WEs simultaneously active.
+	mgr := bdd.New(0)
+	bld := bdd.NewBuilder(mgr, nl)
+	refs := make([]bdd.Ref, len(wes))
+	err := mgr.Run(func() {
+		for i, we := range wes {
+			r := bld.Build(we)
+			// Normalize active-low enables.
+			if infos[byWE[we][0]].activeLo {
+				r = mgr.Not(r)
+			}
+			refs[i] = r
+		}
+	})
+	if err != nil {
+		return nil, nil, false
+	}
+	for i, r := range refs {
+		if r == bdd.False {
+			return nil, nil, false
+		}
+		for j := i + 1; j < len(refs); j++ {
+			if mgr.And(r, refs[j]) != bdd.False {
+				return nil, nil, false
+			}
+		}
+	}
+
+	for _, info := range infos {
+		elements = append(elements, info.cone...)
+	}
+	// Include the WE cones (decoder + gating logic).
+	weCone := nl.ConeOfAll(wes)
+	elements = append(elements, weCone.Nodes...)
+	return wes, dedupeIDs(elements), true
+}
+
+func dedupeIDs(ids []netlist.ID) []netlist.ID {
+	seen := make(map[netlist.ID]bool, len(ids))
+	var out []netlist.ID
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return netlist.SortedIDs(out)
+}
+
+func idKeySeq(ids []netlist.ID) string {
+	b := make([]byte, 0, len(ids)*4)
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}

@@ -1,0 +1,198 @@
+// Package sim implements five-valued symbolic simulation over the domain
+// {0, 1, D, D̄, X} in the style of Roth's D-calculus, as used by the
+// paper's symbolic word-propagation algorithm (Section II-C.1). D stands
+// for an arbitrary-but-consistent symbolic value in {0,1}; D̄ is its
+// complement; X is an unknown, unconstrained value.
+package sim
+
+import (
+	"netlistre/internal/netlist"
+)
+
+// Value is a five-valued signal level.
+type Value uint8
+
+// Signal levels.
+const (
+	Zero Value = iota
+	One
+	D    // the symbolic value
+	DBar // complement of the symbolic value
+	X    // unknown
+)
+
+var valueNames = [...]string{"0", "1", "D", "D̄", "X"}
+
+func (v Value) String() string {
+	if int(v) < len(valueNames) {
+		return valueNames[v]
+	}
+	return "?"
+}
+
+// IsSymbolic reports whether v carries the symbol (D or D̄).
+func (v Value) IsSymbolic() bool { return v == D || v == DBar }
+
+// Not returns the five-valued complement.
+func Not(v Value) Value {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	case D:
+		return DBar
+	case DBar:
+		return D
+	}
+	return X
+}
+
+// And folds the five-valued conjunction over its arguments.
+func And(vs ...Value) Value {
+	anyX := false
+	hasD, hasDbar := false, false
+	for _, v := range vs {
+		switch v {
+		case Zero:
+			return Zero
+		case X:
+			anyX = true
+		case D:
+			hasD = true
+		case DBar:
+			hasDbar = true
+		}
+	}
+	// No hard zero. D & D̄ = 0 regardless of X elsewhere.
+	if hasD && hasDbar {
+		return Zero
+	}
+	if anyX {
+		return X
+	}
+	switch {
+	case hasD:
+		return D
+	case hasDbar:
+		return DBar
+	}
+	return One
+}
+
+// Or folds the five-valued disjunction over its arguments.
+func Or(vs ...Value) Value {
+	anyX := false
+	hasD, hasDbar := false, false
+	for _, v := range vs {
+		switch v {
+		case One:
+			return One
+		case X:
+			anyX = true
+		case D:
+			hasD = true
+		case DBar:
+			hasDbar = true
+		}
+	}
+	if hasD && hasDbar {
+		return One // D | D̄ = 1
+	}
+	if anyX {
+		return X
+	}
+	switch {
+	case hasD:
+		return D
+	case hasDbar:
+		return DBar
+	}
+	return Zero
+}
+
+// Xor folds the five-valued exclusive-or over its arguments.
+func Xor(vs ...Value) Value {
+	base := false     // accumulated constant part
+	symbolic := false // parity of symbol occurrences
+	for _, v := range vs {
+		switch v {
+		case X:
+			return X
+		case One:
+			base = !base
+		case D:
+			symbolic = !symbolic
+		case DBar:
+			symbolic = !symbolic
+			base = !base
+		}
+	}
+	if !symbolic {
+		if base {
+			return One
+		}
+		return Zero
+	}
+	if base {
+		return DBar
+	}
+	return D
+}
+
+// EvalGate evaluates one gate in the five-valued domain.
+func EvalGate(kind netlist.Kind, in []Value) Value {
+	switch kind {
+	case netlist.Const0:
+		return Zero
+	case netlist.Const1:
+		return One
+	case netlist.Not:
+		return Not(in[0])
+	case netlist.Buf:
+		return in[0]
+	case netlist.And:
+		return And(in...)
+	case netlist.Nand:
+		return Not(And(in...))
+	case netlist.Or:
+		return Or(in...)
+	case netlist.Nor:
+		return Not(Or(in...))
+	case netlist.Xor:
+		return Xor(in...)
+	case netlist.Xnor:
+		return Not(Xor(in...))
+	}
+	panic("sim: EvalGate on " + kind.String())
+}
+
+// Run evaluates the combinational logic of nl with the signals in assign
+// forced to the given values. Assignments may target ANY node, not just
+// boundary signals: an assigned internal node is cut loose from its own
+// logic and treated as a free input, which is how the paper's word
+// propagation simulates the "local netlist" around a word (Section
+// II-C.1). Unassigned boundary signals are X. The returned slice is indexed
+// by node ID.
+func Run(nl *netlist.Netlist, assign map[netlist.ID]Value) []Value {
+	vals := make([]Value, nl.Len())
+	var buf []Value
+	for _, id := range nl.TopoOrder() {
+		if v, ok := assign[id]; ok {
+			vals[id] = v
+			continue
+		}
+		node := nl.Node(id)
+		switch {
+		case node.Kind.IsConeInput():
+			vals[id] = X
+		default:
+			buf = buf[:0]
+			for _, f := range node.Fanin {
+				buf = append(buf, vals[f])
+			}
+			vals[id] = EvalGate(node.Kind, buf)
+		}
+	}
+	return vals
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"testing"
+
+	"netlistre/internal/netlist"
+)
+
+func TestPaperExamples(t *testing.T) {
+	// The exact examples given in Section II-C.1 of the paper.
+	cases := []struct {
+		name string
+		got  Value
+		want Value
+	}{
+		{"and(D,1)", And(D, One), D},
+		{"and(D,0)", And(D, Zero), Zero},
+		{"and(0,X)", And(Zero, X), Zero},
+		{"not(X)", Not(X), X},
+		{"not(D)", Not(D), DBar},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestSymbolConsistency(t *testing.T) {
+	// D and D̄ refer to the SAME symbol, so D&D̄=0, D|D̄=1, D^D̄=1.
+	if And(D, DBar) != Zero {
+		t.Error("D & D̄ should be 0")
+	}
+	if Or(D, DBar) != One {
+		t.Error("D | D̄ should be 1")
+	}
+	if Xor(D, DBar) != One {
+		t.Error("D ^ D̄ should be 1")
+	}
+	if Xor(D, D) != Zero {
+		t.Error("D ^ D should be 0")
+	}
+	// X absorbs when the symbol cannot force the result.
+	if And(D, X) != X || Or(D, X) != X || Xor(D, X) != X {
+		t.Error("X handling wrong in D context")
+	}
+	// ...but D&D̄ dominates X: the product is 0 whatever X is.
+	if And(D, DBar, X) != Zero {
+		t.Error("D & D̄ & X should be 0")
+	}
+	if Or(D, DBar, X) != One {
+		t.Error("D | D̄ | X should be 1")
+	}
+}
+
+// concretize maps a five-valued value to a concrete bool under a chosen
+// symbol value; ok is false for X (unconstrained).
+func concretize(v Value, sym bool) (bool, bool) {
+	switch v {
+	case Zero:
+		return false, true
+	case One:
+		return true, true
+	case D:
+		return sym, true
+	case DBar:
+		return !sym, true
+	}
+	return false, false
+}
+
+// TestSoundnessAgainstConcrete checks the defining property of the
+// D-calculus: for every gate and every five-valued input vector, if the
+// output is not X, then for BOTH values of the symbol and EVERY
+// concretization of X inputs, concrete evaluation matches.
+func TestSoundnessAgainstConcrete(t *testing.T) {
+	kinds := []netlist.Kind{netlist.And, netlist.Or, netlist.Nand,
+		netlist.Nor, netlist.Xor, netlist.Xnor}
+	vals := []Value{Zero, One, D, DBar, X}
+	for _, kind := range kinds {
+		for a := range vals {
+			for b := range vals {
+				for c := range vals {
+					in := []Value{vals[a], vals[b], vals[c]}
+					out := EvalGate(kind, in)
+					if out == X {
+						continue
+					}
+					for _, sym := range []bool{false, true} {
+						for xm := 0; xm < 8; xm++ {
+							concrete := make([]bool, 3)
+							for i, v := range in {
+								cv, ok := concretize(v, sym)
+								if !ok {
+									cv = xm>>uint(i)&1 == 1
+								}
+								concrete[i] = cv
+							}
+							want := netlist.EvalKind(kind, concrete)
+							got, _ := concretize(out, sym)
+							if got != want {
+								t.Fatalf("%v%v: out=%v but concrete(sym=%v,xs=%d)=%v",
+									kind, in, out, sym, xm, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunSelectorCircuit(t *testing.T) {
+	// Figure 2 of the paper: w_i = mux(c, ~u_i, ~v_i) built from gates.
+	// Setting u=D,D,D with c=0 must propagate D̄ to every w bit.
+	nl := netlist.New("fig2")
+	c := nl.AddInput("c")
+	var u, v, w []netlist.ID
+	for i := 0; i < 3; i++ {
+		u = append(u, nl.AddInput("u"+string(rune('1'+i))))
+		v = append(v, nl.AddInput("v"+string(rune('1'+i))))
+	}
+	nc := nl.AddGate(netlist.Not, c)
+	for i := 0; i < 3; i++ {
+		nu := nl.AddGate(netlist.Not, u[i])
+		nv := nl.AddGate(netlist.Not, v[i])
+		w = append(w, nl.AddGate(netlist.Or,
+			nl.AddGate(netlist.And, nc, nu),
+			nl.AddGate(netlist.And, c, nv)))
+	}
+
+	assign := map[netlist.ID]Value{c: Zero}
+	for _, ui := range u {
+		assign[ui] = D
+	}
+	// v unassigned -> X.
+	vals := Run(nl, assign)
+	for i, wi := range w {
+		if vals[wi] != DBar {
+			t.Errorf("w%d = %v, want D̄ (negated propagation under c=0)", i+1, vals[wi])
+		}
+	}
+
+	// With c=1 the selector picks ~v, and since v is X the outputs are X.
+	assign[c] = One
+	vals = Run(nl, assign)
+	for i, wi := range w {
+		if vals[wi] != X {
+			t.Errorf("c=1: w%d = %v, want X", i+1, vals[wi])
+		}
+	}
+
+	// With c unknown the output mixes D̄ and X -> X.
+	delete(assign, c)
+	vals = Run(nl, assign)
+	for i, wi := range w {
+		if vals[wi] != X {
+			t.Errorf("c=X: w%d = %v, want X", i+1, vals[wi])
+		}
+	}
+}
+
+func TestXorChainParity(t *testing.T) {
+	if Xor(D, D, D) != D {
+		t.Error("xor of three Ds should be D")
+	}
+	if Xor(D, DBar, One) != Zero {
+		t.Error("D ^ D̄ ^ 1 should be 0")
+	}
+	if Xor(DBar, DBar) != Zero {
+		t.Error("D̄ ^ D̄ should be 0")
+	}
+	if Xor(DBar, One) != D {
+		t.Error("D̄ ^ 1 should be D")
+	}
+}

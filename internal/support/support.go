@@ -1,0 +1,362 @@
+// Package support implements Algorithm 5 of the paper (Section II-E):
+// detection of combinational modules whose outputs all depend on the same
+// set of inputs — decoders, demultiplexers and population counters. Nodes
+// are grouped into equivalence classes by the input set of their full
+// combinational fan-in cones (computed with a union-find-free hashing
+// scheme), and candidate classes are verified with BDD-based functional
+// checks (Section II-E.2).
+package support
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"netlistre/internal/bdd"
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+)
+
+// Options tunes the analysis.
+type Options struct {
+	// MaxSupport bounds the common-support size considered (BDD blowup
+	// guard); the paper's decoders have narrow selects.
+	MaxSupport int
+	// MinOutputs is the smallest class size verified (2 by default).
+	MinOutputs int
+	// MaxConeGates skips classes whose combined cone exceeds this many
+	// gates (keeps candidate modules decoder-sized).
+	MaxConeGates int
+}
+
+func (o *Options) defaults() {
+	if o.MaxSupport <= 0 {
+		o.MaxSupport = 10
+	}
+	if o.MinOutputs <= 0 {
+		o.MinOutputs = 3
+	}
+	if o.MaxConeGates <= 0 {
+		o.MaxConeGates = 400
+	}
+}
+
+// Class is one common-support equivalence class.
+type Class struct {
+	Support []netlist.ID // the shared cone-input set, sorted
+	Outputs []netlist.ID // gates whose cones read exactly Support
+}
+
+// Classes groups every combinational gate by the input set of its full
+// fan-in cone. Only classes with at least two members are returned; they
+// are sorted by first output for determinism.
+func Classes(nl *netlist.Netlist) []Class {
+	byKey := make(map[string]*Class)
+	for id := netlist.ID(0); int(id) < nl.Len(); id++ {
+		if !nl.Kind(id).IsGate() {
+			continue
+		}
+		sup := nl.SupportOf(id)
+		if len(sup) == 0 {
+			continue
+		}
+		key := idKey(sup)
+		c, ok := byKey[key]
+		if !ok {
+			c = &Class{Support: sup}
+			byKey[key] = c
+		}
+		c.Outputs = append(c.Outputs, id)
+	}
+	var out []Class
+	for _, c := range byKey {
+		if len(c.Outputs) >= 2 {
+			out = append(out, *c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Outputs[0] < out[j].Outputs[0] })
+	return out
+}
+
+func idKey(ids []netlist.ID) string {
+	b := make([]byte, 0, len(ids)*4)
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
+// Analyze finds decoder, demultiplexer and population-counter modules.
+// Classes are verified concurrently (each builds its own BDD manager);
+// results are collected in class order so the output is deterministic.
+func Analyze(nl *netlist.Netlist, opt Options) []*module.Module {
+	opt.defaults()
+	var cands []Class
+	for _, c := range Classes(nl) {
+		if len(c.Support) > opt.MaxSupport || len(c.Outputs) < opt.MinOutputs {
+			continue
+		}
+		cands = append(cands, c)
+	}
+	results := make([]*module.Module, len(cands))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i] = verifyClass(nl, cands[i], opt)
+				}
+			}()
+		}
+		for i := range cands {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for i := range cands {
+			results[i] = verifyClass(nl, cands[i], opt)
+		}
+	}
+	var out []*module.Module
+	for _, m := range results {
+		if m != nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// verifyClass runs the BDD checks on one candidate class.
+func verifyClass(nl *netlist.Netlist, c Class, opt Options) *module.Module {
+	cone := nl.ConeOfAll(c.Outputs)
+	if len(cone.Nodes) > opt.MaxConeGates {
+		return nil
+	}
+
+	mgr := bdd.New(0)
+	bld := bdd.NewBuilder(mgr, nl)
+	allRefs := make([]bdd.Ref, len(c.Outputs))
+	err := mgr.Run(func() {
+		for i, o := range c.Outputs {
+			allRefs[i] = bld.Build(o)
+		}
+	})
+	if err != nil {
+		return nil
+	}
+
+	// Drop functionally-constant outputs (dead logic with full structural
+	// support): they are not module outputs and would defeat the checks.
+	live := c
+	live.Outputs = nil
+	var refs []bdd.Ref
+	for i, r := range allRefs {
+		if r != bdd.True && r != bdd.False {
+			live.Outputs = append(live.Outputs, c.Outputs[i])
+			refs = append(refs, r)
+		}
+	}
+	if len(live.Outputs) < 2 {
+		return nil
+	}
+
+	// Population counter first: its count bits are NOT mutually exclusive,
+	// so there is no conflict with the decoder checks. A support of at
+	// least 3 avoids classifying every half adder (a 2-input popcount) as
+	// a counter.
+	if len(live.Support) >= 3 {
+		if m := checkPopCount(nl, mgr, bld, live, refs); m != nil {
+			return m
+		}
+	}
+
+	// One-hot (decoder/demux) checks over candidate output groups: the
+	// whole class first, then per-gate-kind subsets — synthesized classes
+	// often mix both polarities (e.g. and-gates plus their inverters),
+	// which are one-hot only within a polarity group.
+	groups := outputGroups(nl, live.Outputs, opt)
+	for _, group := range groups {
+		gRefs := make([]bdd.Ref, len(group))
+		for i, idx := range group {
+			gRefs[i] = refs[idx]
+		}
+		// Active-high then active-low (Section II-E.2 footnote 8).
+		for _, activeLow := range []bool{false, true} {
+			fs := gRefs
+			if activeLow {
+				fs = make([]bdd.Ref, len(gRefs))
+				for i, r := range gRefs {
+					fs[i] = mgr.Not(r)
+				}
+			}
+			if !mutuallyExclusive(mgr, fs) {
+				continue
+			}
+			outs := make([]netlist.ID, len(group))
+			for i, idx := range group {
+				outs[i] = live.Outputs[idx]
+			}
+			gCone := nl.ConeOfAll(outs)
+			m := module.New(module.Decoder, len(outs), gCone.Nodes)
+			m.SetPort("out", outs)
+			m.SetPort("in", live.Support)
+			if dataIn, isDemux := demuxDataInput(mgr, bld, fs, live.Support); isDemux {
+				m.Type = module.Demux
+				m.Name = fmt.Sprintf("demux[%d]", len(outs))
+				m.SetPort("data", []netlist.ID{dataIn})
+			} else {
+				m.Name = fmt.Sprintf("decoder[%d]", len(outs))
+			}
+			if activeLow {
+				m.SetAttr("polarity", "active-low")
+			}
+			return m
+		}
+	}
+	return nil
+}
+
+// outputGroups returns candidate output subsets (as indices) for the
+// one-hot checks: the full set, then per-gate-kind subsets when the class
+// mixes kinds.
+func outputGroups(nl *netlist.Netlist, outputs []netlist.ID, opt Options) [][]int {
+	all := make([]int, len(outputs))
+	byKind := make(map[netlist.Kind][]int)
+	for i, o := range outputs {
+		all[i] = i
+		byKind[nl.Kind(o)] = append(byKind[nl.Kind(o)], i)
+	}
+	groups := [][]int{all}
+	if len(byKind) > 1 {
+		var kinds []netlist.Kind
+		for k := range byKind {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		for _, k := range kinds {
+			if len(byKind[k]) >= opt.MinOutputs {
+				groups = append(groups, byKind[k])
+			}
+		}
+	}
+	return groups
+}
+
+// mutuallyExclusive checks that no two functions are simultaneously true.
+func mutuallyExclusive(mgr *bdd.Manager, fs []bdd.Ref) bool {
+	for i := 0; i < len(fs); i++ {
+		for j := i + 1; j < len(fs); j++ {
+			if mgr.And(fs[i], fs[j]) != bdd.False {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// demuxDataInput looks for a support signal implied by every output: a
+// common data/enable input distinguishes a demultiplexer from a plain
+// decoder.
+func demuxDataInput(mgr *bdd.Manager, bld *bdd.Builder, fs []bdd.Ref, sup []netlist.ID) (netlist.ID, bool) {
+	for _, s := range sup {
+		v, ok := bld.HasVar(s)
+		if !ok {
+			continue
+		}
+		x := mgr.Var(v)
+		all := true
+		for _, f := range fs {
+			if mgr.And(f, mgr.Not(x)) != bdd.False { // f -> x must hold
+				all = false
+				break
+			}
+		}
+		if all {
+			return s, true
+		}
+	}
+	return netlist.Nil, false
+}
+
+// checkPopCount matches each output against the symmetric count-bit
+// functions of the support (Section II-E.2, footnote 9). Count bits are
+// symmetric in their inputs, so no input-order search is needed.
+func checkPopCount(nl *netlist.Netlist, mgr *bdd.Manager, bld *bdd.Builder, c Class, refs []bdd.Ref) *module.Module {
+	if len(c.Outputs) < 2 {
+		return nil
+	}
+	// Build BDD count bits of sum over all support variables.
+	var vars []bdd.Ref
+	for _, s := range c.Support {
+		v, ok := bld.HasVar(s)
+		if !ok {
+			return nil
+		}
+		vars = append(vars, mgr.Var(v))
+	}
+	nBits := 0
+	for 1<<uint(nBits) <= len(vars) {
+		nBits++
+	}
+	count := make([]bdd.Ref, nBits)
+	for i := range count {
+		count[i] = bdd.False
+	}
+	var err error
+	err = mgr.Run(func() {
+		for _, x := range vars {
+			carry := x
+			for i := 0; i < nBits && carry != bdd.False; i++ {
+				newBit := mgr.Xor(count[i], carry)
+				carry = mgr.And(count[i], carry)
+				count[i] = newBit
+			}
+		}
+	})
+	if err != nil {
+		return nil
+	}
+	// Match outputs to count bits. The class may also contain internal
+	// nodes of the counter (full-support carries), so a subset match with
+	// at least two distinct count bits suffices; the module is built from
+	// the matched outputs.
+	type pair struct {
+		bit int
+		id  netlist.ID
+	}
+	var matched []pair
+	used := make(map[int]bool)
+	for i, r := range refs {
+		for j, cb := range count {
+			if r == cb && !used[j] {
+				used[j] = true
+				matched = append(matched, pair{j, c.Outputs[i]})
+				break
+			}
+		}
+	}
+	if len(matched) < 2 || !used[0] {
+		return nil // bit 0 (parity) anchors a genuine population counter
+	}
+	sort.Slice(matched, func(a, b int) bool { return matched[a].bit < matched[b].bit })
+	ordered := make([]netlist.ID, len(matched))
+	for i, p := range matched {
+		ordered[i] = p.id
+	}
+	cone := nl.ConeOfAll(ordered)
+	m := module.New(module.PopCount, len(ordered), cone.Nodes)
+	m.Name = fmt.Sprintf("popcount[%d]", len(c.Support))
+	m.SetPort("in", c.Support)
+	m.SetPort("out", ordered)
+	m.SetPort("count", ordered)
+	return m
+}

@@ -1,0 +1,167 @@
+package support
+
+import (
+	"testing"
+
+	"netlistre/internal/gen"
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+)
+
+func TestClassesGrouping(t *testing.T) {
+	nl := netlist.New("c")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	c := nl.AddInput("c")
+	g1 := nl.AddGate(netlist.And, a, b)
+	g2 := nl.AddGate(netlist.Or, a, b)
+	g3 := nl.AddGate(netlist.Xor, g1, c) // support {a,b,c}
+	_ = g3
+	classes := Classes(nl)
+	found := false
+	for _, cl := range classes {
+		if len(cl.Outputs) == 2 && cl.Outputs[0] == g1 && cl.Outputs[1] == g2 {
+			found = true
+			if len(cl.Support) != 2 || cl.Support[0] != a || cl.Support[1] != b {
+				t.Errorf("support = %v, want [a b]", cl.Support)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("class {g1,g2} not found: %v", classes)
+	}
+}
+
+func TestDecoderDetection(t *testing.T) {
+	nl := netlist.New("dec")
+	sel := gen.InputWord(nl, "s", 3)
+	out := gen.Decoder(nl, sel)
+	mods := Analyze(nl, Options{})
+	var dec *module.Module
+	for _, m := range mods {
+		if m.Type == module.Decoder {
+			dec = m
+		}
+	}
+	if dec == nil {
+		t.Fatalf("no decoder found; modules: %d", len(mods))
+	}
+	if dec.Width != 8 {
+		t.Errorf("decoder width = %d, want 8", dec.Width)
+	}
+	outSet := make(map[netlist.ID]bool)
+	for _, o := range dec.Port("out") {
+		outSet[o] = true
+	}
+	for i, o := range out {
+		if !outSet[o] {
+			t.Errorf("decoder output %d missing from module", i)
+		}
+	}
+	if got := dec.Port("in"); len(got) != 3 {
+		t.Errorf("decoder inputs = %v, want the 3 selects", got)
+	}
+}
+
+func TestDemuxDetection(t *testing.T) {
+	// Decoder outputs gated by a data signal: every output implies data.
+	nl := netlist.New("demux")
+	sel := gen.InputWord(nl, "s", 2)
+	data := nl.AddInput("d")
+	dec := gen.Decoder(nl, sel)
+	for i, o := range dec {
+		nl.MarkOutput("y"+string(rune('0'+i)), nl.AddGate(netlist.And, o, data))
+	}
+	mods := Analyze(nl, Options{})
+	var demux *module.Module
+	for _, m := range mods {
+		if m.Type == module.Demux {
+			demux = m
+		}
+	}
+	if demux == nil {
+		t.Fatalf("no demux found among %d modules", len(mods))
+	}
+	if got := demux.Port("data"); len(got) != 1 || got[0] != data {
+		t.Errorf("demux data port = %v, want [%d]", got, data)
+	}
+}
+
+func TestActiveLowDecoder(t *testing.T) {
+	// A NAND-based decoder: exactly one output LOW at a time.
+	nl := netlist.New("declow")
+	sel := gen.InputWord(nl, "s", 2)
+	inv := gen.Word{nl.AddGate(netlist.Not, sel[0]), nl.AddGate(netlist.Not, sel[1])}
+	for k := 0; k < 4; k++ {
+		lits := make([]netlist.ID, 2)
+		for i := 0; i < 2; i++ {
+			if k>>uint(i)&1 == 1 {
+				lits[i] = sel[i]
+			} else {
+				lits[i] = inv[i]
+			}
+		}
+		nl.MarkOutput("y"+string(rune('0'+k)), nl.AddGate(netlist.Nand, lits...))
+	}
+	mods := Analyze(nl, Options{})
+	foundLow := false
+	for _, m := range mods {
+		if (m.Type == module.Decoder || m.Type == module.Demux) && m.Attr["polarity"] == "active-low" {
+			foundLow = true
+		}
+	}
+	if !foundLow {
+		t.Error("active-low decoder not detected")
+	}
+}
+
+func TestPopCountDetection(t *testing.T) {
+	nl := netlist.New("pc")
+	w := gen.InputWord(nl, "w", 5)
+	cnt := gen.PopCount(nl, w)
+	mods := Analyze(nl, Options{})
+	var pc *module.Module
+	for _, m := range mods {
+		if m.Type == module.PopCount {
+			pc = m
+		}
+	}
+	if pc == nil {
+		t.Fatalf("no popcount found among %d modules", len(mods))
+	}
+	got := pc.Port("count")
+	if len(got) != len(cnt) {
+		t.Fatalf("count port = %v, want %d bits", got, len(cnt))
+	}
+	for i := range cnt {
+		if got[i] != cnt[i] {
+			t.Errorf("count[%d] = %d, want %d", i, got[i], cnt[i])
+		}
+	}
+}
+
+func TestAdderIsNotMisclassified(t *testing.T) {
+	// Adders do NOT have common support across outputs (the paper makes
+	// this exact point in Section II-E) and must produce no decoder or
+	// popcount modules.
+	nl := netlist.New("add")
+	a := gen.InputWord(nl, "a", 5)
+	b := gen.InputWord(nl, "b", 5)
+	gen.RippleAdder(nl, a, b, netlist.Nil)
+	for _, m := range Analyze(nl, Options{}) {
+		t.Errorf("adder produced %s module", m.Name)
+	}
+}
+
+func TestMuxIsNotDecoder(t *testing.T) {
+	// All mux output bits have different supports (different data bits),
+	// so no module should be inferred.
+	nl := netlist.New("mux")
+	s := nl.AddInput("s")
+	a := gen.InputWord(nl, "a", 4)
+	b := gen.InputWord(nl, "b", 4)
+	gen.Mux2Word(nl, s, a, b)
+	for _, m := range Analyze(nl, Options{}) {
+		t.Errorf("mux produced %s module", m.Name)
+	}
+}

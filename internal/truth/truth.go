@@ -1,0 +1,342 @@
+// Package truth implements truth tables over at most six variables, the
+// permutation-independent Boolean matching used for bitslice identification
+// (Section II-A of the paper), and the bitslice function library.
+//
+// A table over n variables is stored in the low 2^n bits of a uint64: bit r
+// holds f(x) for the input row r, where bit i of r is the value of variable
+// i. Six variables is exactly the paper's cut-enumeration limit, so a single
+// machine word always suffices.
+package truth
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxVars is the largest supported variable count, matching the paper's
+// 6-feasible cut limit.
+const MaxVars = 6
+
+// Table is a Boolean function of N variables.
+type Table struct {
+	Bits uint64
+	N    int
+}
+
+// Mask returns the uint64 mask covering the 2^N valid rows.
+func Mask(n int) uint64 {
+	if n >= 6 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (1 << uint(n))) - 1
+}
+
+// varPattern[i] is the truth table of the projection x_i over 6 variables.
+var varPattern = [MaxVars]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// Var returns the table of variable i over n variables.
+func Var(i, n int) Table {
+	if i < 0 || i >= n || n > MaxVars {
+		panic(fmt.Sprintf("truth: Var(%d, %d) out of range", i, n))
+	}
+	return Table{Bits: varPattern[i] & Mask(n), N: n}
+}
+
+// Const returns the constant table v over n variables.
+func Const(v bool, n int) Table {
+	if v {
+		return Table{Bits: Mask(n), N: n}
+	}
+	return Table{N: n}
+}
+
+// Not returns the complement of t.
+func (t Table) Not() Table { return Table{Bits: ^t.Bits & Mask(t.N), N: t.N} }
+
+// And returns t AND u. Both tables must have the same variable count.
+func (t Table) And(u Table) Table { return t.bin(u, t.Bits&u.Bits) }
+
+// Or returns t OR u.
+func (t Table) Or(u Table) Table { return t.bin(u, t.Bits|u.Bits) }
+
+// Xor returns t XOR u.
+func (t Table) Xor(u Table) Table { return t.bin(u, t.Bits^u.Bits) }
+
+func (t Table) bin(u Table, bits uint64) Table {
+	if t.N != u.N {
+		panic("truth: mixed variable counts")
+	}
+	return Table{Bits: bits & Mask(t.N), N: t.N}
+}
+
+// Eval returns f(row): the value of the function on input row r.
+func (t Table) Eval(row uint) bool { return t.Bits>>(row)&1 == 1 }
+
+// Ones returns the number of satisfying rows.
+func (t Table) Ones() int { return bits.OnesCount64(t.Bits & Mask(t.N)) }
+
+// IsConst reports whether t is a constant function and, if so, its value.
+func (t Table) IsConst() (bool, bool) {
+	m := Mask(t.N)
+	switch t.Bits & m {
+	case 0:
+		return true, false
+	case m:
+		return true, true
+	}
+	return false, false
+}
+
+// Cofactor returns the cofactor of t with variable i fixed to v. The result
+// still has N variables but no longer depends on variable i.
+func (t Table) Cofactor(i int, v bool) Table {
+	p := varPattern[i]
+	shift := uint(1) << uint(i)
+	var half uint64
+	if v {
+		half = t.Bits & p
+		half |= half >> shift
+	} else {
+		half = t.Bits &^ p
+		half |= half << shift
+	}
+	return Table{Bits: half & Mask(t.N), N: t.N}
+}
+
+// DependsOn reports whether t depends essentially on variable i.
+func (t Table) DependsOn(i int) bool {
+	return t.Cofactor(i, false).Bits != t.Cofactor(i, true).Bits
+}
+
+// Support returns the essential variable indices of t, ascending.
+func (t Table) Support() []int {
+	var s []int
+	for i := 0; i < t.N; i++ {
+		if t.DependsOn(i) {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// Shrink removes vacuous variables. It returns the shrunk table together
+// with origVar, where origVar[j] is the original index of the shrunk
+// table's variable j.
+func (t Table) Shrink() (Table, []int) {
+	sup := t.Support()
+	if len(sup) == t.N {
+		return t, identity(t.N)
+	}
+	out := Table{N: len(sup)}
+	for r := uint(0); r < 1<<uint(len(sup)); r++ {
+		// Build a full-width row with vacuous vars at 0.
+		var full uint
+		for j, orig := range sup {
+			if r>>uint(j)&1 == 1 {
+				full |= 1 << uint(orig)
+			}
+		}
+		if t.Eval(full) {
+			out.Bits |= 1 << r
+		}
+	}
+	return out, sup
+}
+
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Permute returns g with g(x_0..x_{n-1}) = t(x_{p[0]}, ..., x_{p[n-1]}):
+// input j of t is driven by variable p[j] of the result.
+func (t Table) Permute(p []int) Table {
+	if len(p) != t.N {
+		panic("truth: permutation length mismatch")
+	}
+	out := Table{N: t.N}
+	for r := uint(0); r < 1<<uint(t.N); r++ {
+		var tr uint
+		for j := 0; j < t.N; j++ {
+			if r>>uint(p[j])&1 == 1 {
+				tr |= 1 << uint(j)
+			}
+		}
+		if t.Eval(tr) {
+			out.Bits |= 1 << r
+		}
+	}
+	return out
+}
+
+// Expand lifts t onto a wider variable space: the result has n variables
+// and equals t(x_{m[0]}, ..., x_{m[len(m)-1]}). len(m) must equal t.N and
+// every m[j] must be < n. It is used to bring cut functions over different
+// leaf sets into a common space.
+func (t Table) Expand(m []int, n int) Table {
+	if len(m) != t.N {
+		panic("truth: Expand map length mismatch")
+	}
+	if n > MaxVars {
+		panic("truth: Expand beyond MaxVars")
+	}
+	out := Table{N: n}
+	for r := uint(0); r < 1<<uint(n); r++ {
+		var tr uint
+		for j := 0; j < t.N; j++ {
+			if r>>uint(m[j])&1 == 1 {
+				tr |= 1 << uint(j)
+			}
+		}
+		if t.Eval(tr) {
+			out.Bits |= 1 << r
+		}
+	}
+	return out
+}
+
+// String renders the table as a hex constant annotated with arity.
+func (t Table) String() string {
+	return fmt.Sprintf("0x%0*x/%d", (1<<uint(t.N))/4+1, t.Bits&Mask(t.N), t.N)
+}
+
+// varSignature is a permutation-invariant per-variable fingerprint used to
+// prune the canonicalization search: variables can only map to variables
+// with the same signature.
+func (t Table) varSignature(i int) uint64 {
+	c1 := t.Cofactor(i, true)
+	c0 := t.Cofactor(i, false)
+	return uint64(c1.Ones())<<32 | uint64(c0.Ones())
+}
+
+// Canon returns the canonical representative of t under input permutation
+// together with a permutation p such that t.Permute(p) == canon. Functions
+// equal up to input permutation share a canonical representative.
+//
+// The search first sorts variables by a permutation-covariant signature
+// (cofactor weights) and then enumerates only the permutations that respect
+// the signature blocks. Signatures follow relabeling, so two
+// permutation-equivalent functions induce the same block structure and the
+// same candidate table set; taking the minimum over that set is therefore a
+// true canonical form while enumerating k1!·k2!·… permutations instead of
+// n!.
+func (t Table) Canon() (Table, []int) {
+	n := t.N
+	if n == 0 {
+		return t, nil
+	}
+	type varSig struct {
+		v   int
+		sig uint64
+	}
+	order := make([]varSig, n)
+	for i := 0; i < n; i++ {
+		order[i] = varSig{i, t.varSignature(i)}
+	}
+	for i := 1; i < n; i++ { // insertion sort: n <= 6
+		for j := i; j > 0 && order[j].sig < order[j-1].sig; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	// Result slot j must receive a variable whose signature equals
+	// order[j].sig (the j-th smallest). Since signatures are determined by
+	// the function itself, every permutation-equivalent table induces the
+	// same slot requirements, and the candidate sets below coincide.
+	best := Table{Bits: ^uint64(0), N: n}
+	var bestPerm []int
+	perm := make([]int, n) // perm[v] = result slot assigned to variable v
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			cand := t.Permute(perm)
+			if cand.Bits < best.Bits {
+				best = cand
+				bestPerm = append(bestPerm[:0], perm...)
+			}
+			return
+		}
+		// Variables order[k..hi) share a signature and may be assigned to
+		// slots k..hi in any arrangement; recurse over the block.
+		hi := k
+		for hi < n && order[hi].sig == order[k].sig {
+			hi++
+		}
+		slots := make([]int, hi-k)
+		for i := range slots {
+			slots[i] = k + i
+		}
+		var assign func(i int)
+		assign = func(i int) {
+			if i == hi-k {
+				rec(hi)
+				return
+			}
+			for s := i; s < len(slots); s++ {
+				slots[i], slots[s] = slots[s], slots[i]
+				perm[order[k+i].v] = slots[i]
+				assign(i + 1)
+				slots[i], slots[s] = slots[s], slots[i]
+			}
+		}
+		assign(0)
+	}
+	rec(0)
+	return best, bestPerm
+}
+
+// MatchAgainst searches for a permutation p with ref.Permute(p) == t. It
+// returns the permutation and true on success. p[j] = k means input j of
+// ref is driven by variable k of t (i.e. cut leaf k plays argument j of the
+// reference function).
+func (t Table) MatchAgainst(ref Table) ([]int, bool) {
+	if t.N != ref.N {
+		return nil, false
+	}
+	if t.Ones() != ref.Ones() {
+		return nil, false
+	}
+	n := t.N
+	// Signature multiset must agree: Permute relabels ref's inputs, and
+	// cofactor weights follow the relabeling.
+	tsig := make([]uint64, n)
+	rsig := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		tsig[i] = t.varSignature(i)
+		rsig[i] = ref.varSignature(i)
+	}
+
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(j int) bool
+	rec = func(j int) bool {
+		if j == n {
+			return ref.Permute(perm).Bits == t.Bits
+		}
+		for v := 0; v < n; v++ {
+			if used[v] || rsig[j] != tsig[v] {
+				continue
+			}
+			used[v] = true
+			perm[j] = v
+			if rec(j + 1) {
+				return true
+			}
+			used[v] = false
+		}
+		return false
+	}
+	if rec(0) {
+		return perm, true
+	}
+	return nil, false
+}

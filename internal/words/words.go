@@ -1,0 +1,393 @@
+// Package words implements Algorithm 3 of the paper (Section II-C): word
+// identification from aggregated modules and symbolic word propagation
+// using five-valued simulation.
+//
+// Word propagation follows the paper's guess-and-check scheme: candidate
+// target words are guessed by grouping the gates driven by a word's bits by
+// gate type and input port; control wires are taken from the intersection
+// of the target gates' shallow fan-in cones; and each candidate is checked
+// by symbolic simulation with the word's bits set to D, up to three control
+// wires set to each binary combination, and everything else X. A
+// propagation succeeds when every target bit evaluates to D or D̄.
+package words
+
+import (
+	"fmt"
+	"sort"
+
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+	"netlistre/internal/sim"
+)
+
+// Word is an ordered set of netlist signals treated as one multi-bit value.
+type Word struct {
+	Bits []netlist.ID
+	// Origin describes how the word was discovered (module name, "propagated",
+	// ...).
+	Origin string
+}
+
+// Key returns a canonical identity for deduplication (order-insensitive).
+func (w Word) Key() string {
+	s := netlist.SortedIDs(w.Bits)
+	b := make([]byte, 0, len(s)*4)
+	for _, id := range s {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
+// FromModules extracts words from the port structure of aggregated modules
+// (Section II-C: "bits that are inputs/outputs of aggregated modules").
+func FromModules(mods []*module.Module) []Word {
+	var out []Word
+	seen := make(map[string]bool)
+	for _, m := range mods {
+		var names []string
+		for name := range m.Ports {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			port := m.Ports[name]
+			if len(port) < 2 {
+				continue
+			}
+			w := Word{Bits: append([]netlist.ID(nil), port...),
+				Origin: fmt.Sprintf("%s.%s", m.Name, name)}
+			if !seen[w.Key()] {
+				seen[w.Key()] = true
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// Propagation records one successful word propagation.
+type Propagation struct {
+	Source Word
+	Target Word
+	// Controls is the partial control-wire assignment under which the
+	// propagation holds.
+	Controls map[netlist.ID]bool
+	// Negated[i] reports whether target bit i carries D̄ rather than D.
+	Negated []bool
+	// Backward is true when the target was found among the source's
+	// structural predecessors.
+	Backward bool
+}
+
+// Options tunes propagation.
+type Options struct {
+	// ControlDepth is the fan-in depth searched for control wires (the
+	// paper's "small depth k").
+	ControlDepth int
+	// MaxControls is the number of control wires assigned simultaneously
+	// (the paper fixes 3).
+	MaxControls int
+	// MaxControlSet caps the candidate control-wire set to keep subset
+	// enumeration tractable.
+	MaxControlSet int
+}
+
+func (o *Options) defaults() {
+	if o.ControlDepth <= 0 {
+		o.ControlDepth = 3
+	}
+	if o.MaxControls <= 0 {
+		o.MaxControls = 3
+	}
+	if o.MaxControlSet <= 0 {
+		o.MaxControlSet = 12
+	}
+}
+
+// Propagate searches for forward propagations of w.
+func Propagate(nl *netlist.Netlist, w Word, opt Options) []Propagation {
+	opt.defaults()
+	var out []Propagation
+	for _, cand := range guessForward(nl, w) {
+		if p, ok := checkPropagation(nl, w, cand, opt, false); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PropagateBackward searches for backward propagations: words w' among the
+// structural predecessors of w such that w' propagates to w.
+func PropagateBackward(nl *netlist.Netlist, w Word, opt Options) []Propagation {
+	opt.defaults()
+	var out []Propagation
+	for _, cand := range guessBackward(nl, w) {
+		// Check that cand propagates to w: simulate with cand = D and
+		// require w symbolic.
+		if p, ok := checkPropagation(nl, cand, w, opt, true); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// guessForward groups the fanout gates of w's bits by (kind, port).
+func guessForward(nl *netlist.Netlist, w Word) []Word {
+	type key struct {
+		kind netlist.Kind
+		port int
+	}
+	groups := make(map[key][]netlist.ID) // gate output per bit index, Nil when absent/ambiguous
+	for i, b := range w.Bits {
+		for _, g := range nl.Fanout(b) {
+			if !nl.Kind(g).IsGate() {
+				continue
+			}
+			for port, f := range nl.Fanin(g) {
+				if f != b {
+					continue
+				}
+				k := key{nl.Kind(g), port}
+				if groups[k] == nil {
+					groups[k] = make([]netlist.ID, len(w.Bits))
+					for j := range groups[k] {
+						groups[k][j] = netlist.Nil
+					}
+				}
+				if groups[k][i] == netlist.Nil {
+					groups[k][i] = g
+				}
+			}
+		}
+	}
+	var keys []key
+	for k, tgt := range groups {
+		complete := true
+		seen := make(map[netlist.ID]bool)
+		for _, g := range tgt {
+			if g == netlist.Nil || seen[g] {
+				complete = false
+				break
+			}
+			seen[g] = true
+		}
+		if complete {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].port < keys[j].port
+	})
+	var out []Word
+	for _, k := range keys {
+		out = append(out, Word{Bits: groups[k], Origin: "guessed"})
+	}
+	return out
+}
+
+// guessBackward proposes predecessor words: for each (port) of the drivers
+// of w's bits, the word of that port's fanins.
+func guessBackward(nl *netlist.Netlist, w Word) []Word {
+	// All drivers must be gates of the same kind and arity.
+	kind := netlist.Kind(255)
+	arity := -1
+	for _, b := range w.Bits {
+		if !nl.Kind(b).IsGate() {
+			return nil
+		}
+		if kind == 255 {
+			kind = nl.Kind(b)
+			arity = len(nl.Fanin(b))
+		} else if nl.Kind(b) != kind || len(nl.Fanin(b)) != arity {
+			return nil
+		}
+	}
+	var out []Word
+	for port := 0; port < arity; port++ {
+		bits := make([]netlist.ID, len(w.Bits))
+		distinct := make(map[netlist.ID]bool)
+		ok := true
+		for i, b := range w.Bits {
+			f := nl.Fanin(b)[port]
+			if distinct[f] {
+				ok = false
+				break
+			}
+			distinct[f] = true
+			bits[i] = f
+		}
+		if ok {
+			out = append(out, Word{Bits: bits, Origin: "guessed-backward"})
+		}
+	}
+	return out
+}
+
+// controlWires returns the intersection of the depth-bounded fan-in cones
+// of the target gates, excluding the source word bits.
+func controlWires(nl *netlist.Netlist, src, tgt Word, opt Options) []netlist.ID {
+	inSrc := make(map[netlist.ID]bool, len(src.Bits))
+	for _, b := range src.Bits {
+		inSrc[b] = true
+	}
+	counts := make(map[netlist.ID]int)
+	for _, g := range tgt.Bits {
+		seen := make(map[netlist.ID]bool)
+		frontier := []netlist.ID{g}
+		for d := 0; d < opt.ControlDepth; d++ {
+			var nextLayer []netlist.ID
+			for _, x := range frontier {
+				for _, f := range nl.Fanin(x) {
+					if inSrc[f] || seen[f] {
+						continue
+					}
+					seen[f] = true
+					nextLayer = append(nextLayer, f)
+				}
+			}
+			frontier = nextLayer
+		}
+		for x := range seen {
+			counts[x]++
+		}
+	}
+	var out []netlist.ID
+	for x, c := range counts {
+		if c == len(tgt.Bits) {
+			out = append(out, x)
+		}
+	}
+	out = netlist.SortedIDs(out)
+	if len(out) > opt.MaxControlSet {
+		out = out[:opt.MaxControlSet]
+	}
+	return out
+}
+
+// checkPropagation runs the symbolic simulations. src bits are forced to D
+// (cutting them loose from their own logic, as in the paper's local-netlist
+// simulation); combinations of up to MaxControls control wires are swept
+// over all binary values; all other boundary signals are X.
+func checkPropagation(nl *netlist.Netlist, src, tgt Word, opt Options, backward bool) (Propagation, bool) {
+	assignable := controlWires(nl, src, tgt, opt)
+
+	base := make(map[netlist.ID]sim.Value, len(src.Bits))
+	for _, b := range src.Bits {
+		base[b] = sim.D
+	}
+
+	try := func(ctrl map[netlist.ID]bool) (Propagation, bool) {
+		assign := make(map[netlist.ID]sim.Value, len(base)+len(ctrl))
+		for k, v := range base {
+			assign[k] = v
+		}
+		for c, v := range ctrl {
+			if v {
+				assign[c] = sim.One
+			} else {
+				assign[c] = sim.Zero
+			}
+		}
+		vals := sim.Run(nl, assign)
+		neg := make([]bool, len(tgt.Bits))
+		for i, g := range tgt.Bits {
+			switch vals[g] {
+			case sim.D:
+				neg[i] = false
+			case sim.DBar:
+				neg[i] = true
+			default:
+				return Propagation{}, false
+			}
+		}
+		return Propagation{
+			Source:   src,
+			Target:   tgt,
+			Controls: ctrl,
+			Negated:  neg,
+			Backward: backward,
+		}, true
+	}
+
+	// No controls first.
+	if p, ok := try(map[netlist.ID]bool{}); ok {
+		return p, true
+	}
+	// Subsets of size 1..MaxControls, all binary assignments.
+	n := len(assignable)
+	for size := 1; size <= opt.MaxControls && size <= n; size++ {
+		idx := make([]int, size)
+		for i := range idx {
+			idx[i] = i
+		}
+		for {
+			for mask := 0; mask < 1<<uint(size); mask++ {
+				ctrl := make(map[netlist.ID]bool, size)
+				for i, ii := range idx {
+					ctrl[assignable[ii]] = mask>>uint(i)&1 == 1
+				}
+				if p, ok := try(ctrl); ok {
+					return p, true
+				}
+			}
+			// Next combination.
+			i := size - 1
+			for i >= 0 && idx[i] == n-size+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < size; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+		}
+	}
+	return Propagation{}, false
+}
+
+// PropagateAll iteratively expands a word set with forward and backward
+// propagation until a fixed point or the given round limit.
+func PropagateAll(nl *netlist.Netlist, seeds []Word, rounds int, opt Options) ([]Word, []Propagation) {
+	opt.defaults()
+	seen := make(map[string]bool)
+	var all []Word
+	var frontier []Word
+	push := func(w Word) bool {
+		k := w.Key()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		all = append(all, w)
+		frontier = append(frontier, w)
+		return true
+	}
+	for _, w := range seeds {
+		push(w)
+	}
+	var props []Propagation
+	for r := 0; r < rounds && len(frontier) > 0; r++ {
+		work := frontier
+		frontier = nil
+		for _, w := range work {
+			for _, p := range Propagate(nl, w, opt) {
+				props = append(props, p)
+				t := p.Target
+				t.Origin = "propagated"
+				push(t)
+			}
+			for _, p := range PropagateBackward(nl, w, opt) {
+				props = append(props, p)
+				s := p.Source
+				s.Origin = "propagated-backward"
+				push(s)
+			}
+		}
+	}
+	return all, props
+}

@@ -1,0 +1,172 @@
+package words
+
+import (
+	"testing"
+
+	"netlistre/internal/gen"
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+)
+
+func TestFromModules(t *testing.T) {
+	m := module.New(module.Adder, 4, []netlist.ID{10, 11})
+	m.SetPort("sum", []netlist.ID{1, 2, 3, 4})
+	m.SetPort("a", []netlist.ID{5, 6, 7, 8})
+	m.SetPort("cin", []netlist.ID{9}) // single-bit: not a word
+	ws := FromModules([]*module.Module{m})
+	if len(ws) != 2 {
+		t.Fatalf("got %d words, want 2 (%v)", len(ws), ws)
+	}
+}
+
+func TestPropagateThroughInverters(t *testing.T) {
+	// w -> bitwise not -> w' : must propagate with no controls, negated.
+	nl := netlist.New("inv")
+	w := gen.InputWord(nl, "w", 4)
+	out := gen.BitwiseNot(nl, w)
+	props := Propagate(nl, Word{Bits: w}, Options{})
+	if len(props) == 0 {
+		t.Fatal("no propagation through inverters")
+	}
+	p := props[0]
+	for i, g := range p.Target.Bits {
+		if g != out[i] {
+			t.Errorf("target[%d] = %d, want %d", i, g, out[i])
+		}
+		if !p.Negated[i] {
+			t.Errorf("bit %d should be negated", i)
+		}
+	}
+	if len(p.Controls) != 0 {
+		t.Errorf("controls = %v, want none", p.Controls)
+	}
+}
+
+func TestPropagateFigure2(t *testing.T) {
+	// The paper's Figure 2: w = mux(c, ~u, ~v). Propagating u requires
+	// discovering the control c=0 and yields negated values.
+	nl := netlist.New("fig2")
+	c := nl.AddInput("c")
+	u := gen.InputWord(nl, "u", 3)
+	v := gen.InputWord(nl, "v", 3)
+	nu := gen.BitwiseNot(nl, u)
+	nv := gen.BitwiseNot(nl, v)
+	w := gen.Mux2Word(nl, c, nu, nv)
+
+	// Propagate u two steps: u -> ~u (trivially), then ~u -> w under c=0.
+	props := Propagate(nl, Word{Bits: nu}, Options{})
+	var found *Propagation
+	for i := range props {
+		tgt := props[i].Target.Bits
+		if len(tgt) == 3 {
+			ok := true
+			for j := range tgt {
+				// The final or-gates are the w bits.
+				if tgt[j] != w[j] {
+					ok = false
+				}
+			}
+			if ok {
+				found = &props[i]
+			}
+		}
+	}
+	if found == nil {
+		// The direct guess from ~u jumps one gate (the and); propagation
+		// may land on the and-gates first. Use iterative propagation.
+		all, _ := PropagateAll(nl, []Word{{Bits: u}}, 4, Options{})
+		for _, cand := range all {
+			if len(cand.Bits) == 3 && cand.Bits[0] == w[0] && cand.Bits[1] == w[1] && cand.Bits[2] == w[2] {
+				return // reached w through intermediate words
+			}
+		}
+		t.Fatalf("u never propagated to w; words found: %d", len(all))
+	}
+	if v, ok := found.Controls[c]; !ok || v {
+		t.Errorf("expected control c=0, got %v", found.Controls)
+	}
+}
+
+func TestPropagateThroughEnabledAnd(t *testing.T) {
+	// w' = w & en (bitwise): propagates under en=1.
+	nl := netlist.New("en")
+	en := nl.AddInput("en")
+	w := gen.InputWord(nl, "w", 4)
+	var out []netlist.ID
+	for i := range w {
+		out = append(out, nl.AddGate(netlist.And, w[i], en))
+	}
+	props := Propagate(nl, Word{Bits: w}, Options{})
+	if len(props) == 0 {
+		t.Fatal("no propagation")
+	}
+	p := props[0]
+	if v, ok := p.Controls[en]; !ok || !v {
+		t.Errorf("controls = %v, want en=1", p.Controls)
+	}
+	for i := range p.Negated {
+		if p.Negated[i] {
+			t.Errorf("bit %d negated, want positive", i)
+		}
+	}
+	_ = out
+}
+
+func TestNoFalsePropagation(t *testing.T) {
+	// The consumer mixes word bits (bit 0 drives both gates): must not
+	// report a clean word propagation for the crossed structure.
+	nl := netlist.New("mix")
+	w := gen.InputWord(nl, "w", 2)
+	nl.AddGate(netlist.And, w[0], w[1]) // single gate consumes both bits
+	props := Propagate(nl, Word{Bits: w}, Options{})
+	for _, p := range props {
+		if len(p.Target.Bits) == 2 && p.Target.Bits[0] == p.Target.Bits[1] {
+			t.Errorf("degenerate target %v reported", p.Target.Bits)
+		}
+	}
+}
+
+func TestPropagateBackward(t *testing.T) {
+	nl := netlist.New("bwd")
+	src := gen.InputWord(nl, "s", 4)
+	mid := gen.BitwiseNot(nl, src)
+	props := PropagateBackward(nl, Word{Bits: mid}, Options{})
+	if len(props) == 0 {
+		t.Fatal("no backward propagation")
+	}
+	p := props[0]
+	if !p.Backward {
+		t.Error("propagation not marked backward")
+	}
+	for i, b := range p.Source.Bits {
+		if b != src[i] {
+			t.Errorf("backward source[%d] = %d, want %d", i, b, src[i])
+		}
+	}
+}
+
+func TestPropagateAllFindsRegisterWord(t *testing.T) {
+	// Word propagation across a register: w -> D inputs -> (next cycle
+	// values). Forward propagation should reach the and/or network of the
+	// register's write mux under we=1.
+	nl := netlist.New("reg")
+	w := gen.InputWord(nl, "w", 4)
+	we := nl.AddInput("we")
+	q := gen.Register(nl, w, we)
+	all, props := PropagateAll(nl, []Word{{Bits: w}}, 3, Options{})
+	if len(all) < 2 {
+		t.Fatalf("no propagation happened: %d words %d props", len(all), len(props))
+	}
+	// Some discovered word must be the and-gates feeding the register's
+	// or-gates (w & we), with control we=1.
+	found := false
+	for _, p := range props {
+		if v, ok := p.Controls[we]; ok && v {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no propagation discovered the write-enable control")
+	}
+	_ = q
+}

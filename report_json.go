@@ -1,0 +1,125 @@
+package netlistre
+
+// Machine-readable report export: downstream tooling (diffing runs,
+// trojan-delta dashboards, CI gates on coverage) consumes the analysis as
+// JSON rather than scraping the text report.
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// JSONReport is the serializable form of a Report.
+type JSONReport struct {
+	Design        string         `json:"design"`
+	Inputs        int            `json:"inputs"`
+	Outputs       int            `json:"outputs"`
+	Gates         int            `json:"gates"`
+	Latches       int            `json:"latches"`
+	TotalElements int            `json:"total_elements"`
+	Coverage      JSONCoverage   `json:"coverage"`
+	RuntimeMS     float64        `json:"runtime_ms"`
+	Overlap       JSONOverlap    `json:"overlap_resolution"`
+	Modules       []JSONModule   `json:"modules"`
+	CountsBefore  map[string]int `json:"counts_before"`
+	CountsAfter   map[string]int `json:"counts_after"`
+}
+
+// JSONCoverage carries coverage counts and fractions.
+type JSONCoverage struct {
+	BeforeElements int     `json:"before_elements"`
+	AfterElements  int     `json:"after_elements"`
+	BeforeFraction float64 `json:"before_fraction"`
+	AfterFraction  float64 `json:"after_fraction"`
+}
+
+// JSONOverlap reports resolution status.
+type JSONOverlap struct {
+	ModulesBefore int  `json:"modules_before"`
+	ModulesAfter  int  `json:"modules_after"`
+	Optimal       bool `json:"optimal"`
+}
+
+// JSONModule is one resolved module.
+type JSONModule struct {
+	Name     string            `json:"name"`
+	Type     string            `json:"type"`
+	Width    int               `json:"width"`
+	Elements int               `json:"elements"`
+	Ports    map[string][]int  `json:"ports,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// ToJSONReport converts an analysis Report.
+func ToJSONReport(rep *Report) JSONReport {
+	stats := rep.Netlist.Stats()
+	out := JSONReport{
+		Design:        rep.Netlist.Name,
+		Inputs:        stats.Inputs,
+		Outputs:       stats.Outputs,
+		Gates:         stats.Gates,
+		Latches:       stats.Latches,
+		TotalElements: rep.TotalElements,
+		Coverage: JSONCoverage{
+			BeforeElements: rep.CoverageBefore,
+			AfterElements:  rep.CoverageAfter,
+			BeforeFraction: rep.CoverageFractionBefore(),
+			AfterFraction:  rep.CoverageFraction(),
+		},
+		RuntimeMS: float64(rep.Runtime.Microseconds()) / 1000,
+		Overlap: JSONOverlap{
+			ModulesBefore: len(rep.All),
+			ModulesAfter:  len(rep.Resolved),
+			Optimal:       rep.OverlapOptimal,
+		},
+		CountsBefore: map[string]int{},
+		CountsAfter:  map[string]int{},
+	}
+	for ty, n := range rep.CountsBefore {
+		out.CountsBefore[ty.String()] = n
+	}
+	for ty, n := range rep.CountsAfter {
+		out.CountsAfter[ty.String()] = n
+	}
+	for _, m := range rep.Resolved {
+		jm := JSONModule{
+			Name:     m.Name,
+			Type:     m.Type.String(),
+			Width:    m.Width,
+			Elements: m.Size(),
+			Attrs:    m.Attr,
+		}
+		if len(m.Ports) > 0 {
+			jm.Ports = make(map[string][]int, len(m.Ports))
+			var names []string
+			for name := range m.Ports {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				ids := m.Ports[name]
+				ints := make([]int, len(ids))
+				for i, id := range ids {
+					ints[i] = int(id)
+				}
+				jm.Ports[name] = ints
+			}
+		}
+		out.Modules = append(out.Modules, jm)
+	}
+	sort.Slice(out.Modules, func(i, j int) bool {
+		if out.Modules[i].Elements != out.Modules[j].Elements {
+			return out.Modules[i].Elements > out.Modules[j].Elements
+		}
+		return out.Modules[i].Name < out.Modules[j].Name
+	})
+	return out
+}
+
+// WriteJSONReport writes the report as indented JSON.
+func WriteJSONReport(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSONReport(rep))
+}
