@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test test-short test-race bench fuzz vet
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+test-short: build
+	$(GO) test -short ./...
+
+# Race-checks the parallel portfolio scheduler and every other goroutine
+# on the full suite (including the BigSoC TestAnalyzeParallelRace, which
+# -short would skip). Run on every PR.
+test-race: build
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# Short fuzz sweep of the netlist parsers (seeds always run under
+# `make test`; this explores beyond them).
+fuzz:
+	$(GO) test ./internal/netlist -fuzz FuzzReadVerilog -fuzztime 30s
+	$(GO) test ./internal/netlist -fuzz FuzzReadBLIF -fuzztime 30s
+
+vet:
+	$(GO) vet ./...

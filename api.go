@@ -21,6 +21,21 @@
 // For large designs, Simplify first (buffer/inverter-pair removal and
 // structural hashing) and PartitionByResets to split an SoC into per-core
 // sub-netlists (Section V-C of the paper).
+//
+// # Parallel execution and tracing
+//
+// Analyze runs the portfolio as a stage DAG on a bounded worker pool:
+// the independent analyses (bitslice matching, common-support analysis,
+// the latch-connection-graph detectors) execute concurrently and the
+// downstream stages are gated on their declared inputs. Options.Workers
+// bounds the pool (0 = GOMAXPROCS); results are merged in a canonical
+// order so the report is bit-identical for any worker count, and
+// Workers: 1 reproduces the serial pipeline exactly.
+//
+// Every run records per-stage wall-clock timings in Report.Trace (one
+// StageTiming per stage, in pipeline order), rendered as a stage table
+// by WriteReport and by the revan -trace flag. For long runs,
+// Options.Progress receives a StageEvent at each stage start and finish.
 package netlistre
 
 import (
@@ -57,8 +72,18 @@ type ModuleType = module.Type
 type Report = core.Report
 
 // Options configures the analysis portfolio. The zero value runs every
-// algorithm with the paper's parameters.
+// algorithm with the paper's parameters. Options.Workers bounds the
+// stage scheduler's worker pool; Options.Progress observes stage
+// start/finish events.
 type Options = core.Options
+
+// StageTiming is one Report.Trace entry: a pipeline stage's start
+// offset, duration and produced item count.
+type StageTiming = core.StageTiming
+
+// StageEvent is delivered to Options.Progress when a pipeline stage
+// starts (Done=false) and finishes (Done=true).
+type StageEvent = core.StageEvent
 
 // Re-exported netlist primitives.
 const (
@@ -180,7 +205,11 @@ func WriteReport(w io.Writer, rep *Report) error {
 		len(rep.All), len(rep.Resolved))
 	fmt.Fprintf(w, "coverage: %.1f%% before resolution, %.1f%% after\n",
 		100*rep.CoverageFractionBefore(), 100*rep.CoverageFraction())
-	fmt.Fprintf(w, "analysis time: %v\n\n", rep.Runtime)
+	fmt.Fprintf(w, "analysis time: %v\n", rep.Runtime)
+	if rep.OverlapErr != nil {
+		fmt.Fprintf(w, "overlap resolution FAILED: %v\n", rep.OverlapErr)
+	}
+	fmt.Fprintln(w)
 
 	type row struct {
 		ty            ModuleType
@@ -208,6 +237,25 @@ func WriteReport(w io.Writer, rep *Report) error {
 		for _, m := range sel[:n] {
 			fmt.Fprintf(w, "  %-28s %5d elements\n", m.Name, m.Size())
 		}
+	}
+	if len(rep.Trace) > 0 {
+		fmt.Fprintln(w)
+		if err := WriteTrace(w, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTrace renders the per-stage timing table of Report.Trace.
+func WriteTrace(w io.Writer, rep *Report) error {
+	if _, err := fmt.Fprintf(w, "%-12s %12s %12s %8s\n",
+		"stage", "start", "duration", "produced"); err != nil {
+		return err
+	}
+	for _, st := range rep.Trace {
+		fmt.Fprintf(w, "%-12s %12v %12v %8d\n",
+			st.Name, st.Start, st.Duration, st.Modules)
 	}
 	return nil
 }

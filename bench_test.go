@@ -7,6 +7,8 @@ package netlistre
 // both the runtime and the reproduced result shape.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"netlistre/internal/bitslice"
@@ -123,6 +125,39 @@ func BenchmarkTable8TrojanInference(b *testing.B) {
 	b.ReportMetric(float64(dEv[TypeMux]), "evoter-extra-muxes")
 	b.ReportMetric(float64(dOc[TypeCounter]), "oc8051-extra-counters")
 	b.ReportMetric(float64(dOc[TypeGating]), "oc8051-extra-gating")
+}
+
+// BenchmarkAnalyzeWorkers compares the serial pipeline (Workers: 1)
+// against the parallel stage scheduler (Workers: GOMAXPROCS) on the
+// largest article, and attaches the per-stage timings of the last run as
+// metrics so scaling behavior is diagnosable from the bench output.
+func BenchmarkAnalyzeWorkers(b *testing.B) {
+	nl, err := gen.Article("riscfpu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// On a single-core host GOMAXPROCS(0) is 1; still measure a
+	// multi-worker run so the scheduler overhead is visible.
+	parallel := runtime.GOMAXPROCS(0)
+	if parallel < 2 {
+		parallel = 4
+	}
+	for _, workers := range []int{1, parallel} {
+		name := "serial"
+		if workers != 1 {
+			name = fmt.Sprintf("parallel-%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				rep = core.Analyze(nl, core.Options{Workers: workers})
+			}
+			for _, st := range rep.Trace {
+				b.ReportMetric(float64(st.Duration.Microseconds())/1000, st.Name+"-ms")
+			}
+			b.ReportMetric(float64(len(rep.All)), "modules")
+		})
+	}
 }
 
 // --- Ablations ---

@@ -33,6 +33,8 @@ func main() {
 		cands     = flag.Bool("candidates", false, "also report unknown-bitslice candidate modules")
 		dotFile   = flag.String("dot", "", "write the abstracted netlist as Graphviz DOT to this file")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON instead of text")
+		workers   = flag.Int("workers", 0, "pipeline worker budget (0 = GOMAXPROCS, 1 = serial)")
+		trace     = flag.Bool("trace", false, "print live per-stage progress to stderr (the final stage table is always in the report)")
 	)
 	flag.Parse()
 
@@ -65,7 +67,17 @@ func main() {
 			before.Gates, after.Gates, 100*(1-float64(after.Gates)/float64(before.Gates)))
 	}
 
-	opt := netlistre.Options{SkipModMatch: *skipQBF, KeepCandidates: *cands}
+	opt := netlistre.Options{SkipModMatch: *skipQBF, KeepCandidates: *cands, Workers: *workers}
+	if *trace {
+		opt.Progress = func(ev netlistre.StageEvent) {
+			if ev.Done {
+				fmt.Fprintf(os.Stderr, "[%12v] done  %-10s (%v, %d produced)\n",
+					ev.Start+ev.Duration, ev.Stage, ev.Duration, ev.Modules)
+			} else {
+				fmt.Fprintf(os.Stderr, "[%12v] start %s\n", ev.Start, ev.Stage)
+			}
+		}
+	}
 	if *objective == "min" {
 		opt.Overlap.Objective = netlistre.MinModules
 	}

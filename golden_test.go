@@ -1,0 +1,63 @@
+package netlistre
+
+// Golden-report regression tests: the full text report for two articles
+// is committed under testdata/, so a pipeline refactor that silently
+// changes the inferred modules (names, counts, coverage, sizes) fails
+// loudly instead of drifting. Wall-clock durations are normalized before
+// comparison; everything else must match byte for byte.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden report files")
+
+// durationRE matches a (possibly compound) Go duration token with its
+// leading padding, e.g. "   583µs", " 1.2ms", " 1m2.5s".
+var durationRE = regexp.MustCompile(` *\b[0-9]+(\.[0-9]+)?(ns|µs|us|ms|s|m|h)([0-9]+(\.[0-9]+)?(ns|µs|us|ms|s|m|h))*\b`)
+
+func normalizeDurations(s string) string {
+	return durationRE.ReplaceAllString(s, " <dur>")
+}
+
+func TestGoldenReports(t *testing.T) {
+	for _, name := range []string{"usb", "evoter"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			nl, err := TestArticle(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := Options{}
+			opt.Overlap.Sliceable = true
+			rep := Analyze(nl, opt)
+
+			var buf bytes.Buffer
+			if err := WriteReport(&buf, rep); err != nil {
+				t.Fatal(err)
+			}
+			got := normalizeDurations(buf.String())
+
+			path := filepath.Join("testdata", "report_"+name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with `go test -run TestGoldenReports -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report for %s drifted from %s.\nRun `go test -run TestGoldenReports -update` if the change is intended.\n--- got ---\n%s\n--- want ---\n%s",
+					name, path, got, want)
+			}
+		})
+	}
+}

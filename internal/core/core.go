@@ -3,9 +3,16 @@
 // identification and propagation, QBF module matching, common-support
 // analysis, the sequential analyses, module fusion, and ILP overlap
 // resolution — producing a coverage report in the shape of Table 3.
+//
+// The portfolio is executed as an explicit stage DAG by a bounded
+// worker-pool scheduler (sched.go): the independent analyses run
+// concurrently, downstream stages are gated on their declared inputs, and
+// results are merged in a canonical order so the report is bit-identical
+// for any worker count.
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"netlistre/internal/aggregate"
@@ -34,6 +41,16 @@ type Options struct {
 	Seq        seq.Options
 	Overlap    overlap.Options
 
+	// Workers bounds the number of pipeline stages in flight and the
+	// inner worker pools of the support and modmatch stages (0 =
+	// GOMAXPROCS). The report is identical for any worker count;
+	// Workers=1 runs the portfolio serially.
+	Workers int
+	// Progress, if non-nil, receives a StageEvent when each pipeline
+	// stage starts and finishes. The callback is invoked serially but
+	// from scheduler goroutines, not the Analyze caller's goroutine.
+	Progress func(StageEvent)
+
 	// SkipModMatch disables QBF module matching (the most expensive
 	// algorithm on wide datapaths).
 	SkipModMatch bool
@@ -50,7 +67,8 @@ type Options struct {
 	// ExtraPasses run after the built-in portfolio; each returns
 	// additional inferred modules that participate in overlap resolution
 	// like any other (the paper's design-specific algorithms, e.g. the
-	// BigSoC framebuffer-read detector).
+	// BigSoC framebuffer-read detector). Passes run sequentially, after
+	// every built-in stage has finished.
 	ExtraPasses []func(*netlist.Netlist) []*module.Module
 }
 
@@ -83,8 +101,14 @@ type Report struct {
 
 	// Runtime is the wall-clock analysis time.
 	Runtime time.Duration
+	// Trace records per-stage wall-clock timings in pipeline order.
+	Trace []StageTiming
 	// OverlapOptimal is false when the ILP hit its node limit.
 	OverlapOptimal bool
+	// OverlapErr is non-nil when overlap resolution failed (an
+	// infeasible MinModules coverage target); Resolved is then empty
+	// and the pre-resolution module set in All stands.
+	OverlapErr error
 }
 
 // CoverageFractionBefore returns pre-resolution coverage in [0,1].
@@ -110,7 +134,19 @@ func Analyze(nl *netlist.Netlist, opt Options) *Report {
 	stats := nl.Stats()
 	rep.TotalElements = stats.Gates + stats.Latches
 
-	// Stage 1: cut enumeration + Boolean matching (Algorithm 1).
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The support and modmatch stages have inner worker pools; cap them
+	// at the shared budget unless explicitly configured.
+	if opt.Support.Workers <= 0 {
+		opt.Support.Workers = workers
+	}
+	if opt.ModMatch.Workers <= 0 {
+		opt.ModMatch.Workers = workers
+	}
+
 	opt.Bitslice.KeepUnknown = opt.KeepCandidates
 	if len(opt.ExtraLibrary) > 0 {
 		lib := opt.Bitslice.Library
@@ -119,93 +155,175 @@ func Analyze(nl *netlist.Netlist, opt Options) *Report {
 		}
 		opt.Bitslice.Library = append(append([]truth.Entry(nil), lib...), opt.ExtraLibrary...)
 	}
-	slices := bitslice.Find(nl, opt.Bitslice)
 
-	// Stage 2: aggregation (Algorithm 2).
-	common := aggregate.CommonSignal(nl, slices, opt.Aggregate)
-	propagated := aggregate.PropagatedSignal(nl, slices, opt.Aggregate)
+	// Intermediate state shared between stages. Each field is written by
+	// exactly one stage and read only by stages gated on it.
+	var (
+		slices *bitslice.Result
+		lcg    *graph.LCG
 
-	var mods []*module.Module
-	var muxMods []*module.Module
-	for _, m := range common {
-		if m.Type == module.Candidate {
-			rep.Candidates = append(rep.Candidates, m)
-			continue
-		}
-		mods = append(mods, m)
-		if m.Type == module.Mux {
-			muxMods = append(muxMods, m)
-		}
-	}
-	mods = append(mods, propagated...)
+		common, propagated []*module.Module
+		muxMods            []*module.Module
+		supportMods        []*module.Module
+		fused              []*module.Module
+		wordOps            []*module.Module
+		counters, shifts   []*module.Module
+		rams, regs         []*module.Module
+		extras             [][]*module.Module
+	)
 
-	// Stage 3: common-support analysis (Algorithm 5).
-	supportMods := support.Analyze(nl, opt.Support)
-	mods = append(mods, supportMods...)
-
-	// Stage 4: module fusion post-processing (Section II-F). Fusion
-	// candidates are the mux and decoder modules.
-	var fusable []*module.Module
-	fusable = append(fusable, muxMods...)
-	for _, m := range supportMods {
-		if m.Type == module.Decoder {
-			fusable = append(fusable, m)
-		}
-	}
-	mods = append(mods, aggregate.Fuse(fusable)...)
-
-	// Stage 5: word identification and propagation (Algorithm 3).
-	seeds := words.FromModules(mods)
-	rounds := opt.WordRounds
-	if rounds <= 0 {
-		rounds = 3
-	}
-	if opt.SkipWordProp {
-		rep.Words = seeds
-	} else {
-		all, _ := words.PropagateAll(nl, seeds, rounds, opt.Words)
-		rep.Words = all
+	// baseMods assembles the combinational module set in the canonical
+	// (serial) order; the word stage seeds from it.
+	baseMods := func() []*module.Module {
+		var mods []*module.Module
+		mods = append(mods, common...)
+		mods = append(mods, propagated...)
+		mods = append(mods, supportMods...)
+		mods = append(mods, fused...)
+		return mods
 	}
 
-	// Stage 6: QBF module matching between words (Algorithm 4).
-	if !opt.SkipModMatch {
-		mods = append(mods, modmatch.Match(nl, rep.Words, opt.ModMatch)...)
+	stages := []stage{
+		// Stage 1: cut enumeration + Boolean matching (Algorithm 1).
+		{name: "bitslice", run: func() int {
+			slices = bitslice.Find(nl, opt.Bitslice)
+			return 0
+		}},
+		// Stage 3: common-support analysis (Algorithm 5); independent of
+		// the bitslice pipeline.
+		{name: "support", run: func() int {
+			supportMods = support.Analyze(nl, opt.Support)
+			return len(supportMods)
+		}},
+		// Latch-connection graph shared by the sequential detectors.
+		{name: "lcg", run: func() int {
+			lcg = graph.BuildLCG(nl)
+			return 0
+		}},
+		// Stage 7 (LCG half): counter and shift-register detection
+		// (Algorithms 6-7); independent of the combinational stages.
+		{name: "counters", deps: []string{"lcg"}, run: func() int {
+			counters = seq.FindCounters(nl, lcg, opt.Seq)
+			return len(counters)
+		}},
+		{name: "shift", deps: []string{"lcg"}, run: func() int {
+			shifts = seq.FindShiftRegisters(nl, lcg, opt.Seq)
+			return len(shifts)
+		}},
+		// Stage 2: aggregation (Algorithm 2).
+		{name: "aggregate", deps: []string{"bitslice"}, run: func() int {
+			for _, m := range aggregate.CommonSignal(nl, slices, opt.Aggregate) {
+				if m.Type == module.Candidate {
+					rep.Candidates = append(rep.Candidates, m)
+					continue
+				}
+				common = append(common, m)
+				if m.Type == module.Mux {
+					muxMods = append(muxMods, m)
+				}
+			}
+			propagated = aggregate.PropagatedSignal(nl, slices, opt.Aggregate)
+			return len(common) + len(propagated)
+		}},
+		// Stage 4: module fusion post-processing (Section II-F). Fusion
+		// candidates are the mux and decoder modules.
+		{name: "fuse", deps: []string{"aggregate", "support"}, run: func() int {
+			var fusable []*module.Module
+			fusable = append(fusable, muxMods...)
+			for _, m := range supportMods {
+				if m.Type == module.Decoder {
+					fusable = append(fusable, m)
+				}
+			}
+			fused = aggregate.Fuse(fusable)
+			return len(fused)
+		}},
+		// Stage 5: word identification and propagation (Algorithm 3).
+		{name: "words", deps: []string{"fuse"}, run: func() int {
+			seeds := words.FromModules(baseMods())
+			rounds := opt.WordRounds
+			if rounds <= 0 {
+				rounds = 3
+			}
+			if opt.SkipWordProp {
+				rep.Words = seeds
+			} else {
+				all, _ := words.PropagateAll(nl, seeds, rounds, opt.Words)
+				rep.Words = all
+			}
+			return len(rep.Words)
+		}},
+		// Stage 6: QBF module matching between words (Algorithm 4).
+		{name: "modmatch", deps: []string{"words"}, run: func() int {
+			if opt.SkipModMatch {
+				return 0
+			}
+			wordOps = modmatch.Match(nl, rep.Words, opt.ModMatch)
+			return len(wordOps)
+		}},
+		// Stage 7 (bitslice half): RAM and multibit-register detection
+		// (Algorithms 8-9).
+		{name: "rams", deps: []string{"bitslice"}, run: func() int {
+			rams = seq.FindRAMs(nl, slices, opt.Seq)
+			return len(rams)
+		}},
+		{name: "registers", deps: []string{"aggregate"}, run: func() int {
+			regs = seq.FindMultibitRegisters(nl, muxMods, opt.Seq)
+			return len(regs)
+		}},
+		// Footnote 15: recover multibit-register bit order by matching the
+		// registers against ordered words (word propagation reaches the
+		// registers' D-input gates; the driven latches inherit the order).
+		{name: "order", deps: []string{"words", "registers"}, run: func() int {
+			if len(regs) == 0 {
+				return 0
+			}
+			var ordered [][]netlist.ID
+			for _, w := range rep.Words {
+				ordered = append(ordered, w.Bits)
+			}
+			seq.OrderRegisterBits(nl, regs, ordered)
+			return 0
+		}},
+		// Stage 7b: design-specific passes supplied by the analyst. They
+		// run sequentially after every built-in stage, matching the
+		// serial pipeline's semantics (a pass may inspect the netlist
+		// without racing the built-in analyses).
+		{name: "extra", deps: []string{"modmatch", "counters", "shift", "rams", "order"}, run: func() int {
+			n := 0
+			for _, pass := range opt.ExtraPasses {
+				ms := pass(nl)
+				extras = append(extras, ms)
+				n += len(ms)
+			}
+			return n
+		}},
 	}
 
-	// Stage 7: sequential analyses (Algorithms 6-9).
-	lcg := graph.BuildLCG(nl)
-	mods = append(mods, seq.FindCounters(nl, lcg, opt.Seq)...)
-	mods = append(mods, seq.FindShiftRegisters(nl, lcg, opt.Seq)...)
-	mods = append(mods, seq.FindRAMs(nl, slices, opt.Seq)...)
-	mods = append(mods, seq.FindMultibitRegisters(nl, muxMods, opt.Seq)...)
+	sched := newScheduler(workers, start, opt.Progress)
+	rep.Trace = sched.run(stages)
 
-	// Footnote 15: recover multibit-register bit order by matching the
-	// registers against ordered words (word propagation reaches the
-	// registers' D-input gates; the driven latches inherit the order).
-	var regMods []*module.Module
-	for _, m := range mods {
-		if m.Type == module.MultibitRegister {
-			regMods = append(regMods, m)
-		}
-	}
-	if len(regMods) > 0 {
-		var ordered [][]netlist.ID
-		for _, w := range rep.Words {
-			ordered = append(ordered, w.Bits)
-		}
-		seq.OrderRegisterBits(nl, regMods, ordered)
-	}
-
-	// Stage 7b: design-specific passes supplied by the analyst.
-	for _, pass := range opt.ExtraPasses {
-		mods = append(mods, pass(nl)...)
+	// Merge in the canonical order of the serial pipeline.
+	mods := baseMods()
+	mods = append(mods, wordOps...)
+	mods = append(mods, counters...)
+	mods = append(mods, shifts...)
+	mods = append(mods, rams...)
+	mods = append(mods, regs...)
+	for _, ms := range extras {
+		mods = append(mods, ms...)
 	}
 
 	rep.All = mods
 	rep.CoverageBefore = module.CoverageCount(mods)
 	rep.CountsBefore = module.CountByType(mods)
 
-	// Stage 8: overlap resolution (Algorithm 10).
+	// Stage 8: overlap resolution (Algorithm 10). Runs on the caller's
+	// goroutine but is traced like any other stage.
+	overlapStart := time.Since(start)
+	if opt.Progress != nil {
+		opt.Progress(StageEvent{Stage: "overlap", Start: overlapStart})
+	}
 	res, err := overlap.Resolve(mods, opt.Overlap)
 	if err == nil {
 		rep.Resolved = res.Selected
@@ -215,7 +333,17 @@ func Analyze(nl *netlist.Netlist, opt Options) *Report {
 	} else {
 		// Infeasible only when a MinModules target exceeds what is
 		// coverable; report the unresolved set.
+		rep.OverlapErr = err
 		rep.CountsAfter = map[module.Type]int{}
+	}
+	overlapDur := time.Since(start) - overlapStart
+	rep.Trace = append(rep.Trace, StageTiming{
+		Name: "overlap", Start: overlapStart, Duration: overlapDur,
+		Modules: len(rep.Resolved),
+	})
+	if opt.Progress != nil {
+		opt.Progress(StageEvent{Stage: "overlap", Done: true, Start: overlapStart,
+			Duration: overlapDur, Modules: len(rep.Resolved)})
 	}
 
 	rep.Runtime = time.Since(start)

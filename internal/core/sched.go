@@ -1,0 +1,150 @@
+package core
+
+// A bounded worker-pool scheduler for the portfolio's stage DAG. The
+// paper's analyses are largely independent (Figure 1): bitslice matching,
+// common-support analysis and the latch-connection-graph detectors share
+// no intermediate state, so they run concurrently; downstream stages are
+// gated on their declared inputs. Execution is deterministic for any
+// worker count because every stage writes to its own output slot and the
+// final module list is assembled in a fixed canonical order.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// StageTiming records the wall-clock footprint of one pipeline stage.
+type StageTiming struct {
+	// Name identifies the stage (see Analyze for the stage list).
+	Name string
+	// Start is the stage's start offset from the beginning of Analyze.
+	Start time.Duration
+	// Duration is the stage's wall-clock run time.
+	Duration time.Duration
+	// Modules counts the items the stage produced: inferred modules for
+	// the detector stages, words for the word stage, selected modules
+	// for the overlap stage, and 0 for pure intermediate stages.
+	Modules int
+}
+
+// StageEvent is delivered to Options.Progress when a stage starts
+// (Done=false) and finishes (Done=true). Events are emitted serially:
+// the callback is never invoked concurrently with itself.
+type StageEvent struct {
+	Stage string
+	Done  bool
+	// Start is the stage's start offset from the beginning of Analyze.
+	Start time.Duration
+	// Duration and Modules are zero until Done.
+	Duration time.Duration
+	Modules  int
+}
+
+// stage is one node of the DAG. Deps name earlier stages that must finish
+// before run is called; run returns the produced item count for the trace.
+type stage struct {
+	name string
+	deps []string
+	run  func() int
+}
+
+// scheduler executes a stage DAG with at most `workers` stages in flight.
+type scheduler struct {
+	workers  int
+	start    time.Time
+	progress func(StageEvent)
+
+	mu sync.Mutex // serializes progress callbacks
+}
+
+func newScheduler(workers int, start time.Time, progress func(StageEvent)) *scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	return &scheduler{workers: workers, start: start, progress: progress}
+}
+
+func (s *scheduler) emit(ev StageEvent) {
+	if s.progress == nil {
+		return
+	}
+	s.mu.Lock()
+	s.progress(ev)
+	s.mu.Unlock()
+}
+
+// run executes the stages and returns per-stage timings in declaration
+// order. Stages may only depend on earlier-declared stages (the
+// declaration order is a topological order); a forward or unknown
+// dependency panics, as it is a programming error in the stage table.
+func (s *scheduler) run(stages []stage) []StageTiming {
+	n := len(stages)
+	index := make(map[string]int, n)
+	for i, st := range stages {
+		if _, dup := index[st.name]; dup {
+			panic(fmt.Sprintf("core: duplicate stage %q", st.name))
+		}
+		index[st.name] = i
+	}
+	waiting := make([]int, n) // unmet dependency count per stage
+	dependents := make([][]int, n)
+	for i, st := range stages {
+		for _, d := range st.deps {
+			j, ok := index[d]
+			if !ok || j >= i {
+				panic(fmt.Sprintf("core: stage %q has invalid dep %q", st.name, d))
+			}
+			waiting[i]++
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+
+	timings := make([]StageTiming, n)
+	done := make(chan int)
+	// ready holds runnable stage indices in ascending order so that with
+	// Workers=1 execution follows the declaration (serial) order.
+	var ready []int
+	for i := range stages {
+		if waiting[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	running, completed := 0, 0
+	for completed < n {
+		for len(ready) > 0 && running < s.workers {
+			i := ready[0]
+			ready = ready[1:]
+			running++
+			go s.exec(stages[i], i, timings, done)
+		}
+		i := <-done
+		running--
+		completed++
+		for _, d := range dependents[i] {
+			waiting[d]--
+			if waiting[d] == 0 {
+				// Insert in ascending order (the list is tiny).
+				pos := len(ready)
+				for k, r := range ready {
+					if r > d {
+						pos = k
+						break
+					}
+				}
+				ready = append(ready[:pos], append([]int{d}, ready[pos:]...)...)
+			}
+		}
+	}
+	return timings
+}
+
+func (s *scheduler) exec(st stage, i int, timings []StageTiming, done chan<- int) {
+	startOff := time.Since(s.start)
+	s.emit(StageEvent{Stage: st.name, Start: startOff})
+	mods := st.run()
+	dur := time.Since(s.start) - startOff
+	timings[i] = StageTiming{Name: st.name, Start: startOff, Duration: dur, Modules: mods}
+	s.emit(StageEvent{Stage: st.name, Done: true, Start: startOff, Duration: dur, Modules: mods})
+	done <- i
+}

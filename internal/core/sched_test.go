@@ -1,0 +1,184 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netlistre/internal/gen"
+	"netlistre/internal/netlist"
+)
+
+// buildTraceTestNetlist makes a small design that exercises several
+// detector stages (adder, mux, counter).
+func buildTraceTestNetlist() *netlist.Netlist {
+	nl := netlist.New("tracetest")
+	a := gen.InputWord(nl, "a", 6)
+	b := gen.InputWord(nl, "b", 6)
+	sum, _ := gen.RippleAdder(nl, a, b, netlist.Nil)
+	gen.MarkOutputs(nl, "s", sum)
+	sel := nl.AddInput("sel")
+	gen.MarkOutputs(nl, "m", gen.Mux2Word(nl, sel, a, b))
+	en := nl.AddInput("en")
+	rst := nl.AddInput("rst")
+	gen.Counter(nl, 5, en, rst, false)
+	return nl
+}
+
+func TestSchedulerRespectsDependencies(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) func() int {
+		return func() int {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return 0
+		}
+	}
+	stages := []stage{
+		{name: "a", run: record("a")},
+		{name: "b", run: record("b")},
+		{name: "c", deps: []string{"a", "b"}, run: record("c")},
+		{name: "d", deps: []string{"c"}, run: record("d")},
+	}
+	for _, workers := range []int{1, 4} {
+		order = nil
+		s := newScheduler(workers, time.Now(), nil)
+		timings := s.run(stages)
+		if len(order) != 4 {
+			t.Fatalf("workers=%d: ran %d stages, want 4", workers, len(order))
+		}
+		pos := map[string]int{}
+		for i, n := range order {
+			pos[n] = i
+		}
+		if pos["c"] < pos["a"] || pos["c"] < pos["b"] || pos["d"] < pos["c"] {
+			t.Errorf("workers=%d: dependency order violated: %v", workers, order)
+		}
+		// Timings come back in declaration order regardless of execution
+		// order.
+		for i, want := range []string{"a", "b", "c", "d"} {
+			if timings[i].Name != want {
+				t.Errorf("workers=%d: timings[%d] = %q, want %q", workers, i, timings[i].Name, want)
+			}
+		}
+	}
+}
+
+func TestSchedulerBoundsConcurrency(t *testing.T) {
+	const workers = 2
+	var inFlight, peak atomic.Int32
+	busy := func() int {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		inFlight.Add(-1)
+		return 0
+	}
+	var stages []stage
+	names := []string{"s0", "s1", "s2", "s3", "s4", "s5"}
+	for _, n := range names {
+		stages = append(stages, stage{name: n, run: busy})
+	}
+	newScheduler(workers, time.Now(), nil).run(stages)
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds worker budget %d", p, workers)
+	}
+}
+
+func TestSchedulerSerialOrderWithOneWorker(t *testing.T) {
+	// With Workers=1 and no dependencies, stages run in declaration order.
+	var mu sync.Mutex
+	var order []string
+	var stages []stage
+	for _, n := range []string{"x", "y", "z"} {
+		n := n
+		stages = append(stages, stage{name: n, run: func() int {
+			mu.Lock()
+			order = append(order, n)
+			mu.Unlock()
+			return 0
+		}})
+	}
+	newScheduler(1, time.Now(), nil).run(stages)
+	for i, want := range []string{"x", "y", "z"} {
+		if order[i] != want {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestSchedulerProgressEventsPaired(t *testing.T) {
+	var events []StageEvent // Progress is documented as serialized.
+	s := newScheduler(4, time.Now(), func(ev StageEvent) {
+		events = append(events, ev)
+	})
+	s.run([]stage{
+		{name: "a", run: func() int { return 3 }},
+		{name: "b", deps: []string{"a"}, run: func() int { return 1 }},
+	})
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4 (start+done per stage)", len(events))
+	}
+	open := map[string]bool{}
+	for _, ev := range events {
+		if !ev.Done {
+			open[ev.Stage] = true
+			continue
+		}
+		if !open[ev.Stage] {
+			t.Errorf("done event for %q before its start", ev.Stage)
+		}
+		open[ev.Stage] = false
+		if ev.Duration < 0 {
+			t.Errorf("stage %q negative duration", ev.Stage)
+		}
+	}
+	var doneMods int
+	for _, ev := range events {
+		if ev.Done {
+			doneMods += ev.Modules
+		}
+	}
+	if doneMods != 4 {
+		t.Errorf("done events carried %d produced items, want 4", doneMods)
+	}
+}
+
+func TestSchedulerInvalidDepPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("forward dependency did not panic")
+		}
+	}()
+	newScheduler(1, time.Now(), nil).run([]stage{
+		{name: "a", deps: []string{"b"}, run: func() int { return 0 }},
+		{name: "b", run: func() int { return 0 }},
+	})
+}
+
+func TestAnalyzeTraceShape(t *testing.T) {
+	nl := buildTraceTestNetlist()
+	rep := Analyze(nl, Options{SkipModMatch: true})
+	wantStages := []string{"bitslice", "support", "lcg", "counters", "shift",
+		"aggregate", "fuse", "words", "modmatch", "rams", "registers",
+		"order", "extra", "overlap"}
+	if len(rep.Trace) != len(wantStages) {
+		t.Fatalf("trace has %d stages, want %d: %+v", len(rep.Trace), len(wantStages), rep.Trace)
+	}
+	for i, want := range wantStages {
+		if rep.Trace[i].Name != want {
+			t.Errorf("trace[%d] = %q, want %q", i, rep.Trace[i].Name, want)
+		}
+		if rep.Trace[i].Duration < 0 || rep.Trace[i].Start < 0 {
+			t.Errorf("trace[%d] has negative timing: %+v", i, rep.Trace[i])
+		}
+	}
+}

@@ -35,6 +35,10 @@ type Options struct {
 	MaxWidth int
 	// MaxRotate bounds the rotation/shift constants tried.
 	MaxRotate int
+	// Workers bounds the matching worker pool (0 = GOMAXPROCS). The
+	// caller's scheduler sets this so that the stage respects the shared
+	// analysis-wide worker budget.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -70,7 +74,10 @@ func Match(nl *netlist.Netlist, wordSet []words.Word, opt Options) []*module.Mod
 	// so match them concurrently; results are collected by index to keep
 	// the output deterministic.
 	results := make([]*module.Module, len(cands))
-	workers := runtime.GOMAXPROCS(0)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(cands) {
 		workers = len(cands)
 	}

@@ -1,0 +1,87 @@
+package netlist
+
+// Fuzz coverage for the two parsers: malformed input must surface as an
+// error, never a panic, and an accepted netlist must satisfy its own
+// structural invariants (Check) — the rest of the portfolio assumes them.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// verilogSeeds mixes valid netlists (including writer round-trip output)
+// with the known malformed shapes from the parser tests.
+func verilogSeeds(f *testing.F) {
+	n, _, _, _ := buildFullAdder()
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf); err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		buf.String(),
+		"module m (a, y);\n input a;\n output y;\n not g0 (y, a);\nendmodule\n",
+		"// comment\nmodule m (a, b, y);\ninput a; input b;\noutput y;\nand g (y, a, b);\nendmodule",
+		"module m (a); input a; xor g (a); endmodule",
+		"module m (a, y); input a; output y; endmodule",
+		"module m (y); output y; and g (y, z, z); endmodule",
+		"module m (a); input a; frob g (x, a); endmodule",
+		"module m (a, y); input a; output y; not g1 (y, y); endmodule",
+		"module",
+		"",
+		"module m (a, y); input a; output y; not g1 (y, a); not g1 (y, a); endmodule",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+}
+
+func FuzzReadVerilog(f *testing.F) {
+	verilogSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := ReadVerilog(strings.NewReader(src))
+		if err != nil {
+			return // rejecting malformed input is the contract
+		}
+		if nl == nil {
+			t.Fatal("nil netlist with nil error")
+		}
+		if cerr := nl.Check(); cerr != nil {
+			t.Fatalf("parser accepted a netlist that fails Check: %v\ninput:\n%s", cerr, src)
+		}
+	})
+}
+
+func FuzzReadBLIF(f *testing.F) {
+	n, _, _, _ := buildFullAdder()
+	var buf bytes.Buffer
+	if err := n.WriteBLIF(&buf); err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		buf.String(),
+		".model demo\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n",
+		".model l\n.inputs d\n.outputs q\n.latch d q re clk 0\n.end\n",
+		".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end",
+		".model m\n.inputs a\n.outputs y\n.end",
+		".model m\n.inputs a\n.outputs y\n.gate foo a y\n.end",
+		".model m\n.inputs a\n.outputs y\n.names y y\n1 1\n.end",
+		".names a y",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := ReadBLIF(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if nl == nil {
+			t.Fatal("nil netlist with nil error")
+		}
+		if cerr := nl.Check(); cerr != nil {
+			t.Fatalf("parser accepted a netlist that fails Check: %v\ninput:\n%s", cerr, src)
+		}
+	})
+}

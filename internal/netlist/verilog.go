@@ -264,6 +264,16 @@ func (p *vparser) parseModule() (*Netlist, error) {
 			if len(args) < 2 {
 				return nil, fmt.Errorf("verilog: gate %s needs >=2 ports", t)
 			}
+			// Enforce gate arity here so malformed input is a parse error,
+			// not a builder panic downstream.
+			ins := len(args) - 1
+			if kind == Not || kind == Buf {
+				if ins != 1 {
+					return nil, fmt.Errorf("verilog: gate %s needs 1 input, got %d", t, ins)
+				}
+			} else if ins < 2 {
+				return nil, fmt.Errorf("verilog: gate %s needs >=2 inputs, got %d", t, ins)
+			}
 			gates = append(gates, pendingGate{kind: kind, out: args[0], ins: args[1:]})
 		}
 	}

@@ -116,12 +116,19 @@ func Resolve(mods []*module.Module, opt Options) (Result, error) {
 		comps[find(i)] = append(comps[find(i)], i)
 	}
 	// Singleton components are isolated modules: always selected under
-	// MaxCoverage.
+	// MaxCoverage. Collect then sort by module index: map iteration order
+	// must not leak into the selection order (the report is promised to
+	// be byte-identical across runs and worker counts).
+	var singles []int
 	for r, members := range comps {
 		if len(members) == 1 {
-			res.Selected = append(res.Selected, mods[members[0]])
+			singles = append(singles, members[0])
 			delete(comps, r)
 		}
+	}
+	sortInts(singles)
+	for _, i := range singles {
+		res.Selected = append(res.Selected, mods[i])
 	}
 	var reps []int
 	for r := range comps {

@@ -28,6 +28,10 @@ type Options struct {
 	// MaxConeGates skips classes whose combined cone exceeds this many
 	// gates (keeps candidate modules decoder-sized).
 	MaxConeGates int
+	// Workers bounds the verification worker pool (0 = GOMAXPROCS).
+	// The caller's scheduler sets this so that the stage respects the
+	// shared analysis-wide worker budget.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -100,7 +104,10 @@ func Analyze(nl *netlist.Netlist, opt Options) []*module.Module {
 		cands = append(cands, c)
 	}
 	results := make([]*module.Module, len(cands))
-	workers := runtime.GOMAXPROCS(0)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(cands) {
 		workers = len(cands)
 	}

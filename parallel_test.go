@@ -1,0 +1,149 @@
+package netlistre
+
+// Determinism and race coverage for the parallel portfolio scheduler:
+// the report must be bit-identical for any worker count, and the
+// concurrent stages must be clean under the race detector.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"netlistre/internal/gen"
+	"netlistre/internal/module"
+)
+
+// serializeReport renders every analysis outcome that must not depend on
+// scheduling: module names, types, element sets, ports, words, counts and
+// coverage. Timings (Runtime, Trace) are deliberately excluded.
+func serializeReport(rep *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design %s total %d before %d after %d optimal %v err %v\n",
+		rep.Netlist.Name, rep.TotalElements, rep.CoverageBefore,
+		rep.CoverageAfter, rep.OverlapOptimal, rep.OverlapErr)
+	writeMods := func(label string, mods []*Module) {
+		fmt.Fprintf(&b, "%s %d\n", label, len(mods))
+		for _, m := range mods {
+			fmt.Fprintf(&b, "  %s type %v width %d elements %v\n",
+				m.Name, m.Type, m.Width, m.Elements)
+			var ports []string
+			for name := range m.Ports {
+				ports = append(ports, name)
+			}
+			sort.Strings(ports)
+			for _, p := range ports {
+				fmt.Fprintf(&b, "    port %s %v\n", p, m.Ports[p])
+			}
+			var attrs []string
+			for k := range m.Attr {
+				attrs = append(attrs, k)
+			}
+			sort.Strings(attrs)
+			for _, k := range attrs {
+				fmt.Fprintf(&b, "    attr %s=%s\n", k, m.Attr[k])
+			}
+		}
+	}
+	writeMods("all", rep.All)
+	writeMods("resolved", rep.Resolved)
+	writeMods("candidates", rep.Candidates)
+	fmt.Fprintf(&b, "words %d\n", len(rep.Words))
+	for _, w := range rep.Words {
+		fmt.Fprintf(&b, "  %v\n", w.Bits)
+	}
+	var types []module.Type
+	for ty := range rep.CountsBefore {
+		types = append(types, ty)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, ty := range types {
+		fmt.Fprintf(&b, "count %v %d/%d\n", ty, rep.CountsBefore[ty], rep.CountsAfter[ty])
+	}
+	return b.String()
+}
+
+// TestAnalyzeDeterminism runs the portfolio serially (Workers: 1) and
+// with a wide worker pool (Workers: 8) on three articles and asserts the
+// serialized reports are byte-identical.
+func TestAnalyzeDeterminism(t *testing.T) {
+	for _, name := range []string{"mips16", "router", "oc8051"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			nl, err := gen.Article(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := Options{KeepCandidates: true}
+			opt.Overlap.Sliceable = true
+
+			serialOpt := opt
+			serialOpt.Workers = 1
+			serial := serializeReport(Analyze(nl, serialOpt))
+
+			parOpt := opt
+			parOpt.Workers = 8
+			parallel := serializeReport(Analyze(nl, parOpt))
+
+			if serial != parallel {
+				t.Errorf("Workers=1 and Workers=8 reports differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					serial, parallel)
+			}
+		})
+	}
+}
+
+// TestAnalyzeParallelRace exercises the concurrent scheduler on the
+// BigSoC case study so `go test -race ./...` sweeps the new goroutines.
+func TestAnalyzeParallelRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BigSoC analysis is slow; skipped in -short mode")
+	}
+	nl := Simplify(BigSoC()).Netlist
+	var mu sync.Mutex
+	events := 0
+	opt := Options{
+		SkipModMatch: true,
+		Workers:      runtime.GOMAXPROCS(0),
+		Progress: func(ev StageEvent) {
+			mu.Lock()
+			events++
+			mu.Unlock()
+		},
+	}
+	rep := Analyze(nl, opt)
+	if len(rep.All) == 0 {
+		t.Fatal("BigSoC analysis found no modules")
+	}
+	if id, ok := module.Disjoint(rep.Resolved); !ok {
+		t.Fatalf("resolved modules overlap on element %d", id)
+	}
+	// Every stage fires a start and a done event.
+	if want := 2 * len(rep.Trace); events != want {
+		t.Errorf("got %d progress events, want %d", events, want)
+	}
+}
+
+// TestAnalyzeWorkerSweep cross-checks a few worker counts on one article:
+// any budget must yield the identical report.
+func TestAnalyzeWorkerSweep(t *testing.T) {
+	nl, err := gen.Article("evoter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for _, w := range []int{1, 2, 3, 16} {
+		opt := Options{Workers: w}
+		got := serializeReport(Analyze(nl, opt))
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("Workers=%d report differs from Workers=1", w)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package netlistre
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestOverlapInfeasibleSurfaced exercises the one failure mode of overlap
+// resolution — a MinModules coverage target above what is coverable — and
+// checks it is recorded in Report.OverlapErr and rendered by WriteReport
+// instead of being silently dropped.
+func TestOverlapInfeasibleSurfaced(t *testing.T) {
+	nl := buildSmallDesign()
+	opt := Options{SkipModMatch: true}
+	opt.Overlap.Objective = MinModules
+	// No selection can reach a target beyond every element the inferred
+	// modules could ever claim (module element sets may also include
+	// const nodes, so the bound is deliberately far above gates+latches).
+	opt.Overlap.CoverageTarget = 1 << 30
+
+	rep := Analyze(nl, opt)
+	if rep.OverlapErr == nil {
+		t.Fatal("infeasible MinModules target did not set OverlapErr")
+	}
+	if len(rep.Resolved) != 0 {
+		t.Errorf("Resolved should be empty on infeasible resolution, got %d", len(rep.Resolved))
+	}
+	if len(rep.All) == 0 {
+		t.Error("All (pre-resolution set) should survive an infeasible resolution")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "overlap resolution FAILED") {
+		t.Errorf("WriteReport does not surface the overlap error:\n%s", buf.String())
+	}
+
+	js := ToJSONReport(rep)
+	if js.Overlap.Error == "" {
+		t.Error("JSON report missing overlap error")
+	}
+
+	// A feasible target on the same design must resolve cleanly.
+	opt.Overlap.CoverageTarget = 1
+	rep = Analyze(nl, opt)
+	if rep.OverlapErr != nil {
+		t.Fatalf("feasible MinModules target failed: %v", rep.OverlapErr)
+	}
+	if len(rep.Resolved) == 0 {
+		t.Error("feasible MinModules selected nothing")
+	}
+}

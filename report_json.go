@@ -20,6 +20,7 @@ type JSONReport struct {
 	TotalElements int            `json:"total_elements"`
 	Coverage      JSONCoverage   `json:"coverage"`
 	RuntimeMS     float64        `json:"runtime_ms"`
+	Trace         []JSONStage    `json:"trace,omitempty"`
 	Overlap       JSONOverlap    `json:"overlap_resolution"`
 	Modules       []JSONModule   `json:"modules"`
 	CountsBefore  map[string]int `json:"counts_before"`
@@ -36,9 +37,18 @@ type JSONCoverage struct {
 
 // JSONOverlap reports resolution status.
 type JSONOverlap struct {
-	ModulesBefore int  `json:"modules_before"`
-	ModulesAfter  int  `json:"modules_after"`
-	Optimal       bool `json:"optimal"`
+	ModulesBefore int    `json:"modules_before"`
+	ModulesAfter  int    `json:"modules_after"`
+	Optimal       bool   `json:"optimal"`
+	Error         string `json:"error,omitempty"`
+}
+
+// JSONStage is one per-stage timing entry of the pipeline trace.
+type JSONStage struct {
+	Name       string  `json:"name"`
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+	Modules    int     `json:"modules"`
 }
 
 // JSONModule is one resolved module.
@@ -75,6 +85,17 @@ func ToJSONReport(rep *Report) JSONReport {
 		},
 		CountsBefore: map[string]int{},
 		CountsAfter:  map[string]int{},
+	}
+	if rep.OverlapErr != nil {
+		out.Overlap.Error = rep.OverlapErr.Error()
+	}
+	for _, st := range rep.Trace {
+		out.Trace = append(out.Trace, JSONStage{
+			Name:       st.Name,
+			StartMS:    float64(st.Start.Microseconds()) / 1000,
+			DurationMS: float64(st.Duration.Microseconds()) / 1000,
+			Modules:    st.Modules,
+		})
 	}
 	for ty, n := range rep.CountsBefore {
 		out.CountsBefore[ty.String()] = n
