@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench fuzz vet
+.PHONY: build test test-short test-race bench fuzz vet ci
 
 build:
 	$(GO) build ./...
@@ -28,3 +28,11 @@ fuzz:
 
 vet:
 	$(GO) vet ./...
+
+# Mirrors .github/workflows/ci.yml: full build + vet + tests, a short-mode
+# race pass, and a 30-second fuzz smoke of both netlist parsers.
+ci: build vet
+	$(GO) test ./...
+	$(GO) test -short -race ./...
+	$(GO) test ./internal/netlist -fuzz FuzzReadVerilog -fuzztime 30s
+	$(GO) test ./internal/netlist -fuzz FuzzReadBLIF -fuzztime 30s

@@ -36,12 +36,35 @@
 // StageTiming per stage, in pipeline order), rendered as a stage table
 // by WriteReport and by the revan -trace flag. For long runs,
 // Options.Progress receives a StageEvent at each stage start and finish.
+//
+// # Budgets, cancellation and degraded reports
+//
+// AnalyzeContext accepts a context for caller-driven cancellation, and
+// Options.Timeout / Options.StageTimeout bound the whole run and each
+// pipeline stage respectively. Cancellation is cooperative: the solver
+// hot loops (CDCL search, QBF CEGAR refinement, ILP branch-and-bound,
+// cut enumeration, word propagation, BDD class verification) poll the
+// context and stop early, keeping whatever they found. A run that is
+// canceled, times out, or loses a stage to a panic never returns an
+// error — it returns a well-formed *degraded* report: Report.Degraded is
+// set, each affected stage carries a non-OK StageTiming.Status
+// (TimedOut, Canceled, or Failed with the panic text), downstream stages
+// still run against the partial intermediate state, and the merged
+// module list remains deterministic. Malformed inputs (dangling fanins,
+// combinational cycles, latches with an unset D) are caught up front by
+// Netlist.Validate and reported via Report.ValidationErr without running
+// any analysis. Runs without a budget take a zero-overhead path: no
+// polling hooks are installed and the report is byte-identical to an
+// unbudgeted Analyze. The revan CLI exposes the run budget as -timeout
+// and exits with code 3 when the report is degraded.
 package netlistre
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"netlistre/internal/core"
 	"netlistre/internal/module"
@@ -84,6 +107,17 @@ type StageTiming = core.StageTiming
 // StageEvent is delivered to Options.Progress when a pipeline stage
 // starts (Done=false) and finishes (Done=true).
 type StageEvent = core.StageEvent
+
+// StageStatus classifies how a pipeline stage ended (see StageTiming).
+type StageStatus = core.StageStatus
+
+// Stage end statuses. Anything but StageOK marks the report Degraded.
+const (
+	StageOK       = core.StageOK
+	StageTimedOut = core.StageTimedOut
+	StageCanceled = core.StageCanceled
+	StageFailed   = core.StageFailed
+)
 
 // Re-exported netlist primitives.
 const (
@@ -130,6 +164,16 @@ func ReadBLIF(r io.Reader) (*Netlist, error) { return netlist.ReadBLIF(r) }
 
 // Analyze runs the full reverse-engineering portfolio.
 func Analyze(nl *Netlist, opt Options) *Report { return core.Analyze(nl, opt) }
+
+// AnalyzeContext runs the portfolio under a context. Cancellation and the
+// Options.Timeout / Options.StageTimeout budgets are cooperative and
+// never produce an error: the result is a well-formed report with
+// Report.Degraded set and the affected stages marked in Report.Trace
+// (see the package comment, "Budgets, cancellation and degraded
+// reports").
+func AnalyzeContext(ctx context.Context, nl *Netlist, opt Options) *Report {
+	return core.AnalyzeContext(ctx, nl, opt)
+}
 
 // SimplifyResult pairs a simplified netlist with its node mapping.
 type SimplifyResult = simplify.Result
@@ -193,23 +237,65 @@ const (
 	MinModules  = overlap.MinModules
 )
 
+// errWriter wraps a writer so a sequence of formatted writes can be
+// checked once at the end: after the first failure every later write is a
+// no-op and the first error is kept.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...interface{}) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
+
+// degradedStages summarizes the non-OK trace entries for the report
+// header, e.g. "words timed-out, modmatch canceled".
+func degradedStages(rep *Report) string {
+	var parts []string
+	for _, st := range rep.Trace {
+		if st.Status != StageOK {
+			parts = append(parts, st.Name+" "+st.Status.String())
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// firstLine truncates multi-line error text (panic stacks) for one-line
+// rendering.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
 // WriteReport renders a human-readable module and coverage summary.
 func WriteReport(w io.Writer, rep *Report) error {
+	ew := &errWriter{w: w}
 	stats := rep.Netlist.Stats()
-	if _, err := fmt.Fprintf(w,
-		"design %s: %d inputs, %d outputs, %d gates, %d latches\n",
-		rep.Netlist.Name, stats.Inputs, stats.Outputs, stats.Gates, stats.Latches); err != nil {
-		return err
+	ew.printf("design %s: %d inputs, %d outputs, %d gates, %d latches\n",
+		rep.Netlist.Name, stats.Inputs, stats.Outputs, stats.Gates, stats.Latches)
+	if rep.ValidationErr != nil {
+		ew.printf("input validation FAILED:\n")
+		for _, line := range strings.Split(rep.ValidationErr.Error(), "\n") {
+			ew.printf("  %s\n", line)
+		}
+	} else if rep.Degraded {
+		ew.printf("DEGRADED report (%s): results are partial\n", degradedStages(rep))
 	}
-	fmt.Fprintf(w, "inferred %d modules (%d after overlap resolution)\n",
+	ew.printf("inferred %d modules (%d after overlap resolution)\n",
 		len(rep.All), len(rep.Resolved))
-	fmt.Fprintf(w, "coverage: %.1f%% before resolution, %.1f%% after\n",
+	ew.printf("coverage: %.1f%% before resolution, %.1f%% after\n",
 		100*rep.CoverageFractionBefore(), 100*rep.CoverageFraction())
-	fmt.Fprintf(w, "analysis time: %v\n", rep.Runtime)
+	ew.printf("analysis time: %v\n", rep.Runtime)
 	if rep.OverlapErr != nil {
-		fmt.Fprintf(w, "overlap resolution FAILED: %v\n", rep.OverlapErr)
+		ew.printf("overlap resolution FAILED: %v\n", rep.OverlapErr)
 	}
-	fmt.Fprintln(w)
+	ew.printf("\n")
 
 	type row struct {
 		ty            ModuleType
@@ -220,9 +306,9 @@ func WriteReport(w io.Writer, rep *Report) error {
 		rows = append(rows, row{ty, n, rep.CountsAfter[ty]})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].ty < rows[j].ty })
-	fmt.Fprintf(w, "%-20s %8s %8s\n", "module type", "found", "selected")
+	ew.printf("%-20s %8s %8s\n", "module type", "found", "selected")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-20s %8d %8d\n", r.ty, r.before, r.after)
+		ew.printf("%-20s %8d %8d\n", r.ty, r.before, r.after)
 	}
 
 	// Largest resolved modules.
@@ -233,29 +319,38 @@ func WriteReport(w io.Writer, rep *Report) error {
 		n = 12
 	}
 	if n > 0 {
-		fmt.Fprintf(w, "\nlargest resolved modules:\n")
+		ew.printf("\nlargest resolved modules:\n")
 		for _, m := range sel[:n] {
-			fmt.Fprintf(w, "  %-28s %5d elements\n", m.Name, m.Size())
+			ew.printf("  %-28s %5d elements\n", m.Name, m.Size())
 		}
 	}
 	if len(rep.Trace) > 0 {
-		fmt.Fprintln(w)
-		if err := WriteTrace(w, rep); err != nil {
-			return err
+		ew.printf("\n")
+		if ew.err == nil {
+			ew.err = WriteTrace(w, rep)
 		}
 	}
-	return nil
+	return ew.err
 }
 
-// WriteTrace renders the per-stage timing table of Report.Trace.
+// WriteTrace renders the per-stage timing table of Report.Trace. Stages
+// that did not complete normally carry a trailing status column; for
+// fully-OK runs the table is unchanged from earlier releases.
 func WriteTrace(w io.Writer, rep *Report) error {
-	if _, err := fmt.Fprintf(w, "%-12s %12s %12s %8s\n",
-		"stage", "start", "duration", "produced"); err != nil {
-		return err
-	}
+	ew := &errWriter{w: w}
+	ew.printf("%-12s %12s %12s %8s\n", "stage", "start", "duration", "produced")
 	for _, st := range rep.Trace {
-		fmt.Fprintf(w, "%-12s %12v %12v %8d\n",
-			st.Name, st.Start, st.Duration, st.Modules)
+		if st.Status == StageOK {
+			ew.printf("%-12s %12v %12v %8d\n",
+				st.Name, st.Start, st.Duration, st.Modules)
+			continue
+		}
+		detail := ""
+		if st.Err != "" {
+			detail = ": " + firstLine(st.Err)
+		}
+		ew.printf("%-12s %12v %12v %8d  [%s%s]\n",
+			st.Name, st.Start, st.Duration, st.Modules, st.Status, detail)
 	}
-	return nil
+	return ew.err
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"netlistre/internal/bitslice"
 	"netlistre/internal/core"
@@ -158,6 +159,21 @@ func BenchmarkAnalyzeWorkers(b *testing.B) {
 			b.ReportMetric(float64(len(rep.All)), "modules")
 		})
 	}
+	// Budgeted variant: a Timeout that never fires installs the context
+	// plumbing and the solver Interrupt polling hooks, so comparing this
+	// against "serial" above measures the cost of the budgeted path on a
+	// run that completes normally (kept under a few percent by the masked
+	// polling intervals).
+	b.Run("budgeted-serial", func(b *testing.B) {
+		var rep *core.Report
+		for i := 0; i < b.N; i++ {
+			rep = core.Analyze(nl, core.Options{Workers: 1, Timeout: time.Hour})
+		}
+		if rep.Degraded {
+			b.Fatal("budgeted run unexpectedly degraded")
+		}
+		b.ReportMetric(float64(len(rep.All)), "modules")
+	})
 }
 
 // --- Ablations ---

@@ -18,6 +18,12 @@ import (
 	"netlistre"
 )
 
+// exitDegraded is returned when the analysis completed but the report is
+// degraded (timed out, canceled, or a stage failed): the output is usable
+// but partial, which scripts may want to distinguish from success (0) and
+// hard errors (1).
+const exitDegraded = 3
+
 func main() {
 	var (
 		inFile    = flag.String("in", "", "structural Verilog netlist to analyze")
@@ -35,6 +41,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON instead of text")
 		workers   = flag.Int("workers", 0, "pipeline worker budget (0 = GOMAXPROCS, 1 = serial)")
 		trace     = flag.Bool("trace", false, "print live per-stage progress to stderr (the final stage table is always in the report)")
+		timeout   = flag.Duration("timeout", 0, "whole-run analysis budget (0 = none); a timed-out run prints a partial report and exits 3")
 	)
 	flag.Parse()
 
@@ -67,7 +74,8 @@ func main() {
 			before.Gates, after.Gates, 100*(1-float64(after.Gates)/float64(before.Gates)))
 	}
 
-	opt := netlistre.Options{SkipModMatch: *skipQBF, KeepCandidates: *cands, Workers: *workers}
+	opt := netlistre.Options{SkipModMatch: *skipQBF, KeepCandidates: *cands,
+		Workers: *workers, Timeout: *timeout}
 	if *trace {
 		opt.Progress = func(ev netlistre.StageEvent) {
 			if ev.Done {
@@ -95,14 +103,20 @@ func main() {
 		}
 		fmt.Printf("partitioned into %d cores (%d multi-owned gates, %d unowned)\n\n",
 			len(summary.Cores), summary.MultiOwned, summary.Unowned)
+		degraded := false
 		for _, c := range summary.Cores {
 			fmt.Printf("=== core %s (%d latches, %d elements) ===\n", c.Name, c.Latches, c.Elements)
-			analyzeOne(c.Netlist, opt, *target, *verbose, "", *jsonOut)
+			degraded = analyzeOne(c.Netlist, opt, *target, *verbose, "", *jsonOut) || degraded
 			fmt.Println()
+		}
+		if degraded {
+			os.Exit(exitDegraded)
 		}
 		return
 	}
-	analyzeOne(nl, opt, *target, *verbose, *dotFile, *jsonOut)
+	if analyzeOne(nl, opt, *target, *verbose, *dotFile, *jsonOut) {
+		os.Exit(exitDegraded)
+	}
 }
 
 func loadNetlist(inFile, article string) (*netlistre.Netlist, error) {
@@ -129,7 +143,10 @@ func loadNetlist(inFile, article string) (*netlistre.Netlist, error) {
 	return nil, fmt.Errorf("one of -in or -article is required (try -list)")
 }
 
-func analyzeOne(nl *netlistre.Netlist, opt netlistre.Options, target float64, verbose bool, dotFile string, jsonOut bool) {
+// analyzeOne analyzes one netlist and reports whether the run was
+// degraded (partial results after a timeout, cancellation, or stage
+// failure).
+func analyzeOne(nl *netlistre.Netlist, opt netlistre.Options, target float64, verbose bool, dotFile string, jsonOut bool) bool {
 	if opt.Overlap.Objective == netlistre.MinModules {
 		stats := nl.Stats()
 		opt.Overlap.CoverageTarget = int(target * float64(stats.Gates+stats.Latches))
@@ -170,4 +187,5 @@ func analyzeOne(nl *netlistre.Netlist, opt netlistre.Options, target float64, ve
 			fmt.Printf("  %-28s %5d elements  fn=%s\n", m.Name, m.Size(), m.Attr["function"])
 		}
 	}
+	return rep.Degraded
 }

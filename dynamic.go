@@ -1,6 +1,8 @@
 package netlistre
 
 import (
+	"context"
+
 	"netlistre/internal/dynamic"
 	"netlistre/internal/netlist"
 )
@@ -17,4 +19,11 @@ type WordMatch = dynamic.WordMatch
 // cycle t, and records every node's value per cycle.
 func RecordTrace(nl *Netlist, stimuli []map[netlist.ID]bool) *Trace {
 	return dynamic.Record(nl, stimuli)
+}
+
+// RecordTraceContext is RecordTrace with cooperative cancellation: the
+// context is polled once per simulated cycle and the trace is truncated to
+// the cycles completed before cancellation.
+func RecordTraceContext(ctx context.Context, nl *Netlist, stimuli []map[netlist.ID]bool) *Trace {
+	return dynamic.RecordContext(ctx, nl, stimuli)
 }

@@ -68,8 +68,13 @@ func Find(nl *netlist.Netlist, opt Options) *Result {
 		res.UnknownClasses = make(map[string][]*Match)
 	}
 
-	// Deterministic iteration over nodes.
+	// Deterministic iteration over nodes. The enumeration interrupt also
+	// covers the matching loop: a budgeted caller gets the matches found
+	// so far instead of a stall on a huge library.
 	for id := netlist.ID(0); int(id) < nl.Len(); id++ {
+		if id&63 == 0 && opt.Cuts.Interrupt != nil && opt.Cuts.Interrupt() {
+			break
+		}
 		if !nl.Kind(id).IsGate() {
 			continue
 		}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -46,6 +47,15 @@ type Options struct {
 	// GOMAXPROCS). The report is identical for any worker count;
 	// Workers=1 runs the portfolio serially.
 	Workers int
+	// Timeout bounds the whole analysis (0 = no limit). When it expires,
+	// running stages are interrupted cooperatively, remaining stages are
+	// skipped, and the report is returned with Degraded set and the
+	// affected stages marked TimedOut in the trace.
+	Timeout time.Duration
+	// StageTimeout bounds each pipeline stage individually (0 = no
+	// limit); a stage that exceeds it is marked TimedOut, its partial
+	// outputs are kept, and downstream stages still run.
+	StageTimeout time.Duration
 	// Progress, if non-nil, receives a StageEvent when each pipeline
 	// stage starts and finishes. The callback is invoked serially but
 	// from scheduler goroutines, not the Analyze caller's goroutine.
@@ -109,6 +119,16 @@ type Report struct {
 	// infeasible MinModules coverage target); Resolved is then empty
 	// and the pre-resolution module set in All stands.
 	OverlapErr error
+
+	// Degraded is true when the report is incomplete: the input failed
+	// validation, the analysis timed out or was canceled, or a stage
+	// panicked. The per-stage Status fields in Trace say which stages
+	// were affected; everything else in the report is still valid for
+	// the work that did complete.
+	Degraded bool
+	// ValidationErr is non-nil when the input netlist failed
+	// Netlist.Validate; no analysis runs in that case.
+	ValidationErr error
 }
 
 // CoverageFractionBefore returns pre-resolution coverage in [0,1].
@@ -129,10 +149,53 @@ func (r *Report) CoverageFraction() float64 {
 
 // Analyze runs the full portfolio on nl.
 func Analyze(nl *netlist.Netlist, opt Options) *Report {
+	return AnalyzeContext(context.Background(), nl, opt)
+}
+
+// interruptOf adapts a context to the Interrupt hooks of the solver
+// packages. It returns nil for a context that can never be canceled
+// (e.g. context.Background with no Timeout configured) so the hot loops
+// skip polling entirely and the unbudgeted path pays no overhead.
+func interruptOf(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}
+
+// AnalyzeContext runs the full portfolio on nl under ctx. Cancellation is
+// cooperative: the solver loops (SAT search, QBF CEGAR, ILP
+// branch-and-bound, cut enumeration, word propagation, BDD verification)
+// poll the context and stop early, keeping the results found so far. A
+// canceled or timed-out run returns a well-formed Report with Degraded
+// set and the affected stages marked in Trace rather than an error; a run
+// with an already-canceled context deterministically returns an empty
+// degraded report.
+func AnalyzeContext(ctx context.Context, nl *netlist.Netlist, opt Options) *Report {
 	start := time.Now()
 	rep := &Report{Netlist: nl}
 	stats := nl.Stats()
 	rep.TotalElements = stats.Gates + stats.Latches
+
+	// Malformed inputs produce a report carrying the validation error
+	// instead of a panic deep inside an analysis.
+	if err := nl.Validate(); err != nil {
+		rep.ValidationErr = err
+		rep.Degraded = true
+		rep.CountsBefore = map[module.Type]int{}
+		rep.CountsAfter = map[module.Type]int{}
+		rep.Runtime = time.Since(start)
+		return rep
+	}
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel() // releases the timer; no goroutine outlives Analyze
+	}
 
 	workers := opt.Workers
 	if workers <= 0 {
@@ -183,35 +246,65 @@ func Analyze(nl *netlist.Netlist, opt Options) *Report {
 		return mods
 	}
 
+	// mergeMods assembles the full pre-resolution module set in the
+	// canonical order of the serial pipeline. It reads only stage outputs,
+	// so after a degraded run it merges whatever the completed stages
+	// produced.
+	mergeMods := func() []*module.Module {
+		mods := baseMods()
+		mods = append(mods, wordOps...)
+		mods = append(mods, counters...)
+		mods = append(mods, shifts...)
+		mods = append(mods, rams...)
+		mods = append(mods, regs...)
+		for _, ms := range extras {
+			mods = append(mods, ms...)
+		}
+		return mods
+	}
+
 	stages := []stage{
 		// Stage 1: cut enumeration + Boolean matching (Algorithm 1).
-		{name: "bitslice", run: func() int {
-			slices = bitslice.Find(nl, opt.Bitslice)
+		{name: "bitslice", run: func(ctx context.Context) int {
+			o := opt.Bitslice
+			o.Cuts.Interrupt = interruptOf(ctx)
+			slices = bitslice.Find(nl, o)
 			return 0
 		}},
 		// Stage 3: common-support analysis (Algorithm 5); independent of
 		// the bitslice pipeline.
-		{name: "support", run: func() int {
-			supportMods = support.Analyze(nl, opt.Support)
+		{name: "support", run: func(ctx context.Context) int {
+			o := opt.Support
+			o.Interrupt = interruptOf(ctx)
+			supportMods = support.Analyze(nl, o)
 			return len(supportMods)
 		}},
 		// Latch-connection graph shared by the sequential detectors.
-		{name: "lcg", run: func() int {
+		{name: "lcg", run: func(ctx context.Context) int {
 			lcg = graph.BuildLCG(nl)
 			return 0
 		}},
 		// Stage 7 (LCG half): counter and shift-register detection
 		// (Algorithms 6-7); independent of the combinational stages.
-		{name: "counters", deps: []string{"lcg"}, run: func() int {
+		{name: "counters", deps: []string{"lcg"}, run: func(ctx context.Context) int {
+			if lcg == nil {
+				return 0 // upstream stage was skipped
+			}
 			counters = seq.FindCounters(nl, lcg, opt.Seq)
 			return len(counters)
 		}},
-		{name: "shift", deps: []string{"lcg"}, run: func() int {
+		{name: "shift", deps: []string{"lcg"}, run: func(ctx context.Context) int {
+			if lcg == nil {
+				return 0
+			}
 			shifts = seq.FindShiftRegisters(nl, lcg, opt.Seq)
 			return len(shifts)
 		}},
 		// Stage 2: aggregation (Algorithm 2).
-		{name: "aggregate", deps: []string{"bitslice"}, run: func() int {
+		{name: "aggregate", deps: []string{"bitslice"}, run: func(ctx context.Context) int {
+			if slices == nil {
+				return 0
+			}
 			for _, m := range aggregate.CommonSignal(nl, slices, opt.Aggregate) {
 				if m.Type == module.Candidate {
 					rep.Candidates = append(rep.Candidates, m)
@@ -227,7 +320,7 @@ func Analyze(nl *netlist.Netlist, opt Options) *Report {
 		}},
 		// Stage 4: module fusion post-processing (Section II-F). Fusion
 		// candidates are the mux and decoder modules.
-		{name: "fuse", deps: []string{"aggregate", "support"}, run: func() int {
+		{name: "fuse", deps: []string{"aggregate", "support"}, run: func(ctx context.Context) int {
 			var fusable []*module.Module
 			fusable = append(fusable, muxMods...)
 			for _, m := range supportMods {
@@ -239,7 +332,7 @@ func Analyze(nl *netlist.Netlist, opt Options) *Report {
 			return len(fused)
 		}},
 		// Stage 5: word identification and propagation (Algorithm 3).
-		{name: "words", deps: []string{"fuse"}, run: func() int {
+		{name: "words", deps: []string{"fuse"}, run: func(ctx context.Context) int {
 			seeds := words.FromModules(baseMods())
 			rounds := opt.WordRounds
 			if rounds <= 0 {
@@ -248,33 +341,38 @@ func Analyze(nl *netlist.Netlist, opt Options) *Report {
 			if opt.SkipWordProp {
 				rep.Words = seeds
 			} else {
-				all, _ := words.PropagateAll(nl, seeds, rounds, opt.Words)
+				o := opt.Words
+				o.Interrupt = interruptOf(ctx)
+				all, _ := words.PropagateAll(nl, seeds, rounds, o)
 				rep.Words = all
 			}
 			return len(rep.Words)
 		}},
 		// Stage 6: QBF module matching between words (Algorithm 4).
-		{name: "modmatch", deps: []string{"words"}, run: func() int {
+		{name: "modmatch", deps: []string{"words"}, run: func(ctx context.Context) int {
 			if opt.SkipModMatch {
 				return 0
 			}
-			wordOps = modmatch.Match(nl, rep.Words, opt.ModMatch)
+			wordOps = modmatch.Match(ctx, nl, rep.Words, opt.ModMatch)
 			return len(wordOps)
 		}},
 		// Stage 7 (bitslice half): RAM and multibit-register detection
 		// (Algorithms 8-9).
-		{name: "rams", deps: []string{"bitslice"}, run: func() int {
+		{name: "rams", deps: []string{"bitslice"}, run: func(ctx context.Context) int {
+			if slices == nil {
+				return 0
+			}
 			rams = seq.FindRAMs(nl, slices, opt.Seq)
 			return len(rams)
 		}},
-		{name: "registers", deps: []string{"aggregate"}, run: func() int {
+		{name: "registers", deps: []string{"aggregate"}, run: func(ctx context.Context) int {
 			regs = seq.FindMultibitRegisters(nl, muxMods, opt.Seq)
 			return len(regs)
 		}},
 		// Footnote 15: recover multibit-register bit order by matching the
 		// registers against ordered words (word propagation reaches the
 		// registers' D-input gates; the driven latches inherit the order).
-		{name: "order", deps: []string{"words", "registers"}, run: func() int {
+		{name: "order", deps: []string{"words", "registers"}, run: func(ctx context.Context) int {
 			if len(regs) == 0 {
 				return 0
 			}
@@ -288,62 +386,68 @@ func Analyze(nl *netlist.Netlist, opt Options) *Report {
 		// Stage 7b: design-specific passes supplied by the analyst. They
 		// run sequentially after every built-in stage, matching the
 		// serial pipeline's semantics (a pass may inspect the netlist
-		// without racing the built-in analyses).
-		{name: "extra", deps: []string{"modmatch", "counters", "shift", "rams", "order"}, run: func() int {
+		// without racing the built-in analyses). A panicking pass fails
+		// only this stage; passes that ran before the panic keep their
+		// modules.
+		{name: "extra", deps: []string{"modmatch", "counters", "shift", "rams", "order"}, run: func(ctx context.Context) int {
 			n := 0
 			for _, pass := range opt.ExtraPasses {
+				if ctx.Err() != nil {
+					break
+				}
 				ms := pass(nl)
 				extras = append(extras, ms)
 				n += len(ms)
 			}
 			return n
 		}},
+		// Stage 8: overlap resolution (Algorithm 10). Depends on "extra",
+		// which transitively gates on every other stage, so the merge sees
+		// all completed outputs. Running it inside the DAG gives it the
+		// same timeout/panic handling as the analyses.
+		{name: "overlap", deps: []string{"extra"}, run: func(ctx context.Context) int {
+			mods := mergeMods()
+			rep.All = mods
+			rep.CoverageBefore = module.CoverageCount(mods)
+			rep.CountsBefore = module.CountByType(mods)
+			o := opt.Overlap
+			o.Interrupt = interruptOf(ctx)
+			res, err := overlap.Resolve(mods, o)
+			if err == nil {
+				rep.Resolved = res.Selected
+				rep.CoverageAfter = res.Coverage
+				rep.OverlapOptimal = res.Optimal
+				rep.CountsAfter = module.CountByType(res.Selected)
+			} else {
+				// Infeasible only when a MinModules target exceeds what
+				// is coverable; report the unresolved set.
+				rep.OverlapErr = err
+				rep.CountsAfter = map[module.Type]int{}
+			}
+			return len(rep.Resolved)
+		}},
 	}
 
-	sched := newScheduler(workers, start, opt.Progress)
+	sched := newScheduler(ctx, workers, opt.StageTimeout, start, opt.Progress)
 	rep.Trace = sched.run(stages)
 
-	// Merge in the canonical order of the serial pipeline.
-	mods := baseMods()
-	mods = append(mods, wordOps...)
-	mods = append(mods, counters...)
-	mods = append(mods, shifts...)
-	mods = append(mods, rams...)
-	mods = append(mods, regs...)
-	for _, ms := range extras {
-		mods = append(mods, ms...)
+	// When the overlap stage was skipped (run canceled/timed out before it
+	// started) or died before merging, still assemble the canonical merge
+	// of whatever the completed stages produced so the report lists them.
+	if rep.All == nil {
+		mods := mergeMods()
+		rep.All = mods
+		rep.CoverageBefore = module.CoverageCount(mods)
+		rep.CountsBefore = module.CountByType(mods)
 	}
-
-	rep.All = mods
-	rep.CoverageBefore = module.CoverageCount(mods)
-	rep.CountsBefore = module.CountByType(mods)
-
-	// Stage 8: overlap resolution (Algorithm 10). Runs on the caller's
-	// goroutine but is traced like any other stage.
-	overlapStart := time.Since(start)
-	if opt.Progress != nil {
-		opt.Progress(StageEvent{Stage: "overlap", Start: overlapStart})
-	}
-	res, err := overlap.Resolve(mods, opt.Overlap)
-	if err == nil {
-		rep.Resolved = res.Selected
-		rep.CoverageAfter = res.Coverage
-		rep.OverlapOptimal = res.Optimal
-		rep.CountsAfter = module.CountByType(res.Selected)
-	} else {
-		// Infeasible only when a MinModules target exceeds what is
-		// coverable; report the unresolved set.
-		rep.OverlapErr = err
+	if rep.CountsAfter == nil {
 		rep.CountsAfter = map[module.Type]int{}
 	}
-	overlapDur := time.Since(start) - overlapStart
-	rep.Trace = append(rep.Trace, StageTiming{
-		Name: "overlap", Start: overlapStart, Duration: overlapDur,
-		Modules: len(rep.Resolved),
-	})
-	if opt.Progress != nil {
-		opt.Progress(StageEvent{Stage: "overlap", Done: true, Start: overlapStart,
-			Duration: overlapDur, Modules: len(rep.Resolved)})
+	for _, t := range rep.Trace {
+		if t.Status != StageOK {
+			rep.Degraded = true
+			break
+		}
 	}
 
 	rep.Runtime = time.Since(start)

@@ -7,12 +7,54 @@ package core
 // gated on their declared inputs. Execution is deterministic for any
 // worker count because every stage writes to its own output slot and the
 // final module list is assembled in a fixed canonical order.
+//
+// Robustness: every stage runs under the analysis context (optionally
+// narrowed by a per-stage timeout), panics are recovered and converted to
+// a Failed status with the stack, and a stage that times out or fails
+// does not stop the run — downstream stages still execute against
+// whatever partial intermediate state the stage managed to produce.
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 )
+
+// StageStatus classifies how a pipeline stage ended.
+type StageStatus uint8
+
+const (
+	// StageOK means the stage ran to completion.
+	StageOK StageStatus = iota
+	// StageTimedOut means the stage hit Options.StageTimeout or the
+	// whole-run Options.Timeout; its outputs may be partial.
+	StageTimedOut
+	// StageCanceled means the analysis context was canceled; the stage's
+	// outputs may be partial, or empty when the context was already
+	// canceled before the stage started.
+	StageCanceled
+	// StageFailed means the stage panicked; the panic value and stack are
+	// in StageTiming.Err.
+	StageFailed
+)
+
+// String returns the status name used in reports.
+func (s StageStatus) String() string {
+	switch s {
+	case StageOK:
+		return "ok"
+	case StageTimedOut:
+		return "timed-out"
+	case StageCanceled:
+		return "canceled"
+	case StageFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("StageStatus(%d)", uint8(s))
+}
 
 // StageTiming records the wall-clock footprint of one pipeline stage.
 type StageTiming struct {
@@ -26,6 +68,12 @@ type StageTiming struct {
 	// the detector stages, words for the word stage, selected modules
 	// for the overlap stage, and 0 for pure intermediate stages.
 	Modules int
+	// Status classifies how the stage ended; anything but StageOK marks
+	// the report as Degraded.
+	Status StageStatus
+	// Err holds the error text for a non-OK stage (the context error, or
+	// the panic value plus stack for StageFailed).
+	Err string
 }
 
 // StageEvent is delivered to Options.Progress when a stage starts
@@ -39,30 +87,42 @@ type StageEvent struct {
 	// Duration and Modules are zero until Done.
 	Duration time.Duration
 	Modules  int
+	// Status and Err mirror the finished stage's StageTiming; both are
+	// zero until Done.
+	Status StageStatus
+	Err    string
 }
 
 // stage is one node of the DAG. Deps name earlier stages that must finish
 // before run is called; run returns the produced item count for the trace.
+// The context passed to run is the analysis context, narrowed by the
+// per-stage timeout when one is configured.
 type stage struct {
 	name string
 	deps []string
-	run  func() int
+	run  func(ctx context.Context) int
 }
 
 // scheduler executes a stage DAG with at most `workers` stages in flight.
 type scheduler struct {
-	workers  int
-	start    time.Time
-	progress func(StageEvent)
+	ctx          context.Context
+	stageTimeout time.Duration
+	workers      int
+	start        time.Time
+	progress     func(StageEvent)
 
 	mu sync.Mutex // serializes progress callbacks
 }
 
-func newScheduler(workers int, start time.Time, progress func(StageEvent)) *scheduler {
+func newScheduler(ctx context.Context, workers int, stageTimeout time.Duration, start time.Time, progress func(StageEvent)) *scheduler {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers < 1 {
 		workers = 1
 	}
-	return &scheduler{workers: workers, start: start, progress: progress}
+	return &scheduler{ctx: ctx, stageTimeout: stageTimeout, workers: workers,
+		start: start, progress: progress}
 }
 
 func (s *scheduler) emit(ev StageEvent) {
@@ -142,9 +202,49 @@ func (s *scheduler) run(stages []stage) []StageTiming {
 func (s *scheduler) exec(st stage, i int, timings []StageTiming, done chan<- int) {
 	startOff := time.Since(s.start)
 	s.emit(StageEvent{Stage: st.name, Start: startOff})
-	mods := st.run()
+	status, errText, mods := s.runStage(st)
 	dur := time.Since(s.start) - startOff
-	timings[i] = StageTiming{Name: st.name, Start: startOff, Duration: dur, Modules: mods}
-	s.emit(StageEvent{Stage: st.name, Done: true, Start: startOff, Duration: dur, Modules: mods})
+	timings[i] = StageTiming{Name: st.name, Start: startOff, Duration: dur,
+		Modules: mods, Status: status, Err: errText}
+	s.emit(StageEvent{Stage: st.name, Done: true, Start: startOff, Duration: dur,
+		Modules: mods, Status: status, Err: errText})
 	done <- i
+}
+
+// runStage executes one stage body with panic recovery and timeout/cancel
+// status mapping.
+func (s *scheduler) runStage(st stage) (status StageStatus, errText string, mods int) {
+	// When the run is already over (whole-run timeout expired or the
+	// caller canceled), skip the stage body entirely: every remaining
+	// stage is marked the same way and produces nothing, which keeps the
+	// partial report deterministic for a given cancellation point.
+	if err := s.ctx.Err(); err != nil {
+		return statusFromCtxErr(err), err.Error(), 0
+	}
+	ctx := s.ctx
+	if s.stageTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.stageTimeout)
+		defer cancel() // releases the timer; no goroutine outlives the stage
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			status = StageFailed
+			errText = fmt.Sprintf("panic: %v\n%s", r, debug.Stack())
+			mods = 0
+		}
+	}()
+	mods = st.run(ctx)
+	if err := ctx.Err(); err != nil {
+		return statusFromCtxErr(err), err.Error(), mods
+	}
+	return StageOK, "", mods
+}
+
+// statusFromCtxErr maps a context error to the stage status it implies.
+func statusFromCtxErr(err error) StageStatus {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return StageTimedOut
+	}
+	return StageCanceled
 }

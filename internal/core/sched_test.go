@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -29,8 +31,8 @@ func buildTraceTestNetlist() *netlist.Netlist {
 func TestSchedulerRespectsDependencies(t *testing.T) {
 	var mu sync.Mutex
 	var order []string
-	record := func(name string) func() int {
-		return func() int {
+	record := func(name string) func(context.Context) int {
+		return func(context.Context) int {
 			mu.Lock()
 			order = append(order, name)
 			mu.Unlock()
@@ -45,7 +47,7 @@ func TestSchedulerRespectsDependencies(t *testing.T) {
 	}
 	for _, workers := range []int{1, 4} {
 		order = nil
-		s := newScheduler(workers, time.Now(), nil)
+		s := newScheduler(context.Background(), workers, 0, time.Now(), nil)
 		timings := s.run(stages)
 		if len(order) != 4 {
 			t.Fatalf("workers=%d: ran %d stages, want 4", workers, len(order))
@@ -70,7 +72,7 @@ func TestSchedulerRespectsDependencies(t *testing.T) {
 func TestSchedulerBoundsConcurrency(t *testing.T) {
 	const workers = 2
 	var inFlight, peak atomic.Int32
-	busy := func() int {
+	busy := func(context.Context) int {
 		n := inFlight.Add(1)
 		for {
 			p := peak.Load()
@@ -87,7 +89,7 @@ func TestSchedulerBoundsConcurrency(t *testing.T) {
 	for _, n := range names {
 		stages = append(stages, stage{name: n, run: busy})
 	}
-	newScheduler(workers, time.Now(), nil).run(stages)
+	newScheduler(context.Background(), workers, 0, time.Now(), nil).run(stages)
 	if p := peak.Load(); p > workers {
 		t.Errorf("peak concurrency %d exceeds worker budget %d", p, workers)
 	}
@@ -100,14 +102,14 @@ func TestSchedulerSerialOrderWithOneWorker(t *testing.T) {
 	var stages []stage
 	for _, n := range []string{"x", "y", "z"} {
 		n := n
-		stages = append(stages, stage{name: n, run: func() int {
+		stages = append(stages, stage{name: n, run: func(context.Context) int {
 			mu.Lock()
 			order = append(order, n)
 			mu.Unlock()
 			return 0
 		}})
 	}
-	newScheduler(1, time.Now(), nil).run(stages)
+	newScheduler(context.Background(), 1, 0, time.Now(), nil).run(stages)
 	for i, want := range []string{"x", "y", "z"} {
 		if order[i] != want {
 			t.Fatalf("serial order = %v", order)
@@ -117,12 +119,12 @@ func TestSchedulerSerialOrderWithOneWorker(t *testing.T) {
 
 func TestSchedulerProgressEventsPaired(t *testing.T) {
 	var events []StageEvent // Progress is documented as serialized.
-	s := newScheduler(4, time.Now(), func(ev StageEvent) {
+	s := newScheduler(context.Background(), 4, 0, time.Now(), func(ev StageEvent) {
 		events = append(events, ev)
 	})
 	s.run([]stage{
-		{name: "a", run: func() int { return 3 }},
-		{name: "b", deps: []string{"a"}, run: func() int { return 1 }},
+		{name: "a", run: func(context.Context) int { return 3 }},
+		{name: "b", deps: []string{"a"}, run: func(context.Context) int { return 1 }},
 	})
 	if len(events) != 4 {
 		t.Fatalf("got %d events, want 4 (start+done per stage)", len(events))
@@ -158,9 +160,9 @@ func TestSchedulerInvalidDepPanics(t *testing.T) {
 			t.Fatal("forward dependency did not panic")
 		}
 	}()
-	newScheduler(1, time.Now(), nil).run([]stage{
-		{name: "a", deps: []string{"b"}, run: func() int { return 0 }},
-		{name: "b", run: func() int { return 0 }},
+	newScheduler(context.Background(), 1, 0, time.Now(), nil).run([]stage{
+		{name: "a", deps: []string{"b"}, run: func(context.Context) int { return 0 }},
+		{name: "b", run: func(context.Context) int { return 0 }},
 	})
 }
 
@@ -180,5 +182,77 @@ func TestAnalyzeTraceShape(t *testing.T) {
 		if rep.Trace[i].Duration < 0 || rep.Trace[i].Start < 0 {
 			t.Errorf("trace[%d] has negative timing: %+v", i, rep.Trace[i])
 		}
+	}
+}
+
+func TestSchedulerPanicBecomesFailedStage(t *testing.T) {
+	s := newScheduler(context.Background(), 2, 0, time.Now(), nil)
+	timings := s.run([]stage{
+		{name: "good", run: func(context.Context) int { return 1 }},
+		{name: "bad", run: func(context.Context) int { panic("kaput") }},
+		{name: "after", deps: []string{"bad"}, run: func(context.Context) int { return 2 }},
+	})
+	if timings[0].Status != StageOK || timings[0].Modules != 1 {
+		t.Errorf("good stage: %+v", timings[0])
+	}
+	if timings[1].Status != StageFailed {
+		t.Errorf("bad stage status = %v, want failed", timings[1].Status)
+	}
+	if !strings.Contains(timings[1].Err, "kaput") || !strings.Contains(timings[1].Err, "goroutine") {
+		t.Errorf("bad stage error missing panic value or stack: %q", timings[1].Err)
+	}
+	// The dependent of a failed stage still runs (graceful degradation).
+	if timings[2].Status != StageOK || timings[2].Modules != 2 {
+		t.Errorf("downstream stage did not run after failure: %+v", timings[2])
+	}
+}
+
+func TestSchedulerCanceledContextSkipsBodies(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	timings := newScheduler(ctx, 1, 0, time.Now(), nil).run([]stage{
+		{name: "a", run: func(context.Context) int { ran = true; return 7 }},
+	})
+	if ran {
+		t.Error("stage body ran under an already-canceled context")
+	}
+	if timings[0].Status != StageCanceled || timings[0].Modules != 0 {
+		t.Errorf("stage timing = %+v, want canceled with 0 modules", timings[0])
+	}
+}
+
+func TestSchedulerStageTimeout(t *testing.T) {
+	s := newScheduler(context.Background(), 1, 5*time.Millisecond, time.Now(), nil)
+	timings := s.run([]stage{
+		{name: "slow", run: func(ctx context.Context) int {
+			<-ctx.Done() // cooperative: return when the stage budget expires
+			return 3
+		}},
+		{name: "fast", run: func(context.Context) int { return 1 }},
+	})
+	if timings[0].Status != StageTimedOut {
+		t.Errorf("slow stage status = %v, want timed-out", timings[0].Status)
+	}
+	if timings[0].Modules != 3 {
+		t.Errorf("timed-out stage lost its partial result count: %+v", timings[0])
+	}
+	if timings[1].Status != StageOK {
+		t.Errorf("fast stage status = %v, want ok", timings[1].Status)
+	}
+}
+
+func TestStageStatusStrings(t *testing.T) {
+	want := map[StageStatus]string{
+		StageOK: "ok", StageTimedOut: "timed-out",
+		StageCanceled: "canceled", StageFailed: "failed",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("StageStatus(%d).String() = %q, want %q", s, s.String(), w)
+		}
+	}
+	if StageStatus(9).String() == "" {
+		t.Error("unknown status must still render")
 	}
 }

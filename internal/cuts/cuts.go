@@ -34,6 +34,11 @@ type Options struct {
 	// MaxCuts bounds the number of cuts kept per node (0 means the
 	// default). Smaller cuts are preferred when truncating.
 	MaxCuts int
+	// Interrupt, when non-nil, is polled every few nodes during
+	// enumeration; when it returns true, Enumerate stops and returns the
+	// cut sets computed so far (downstream matching simply sees fewer
+	// candidates).
+	Interrupt func() bool
 }
 
 // DefaultMaxCuts bounds per-node cut sets; the paper reports an average of
@@ -51,7 +56,10 @@ func Enumerate(n *netlist.Netlist, opt Options) map[netlist.ID][]Cut {
 		opt.MaxCuts = DefaultMaxCuts
 	}
 	res := make(map[netlist.ID][]Cut, n.Len())
-	for _, id := range n.TopoOrder() {
+	for i, id := range n.TopoOrder() {
+		if i&63 == 0 && opt.Interrupt != nil && opt.Interrupt() {
+			return res
+		}
 		switch kind := n.Kind(id); {
 		case kind == netlist.Input || kind == netlist.Latch:
 			res[id] = []Cut{{Leaves: []netlist.ID{id}, Table: truth.Var(0, 1)}}

@@ -11,6 +11,7 @@
 package dynamic
 
 import (
+	"context"
 	"sort"
 
 	"netlistre/internal/netlist"
@@ -28,6 +29,13 @@ type Trace struct {
 // Record simulates nl from the all-zero state, applying stimuli[t] at cycle
 // t, and captures every node's value each cycle.
 func Record(nl *netlist.Netlist, stimuli []map[netlist.ID]bool) *Trace {
+	return RecordContext(context.Background(), nl, stimuli)
+}
+
+// RecordContext is Record with cooperative cancellation: the context is
+// checked once per simulated cycle, and on cancellation the trace is
+// truncated to the cycles completed so far.
+func RecordContext(ctx context.Context, nl *netlist.Netlist, stimuli []map[netlist.ID]bool) *Trace {
 	tr := &Trace{nl: nl, cycles: len(stimuli)}
 	words := (len(stimuli) + 63) / 64
 	tr.sig = make([][]uint64, nl.Len())
@@ -36,6 +44,10 @@ func Record(nl *netlist.Netlist, stimuli []map[netlist.ID]bool) *Trace {
 	}
 	st := nl.NewState()
 	for t, inp := range stimuli {
+		if ctx != nil && ctx.Err() != nil {
+			tr.cycles = t
+			break
+		}
 		vals := nl.Step(st, inp)
 		for id, v := range vals {
 			if v {

@@ -77,6 +77,11 @@ type Options struct {
 	// incumbents are ignored). A strong incumbent massively improves
 	// pruning.
 	Incumbent []bool
+	// Interrupt, when non-nil, is polled every 1024 branch-and-bound
+	// nodes; when it returns true the search stops and the best incumbent
+	// found so far is returned with Optimal=false (or ErrInfeasible when
+	// no incumbent exists yet).
+	Interrupt func() bool
 }
 
 // DefaultNodeLimit bounds the search; overlap instances solve in far fewer
@@ -105,6 +110,8 @@ type solver struct {
 	nodes     int64
 	nodeLimit int64
 	currObj   int64 // objective of the current partial assignment
+	interrupt func() bool
+	stopped   bool // interrupt fired; unwind without exploring further
 
 	// cliqueOf[v] is the packing row used for v in the bound computation,
 	// or -1.
@@ -135,7 +142,7 @@ func Solve(p *Problem, opt Options) (Solution, error) {
 	if len(p.Objective) != p.NumVars {
 		return Solution{}, errors.New("ilp: objective length mismatch")
 	}
-	s := &solver{p: p, nodeLimit: opt.NodeLimit}
+	s := &solver{p: p, nodeLimit: opt.NodeLimit, interrupt: opt.Interrupt}
 	if s.nodeLimit == 0 {
 		s.nodeLimit = DefaultNodeLimit
 	}
@@ -235,7 +242,7 @@ func Solve(p *Problem, opt Options) (Solution, error) {
 	if p.Sense == Minimize {
 		val = -val
 	}
-	return Solution{Values: s.bestSet, Objective: val, Optimal: s.nodes < s.nodeLimit}, nil
+	return Solution{Values: s.bestSet, Objective: val, Optimal: s.nodes < s.nodeLimit && !s.stopped}, nil
 }
 
 // greedyWarmStart tries to construct a feasible incumbent by greedily
@@ -483,7 +490,11 @@ func (s *solver) bound(curr int64) int64 {
 
 func (s *solver) search(from int) {
 	s.nodes++
-	if s.nodes >= s.nodeLimit {
+	if s.nodes >= s.nodeLimit || s.stopped {
+		return
+	}
+	if s.nodes&1023 == 0 && s.interrupt != nil && s.interrupt() {
+		s.stopped = true
 		return
 	}
 	curr := s.currentObjective()
@@ -522,7 +533,7 @@ func (s *solver) search(from int) {
 			s.search(next + 1)
 		}
 		s.undoTo(mark)
-		if s.nodes >= s.nodeLimit {
+		if s.nodes >= s.nodeLimit || s.stopped {
 			return
 		}
 	}

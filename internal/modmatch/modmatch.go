@@ -12,6 +12,7 @@
 package modmatch
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -65,10 +66,13 @@ type Candidate struct {
 }
 
 // Match finds word-level operator modules. wordSet supplies the words
-// (from aggregation and propagation).
-func Match(nl *netlist.Netlist, wordSet []words.Word, opt Options) []*module.Module {
+// (from aggregation and propagation). Canceling ctx stops the matching
+// cooperatively: candidates already matched are returned, the rest are
+// skipped.
+func Match(ctx context.Context, nl *netlist.Netlist, wordSet []words.Word, opt Options) []*module.Module {
 	opt.defaults()
 	cands := Candidates(nl, wordSet, opt)
+	canceled := func() bool { return ctx != nil && ctx.Err() != nil }
 
 	// Candidates are independent (each works on its own extracted region),
 	// so match them concurrently; results are collected by index to keep
@@ -89,7 +93,10 @@ func Match(nl *netlist.Netlist, wordSet []words.Word, opt Options) []*module.Mod
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					results[i] = matchCandidate(nl, cands[i], opt)
+					if canceled() {
+						continue // drain remaining indices without work
+					}
+					results[i] = matchCandidate(ctx, nl, cands[i], opt)
 				}
 			}()
 		}
@@ -100,7 +107,10 @@ func Match(nl *netlist.Netlist, wordSet []words.Word, opt Options) []*module.Mod
 		wg.Wait()
 	} else {
 		for i := range cands {
-			results[i] = matchCandidate(nl, cands[i], opt)
+			if canceled() {
+				break
+			}
+			results[i] = matchCandidate(ctx, nl, cands[i], opt)
 		}
 	}
 
@@ -350,9 +360,9 @@ func rippleAdd(nl *netlist.Netlist, a, b []netlist.ID, cin netlist.ID) []netlist
 
 // MatchOne matches a single candidate against the reference library
 // (exported for instrumentation and fine-grained control).
-func MatchOne(nl *netlist.Netlist, cand Candidate, opt Options) *module.Module {
+func MatchOne(ctx context.Context, nl *netlist.Netlist, cand Candidate, opt Options) *module.Module {
 	opt.defaults()
-	return matchCandidate(nl, cand, opt)
+	return matchCandidate(ctx, nl, cand, opt)
 }
 
 // extractRegion rebuilds the candidate's carved region as a standalone
@@ -408,7 +418,7 @@ func extractRegion(nl *netlist.Netlist, cand Candidate) (*netlist.Netlist, map[n
 // the asymmetric ones) against the candidate. Matching happens on the
 // extracted region netlist, so the QBF instances stay small and the
 // quantifier structure is exact.
-func matchCandidate(nl *netlist.Netlist, cand Candidate, opt Options) *module.Module {
+func matchCandidate(ctx context.Context, nl *netlist.Netlist, cand Candidate, opt Options) *module.Module {
 	region, rmap := extractRegion(nl, cand)
 	var forall []netlist.ID
 	for _, w := range cand.Inputs {
@@ -426,6 +436,9 @@ func matchCandidate(nl *netlist.Netlist, cand Candidate, opt Options) *module.Mo
 	}
 
 	for _, ref := range referenceLibrary(opt) {
+		if ctx != nil && ctx.Err() != nil {
+			return nil
+		}
 		if ref.arity != len(cand.Inputs) {
 			continue
 		}
@@ -447,7 +460,7 @@ func matchCandidate(nl *netlist.Netlist, cand Candidate, opt Options) *module.Mo
 				}
 			}
 			refOuts := ref.build(region, a, b)
-			res := qbf.SolveForallEqualWord(region, outs, refOuts, forall, exists, 0)
+			res := qbf.SolveForallEqualWord(ctx, region, outs, refOuts, forall, exists, 0)
 			if !res.Found {
 				continue
 			}

@@ -1,6 +1,7 @@
 package modmatch
 
 import (
+	"context"
 	"testing"
 
 	"netlistre/internal/gen"
@@ -28,7 +29,7 @@ func TestMatchAddSubALU(t *testing.T) {
 	out, _ := gen.AddSub(nl, a, b, mode)
 
 	ws := mkWords(a, b, out)
-	mods := Match(nl, ws, Options{})
+	mods := Match(context.Background(), nl, ws, Options{})
 	var got *module.Module
 	for _, m := range mods {
 		if m.Attr["op"] == "add" {
@@ -64,7 +65,7 @@ func TestMatchSubtractor(t *testing.T) {
 	a := gen.InputWord(nl, "a", 6)
 	b := gen.InputWord(nl, "b", 6)
 	diff, _ := gen.RippleSubtractor(nl, a, b)
-	mods := Match(nl, mkWords(a, b, gen.Word(diff)), Options{})
+	mods := Match(context.Background(), nl, mkWords(a, b, gen.Word(diff)), Options{})
 	found := false
 	for _, m := range mods {
 		if m.Attr["op"] == "sub" {
@@ -81,7 +82,7 @@ func TestMatchBitwiseXor(t *testing.T) {
 	a := gen.InputWord(nl, "a", 4)
 	b := gen.InputWord(nl, "b", 4)
 	x := gen.Bitwise(nl, netlist.Xor, a, b)
-	mods := Match(nl, mkWords(a, b, x), Options{})
+	mods := Match(context.Background(), nl, mkWords(a, b, x), Options{})
 	found := false
 	for _, m := range mods {
 		if m.Attr["op"] == "xor" {
@@ -97,7 +98,7 @@ func TestMatchRotate(t *testing.T) {
 	nl := netlist.New("rot")
 	a := gen.InputWord(nl, "a", 6)
 	r := gen.RotateLeft(nl, a, 2)
-	mods := Match(nl, mkWords(a, r), Options{})
+	mods := Match(context.Background(), nl, mkWords(a, r), Options{})
 	found := false
 	for _, m := range mods {
 		if m.Attr["op"] == "rotl2" {
@@ -122,7 +123,7 @@ func TestNoMatchForRandomLogic(t *testing.T) {
 			nl.AddGate(netlist.And, a[i], b[i]),
 			nl.AddGate(netlist.And, a[j], b[i])))
 	}
-	mods := Match(nl, mkWords(a, b, out), Options{})
+	mods := Match(context.Background(), nl, mkWords(a, b, out), Options{})
 	for _, m := range mods {
 		t.Errorf("random logic matched %s", m.Name)
 	}

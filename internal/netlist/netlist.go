@@ -10,6 +10,7 @@
 package netlist
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -304,39 +305,93 @@ func (n *Netlist) Stats() Stats {
 // Check validates internal consistency and returns an error describing the
 // first problem found. It is intended for tests and after deserialization.
 func (n *Netlist) Check() error {
+	if ps := n.problems(1); len(ps) > 0 {
+		return ps[0]
+	}
+	return nil
+}
+
+// Validate reports every structural problem in the netlist joined into one
+// error (errors.Join), or nil when the netlist is well-formed. It catches
+// dangling fanins (Nil or out-of-range references), wrong gate arities,
+// latches with an unset D input, dangling output drivers, and combinational
+// cycles. Analyze calls it before running the portfolio so malformed inputs
+// yield a report with a validation error instead of a panic deep inside an
+// analysis.
+func (n *Netlist) Validate() error {
+	const maxProblems = 64 // enough to be useful, bounded to stay readable
+	ps := n.problems(maxProblems)
+	if len(ps) == 0 {
+		return nil
+	}
+	return errors.Join(ps...)
+}
+
+// problems collects up to limit structural problems. The combinational-cycle
+// check runs only when the node-local checks pass: cycle detection walks
+// fanins and must not chase dangling references.
+func (n *Netlist) problems(limit int) []error {
+	var ps []error
+	add := func(err error) bool {
+		ps = append(ps, err)
+		return len(ps) >= limit
+	}
 	for i, node := range n.nodes {
 		id := ID(i)
 		switch node.Kind {
 		case Input, Const0, Const1:
 			if len(node.Fanin) != 0 {
-				return fmt.Errorf("node %d (%v) has %d fanins, want 0", id, node.Kind, len(node.Fanin))
+				if add(fmt.Errorf("node %d (%v) has %d fanins, want 0", id, node.Kind, len(node.Fanin))) {
+					return ps
+				}
 			}
 		case Not, Buf, Latch:
 			if len(node.Fanin) != 1 {
-				return fmt.Errorf("node %d (%v) has %d fanins, want 1", id, node.Kind, len(node.Fanin))
+				if node.Kind == Latch {
+					if add(fmt.Errorf("latch %d (%s) has unset D input", id, n.NameOf(id))) {
+						return ps
+					}
+				} else if add(fmt.Errorf("node %d (%v) has %d fanins, want 1", id, node.Kind, len(node.Fanin))) {
+					return ps
+				}
 			}
 		case And, Or, Nand, Nor, Xor, Xnor:
 			if len(node.Fanin) < 2 {
-				return fmt.Errorf("node %d (%v) has %d fanins, want >=2", id, node.Kind, len(node.Fanin))
+				if add(fmt.Errorf("node %d (%v) has %d fanins, want >=2", id, node.Kind, len(node.Fanin))) {
+					return ps
+				}
 			}
 		default:
-			return fmt.Errorf("node %d has invalid kind %d", id, node.Kind)
+			if add(fmt.Errorf("node %d has invalid kind %d", id, node.Kind)) {
+				return ps
+			}
 		}
 		for _, f := range node.Fanin {
 			if f < 0 || int(f) >= len(n.nodes) {
-				return fmt.Errorf("node %d has out-of-range fanin %d", id, f)
+				if f == Nil && node.Kind == Latch {
+					if add(fmt.Errorf("latch %d (%s) has unset D input", id, n.NameOf(id))) {
+						return ps
+					}
+				} else if add(fmt.Errorf("node %d has dangling fanin %d", id, f)) {
+					return ps
+				}
 			}
 		}
 	}
 	for _, p := range n.outputs {
 		if p.Driver < 0 || int(p.Driver) >= len(n.nodes) {
-			return fmt.Errorf("output %q has out-of-range driver %d", p.Name, p.Driver)
+			if add(fmt.Errorf("output %q has dangling driver %d", p.Name, p.Driver)) {
+				return ps
+			}
 		}
 	}
-	if cyc := n.findCombCycle(); cyc != Nil {
-		return fmt.Errorf("combinational cycle through node %d (%s)", cyc, n.NameOf(cyc))
+	if len(ps) > 0 {
+		return ps // fanins unsafe to traverse; skip the cycle check
 	}
-	return nil
+	if cyc := n.findCombCycle(); cyc != Nil {
+		add(fmt.Errorf("combinational cycle through node %d (%s)", cyc, n.NameOf(cyc)))
+	}
+	return ps
 }
 
 // findCombCycle returns a node on a combinational cycle, or Nil. Latches

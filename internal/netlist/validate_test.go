@@ -1,0 +1,96 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateOK(t *testing.T) {
+	n := New("ok")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g := n.AddGate(And, a, b)
+	l := n.AddLatch(g)
+	n.MarkOutput("q", l)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate on well-formed netlist = %v", err)
+	}
+}
+
+func TestValidateDanglingFanin(t *testing.T) {
+	n := New("dangle")
+	a := n.AddInput("a")
+	g := n.AddGate(And, a, a)
+	n.nodes[g].Fanin[1] = ID(99)
+	err := n.Validate()
+	if err == nil || !strings.Contains(err.Error(), "dangling fanin") {
+		t.Fatalf("Validate = %v, want dangling fanin", err)
+	}
+	if cerr := n.Check(); cerr == nil {
+		t.Error("Check missed the dangling fanin")
+	}
+}
+
+func TestValidateLatchUnsetD(t *testing.T) {
+	n := New("latch")
+	a := n.AddInput("a")
+	l := n.AddLatch(a)
+	n.nodes[l].Fanin = nil
+	err := n.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unset D") {
+		t.Fatalf("Validate = %v, want unset D", err)
+	}
+
+	// A latch whose single fanin is Nil is the same defect.
+	n2 := New("latch2")
+	b := n2.AddInput("b")
+	l2 := n2.AddLatch(b)
+	n2.nodes[l2].Fanin[0] = Nil
+	if err := n2.Validate(); err == nil || !strings.Contains(err.Error(), "unset D") {
+		t.Fatalf("Validate = %v, want unset D", err)
+	}
+}
+
+func TestValidateCombCycle(t *testing.T) {
+	n := New("cycle")
+	a := n.AddInput("a")
+	g1 := n.AddGate(And, a, a)
+	g2 := n.AddGate(Or, g1, a)
+	n.nodes[g1].Fanin[1] = g2
+	err := n.Validate()
+	if err == nil || !strings.Contains(err.Error(), "combinational cycle") {
+		t.Fatalf("Validate = %v, want combinational cycle", err)
+	}
+}
+
+func TestValidateDanglingOutputDriver(t *testing.T) {
+	n := New("out")
+	a := n.AddInput("a")
+	n.MarkOutput("o", a)
+	n.outputs[0].Driver = ID(42)
+	err := n.Validate()
+	if err == nil || !strings.Contains(err.Error(), "dangling driver") {
+		t.Fatalf("Validate = %v, want dangling driver", err)
+	}
+}
+
+func TestValidateReportsAllProblems(t *testing.T) {
+	n := New("multi")
+	a := n.AddInput("a")
+	g := n.AddGate(And, a, a)
+	l := n.AddLatch(g)
+	n.nodes[g].Fanin[1] = ID(99) // dangling fanin
+	n.nodes[l].Fanin = nil       // unset D
+	err := n.Validate()
+	if err == nil {
+		t.Fatal("Validate = nil, want two problems")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "dangling fanin") || !strings.Contains(msg, "unset D") {
+		t.Errorf("Validate joined error missing a problem: %v", err)
+	}
+	// Check keeps first-problem semantics.
+	if cerr := n.Check(); cerr == nil || strings.Contains(cerr.Error(), "\n") {
+		t.Errorf("Check = %v, want a single problem", cerr)
+	}
+}

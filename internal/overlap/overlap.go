@@ -42,6 +42,11 @@ type Options struct {
 	// the limit is hit the best incumbent is used and Result.Optimal is
 	// false.
 	NodeLimit int64
+	// Interrupt, when non-nil, is polled inside the ILP searches; when it
+	// returns true each remaining search stops at its best incumbent and
+	// Result.Optimal is false (the selection stays feasible and
+	// non-overlapping).
+	Interrupt func() bool
 }
 
 // defaultNodeLimit bounds per-component search time. Most components solve
@@ -79,7 +84,7 @@ func Resolve(mods []*module.Module, opt Options) (Result, error) {
 	}
 	if opt.Objective == MinModules {
 		b := newBuilder(mods, opt)
-		sol, err := ilp.Solve(b.problem, ilp.Options{NodeLimit: opt.NodeLimit})
+		sol, err := ilp.Solve(b.problem, ilp.Options{NodeLimit: opt.NodeLimit, Interrupt: opt.Interrupt})
 		if err != nil {
 			return Result{}, fmt.Errorf("overlap: %w", err)
 		}
@@ -141,7 +146,7 @@ func Resolve(mods []*module.Module, opt Options) (Result, error) {
 			sub[k] = mods[i]
 		}
 		b := newBuilder(sub, opt)
-		ilpOpt := ilp.Options{NodeLimit: opt.NodeLimit}
+		ilpOpt := ilp.Options{NodeLimit: opt.NodeLimit, Interrupt: opt.Interrupt}
 		if opt.Sliceable {
 			// Warm start the sliceable search with the basic formulation's
 			// optimum: a whole-module selection is always feasible at slice
@@ -150,7 +155,7 @@ func Resolve(mods []*module.Module, opt Options) (Result, error) {
 			basicOpt := opt
 			basicOpt.Sliceable = false
 			bb := newBuilder(sub, basicOpt)
-			if bsol, err := ilp.Solve(bb.problem, ilp.Options{NodeLimit: opt.NodeLimit / 4}); err == nil {
+			if bsol, err := ilp.Solve(bb.problem, ilp.Options{NodeLimit: opt.NodeLimit / 4, Interrupt: opt.Interrupt}); err == nil {
 				inc := make([]bool, b.problem.NumVars)
 				for i := range sub {
 					if !bsol.Values[bb.varOfMod[i]] {

@@ -11,6 +11,8 @@
 package qbf
 
 import (
+	"context"
+
 	"netlistre/internal/netlist"
 	"netlistre/internal/sat"
 )
@@ -25,8 +27,19 @@ type Result struct {
 	Assignment map[netlist.ID]bool
 	// Iterations is the number of CEGAR refinements performed.
 	Iterations int
-	// Aborted is true when MaxIterations was exhausted before a decision.
+	// Aborted is true when MaxIterations was exhausted, a SAT conflict
+	// budget ran out, or the context was canceled before a decision.
 	Aborted bool
+}
+
+// interruptOf adapts a context to the SAT solver's polling hook. A
+// context that can never be canceled maps to nil so the solver's hot
+// loop pays nothing.
+func interruptOf(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
 }
 
 // conflictBudget bounds each SAT query inside the CEGAR loop; exhausting it
@@ -42,17 +55,20 @@ const DefaultMaxIterations = 256
 // assignment must make every bit pair agree, which is the word-level miter
 // of Figure 3. It reduces to SolveForallEqual by disjoining the per-bit
 // mismatches inside both the verification and synthesis solvers; the
-// implementation below shares one CEGAR loop.
-func SolveForallEqualWord(nl *netlist.Netlist, outs, refs []netlist.ID, forall, exists []netlist.ID, maxIter int) Result {
+// implementation below shares one CEGAR loop. Canceling ctx aborts the
+// loop cooperatively (Result.Aborted).
+func SolveForallEqualWord(ctx context.Context, nl *netlist.Netlist, outs, refs []netlist.ID, forall, exists []netlist.ID, maxIter int) Result {
 	if len(outs) != len(refs) || len(outs) == 0 {
 		return Result{}
 	}
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIterations
 	}
+	interrupt := interruptOf(ctx)
 
 	vs := sat.New()
 	vs.MaxConflicts = conflictBudget
+	vs.Interrupt = interrupt
 	venc := sat.NewEncoder(vs, nl)
 	// anyMiss <-> OR_i (out_i XOR ref_i).
 	var missLits []sat.Lit
@@ -75,6 +91,7 @@ func SolveForallEqualWord(nl *netlist.Netlist, outs, refs []netlist.ID, forall, 
 
 	ss := sat.New()
 	ss.MaxConflicts = conflictBudget
+	ss.Interrupt = interrupt
 	yVar := make(map[netlist.ID]int, len(exists))
 	for _, y := range exists {
 		yVar[y] = ss.NewVar()
@@ -89,6 +106,9 @@ func SolveForallEqualWord(nl *netlist.Netlist, outs, refs []netlist.ID, forall, 
 	}
 
 	for iter := 0; iter < maxIter; iter++ {
+		if interrupt != nil && interrupt() {
+			return Result{Iterations: iter, Aborted: true}
+		}
 		assumptions := make([]sat.Lit, 0, len(exists)+1)
 		for _, y := range exists {
 			assumptions = append(assumptions, sat.MkLit(venc.LitOf(y).Var(), !cand[y]))
@@ -129,16 +149,19 @@ func SolveForallEqualWord(nl *netlist.Netlist, outs, refs []netlist.ID, forall, 
 // forall lists the universally quantified boundary signals (X, the word
 // inputs), exists the existentially quantified ones (Y, the side inputs).
 // Every boundary signal of both cones must appear in one of the two lists.
-// maxIter <= 0 selects DefaultMaxIterations.
-func SolveForallEqual(nl *netlist.Netlist, out, ref netlist.ID, forall, exists []netlist.ID, maxIter int) Result {
+// maxIter <= 0 selects DefaultMaxIterations. Canceling ctx aborts the
+// CEGAR loop cooperatively (Result.Aborted).
+func SolveForallEqual(ctx context.Context, nl *netlist.Netlist, out, ref netlist.ID, forall, exists []netlist.ID, maxIter int) Result {
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIterations
 	}
+	interrupt := interruptOf(ctx)
 
 	// Verification solver: shared encoding of both cones; each round fixes
 	// Y via assumptions and asks for X with out != ref.
 	vs := sat.New()
 	vs.MaxConflicts = conflictBudget
+	vs.Interrupt = interrupt
 	venc := sat.NewEncoder(vs, nl)
 	vOut, vRef := venc.LitOf(out), venc.LitOf(ref)
 	miter := sat.MkLit(vs.NewVar(), false)
@@ -152,6 +175,7 @@ func SolveForallEqual(nl *netlist.Netlist, out, ref netlist.ID, forall, exists [
 	// counterexample contributes a fresh cone encoding with X fixed.
 	ss := sat.New()
 	ss.MaxConflicts = conflictBudget
+	ss.Interrupt = interrupt
 	yVar := make(map[netlist.ID]int, len(exists))
 	for _, y := range exists {
 		yVar[y] = ss.NewVar()
@@ -167,6 +191,9 @@ func SolveForallEqual(nl *netlist.Netlist, out, ref netlist.ID, forall, exists [
 	}
 
 	for iter := 0; iter < maxIter; iter++ {
+		if interrupt != nil && interrupt() {
+			return Result{Iterations: iter, Aborted: true}
+		}
 		// Verify: any X with out != ref under cand?
 		assumptions := make([]sat.Lit, 0, len(exists)+1)
 		for _, y := range exists {

@@ -1,6 +1,7 @@
 package qbf
 
 import (
+	"context"
 	"testing"
 
 	"netlistre/internal/gen"
@@ -19,7 +20,7 @@ func TestMaxIterAbort(t *testing.T) {
 		nl.AddGate(netlist.And, y1, a),
 		nl.AddGate(netlist.And, y2, na))
 	ref := nl.AddGate(netlist.Buf, a)
-	res := SolveForallEqual(nl, out, ref, []netlist.ID{a}, []netlist.ID{y1, y2}, 1)
+	res := SolveForallEqual(context.Background(), nl, out, ref, []netlist.ID{a}, []netlist.ID{y1, y2}, 1)
 	if res.Found {
 		t.Error("found with starved iteration budget?")
 	}
@@ -42,7 +43,7 @@ func TestWordSolverRefutes(t *testing.T) {
 		refs = append(refs, nl.AddGate(netlist.Or, a[i], b[i]))
 	}
 	forall := append(append([]netlist.ID{}, a...), b...)
-	res := SolveForallEqualWord(nl, outs, refs, forall, []netlist.ID{y}, 0)
+	res := SolveForallEqualWord(context.Background(), nl, outs, refs, forall, []netlist.ID{y}, 0)
 	if res.Found || res.Aborted {
 		t.Errorf("and-word vs or-word: %+v", res)
 	}
@@ -52,10 +53,10 @@ func TestWordSolverEmptyAndMismatched(t *testing.T) {
 	nl := netlist.New("e")
 	a := nl.AddInput("a")
 	g := nl.AddGate(netlist.Buf, a)
-	if res := SolveForallEqualWord(nl, nil, nil, nil, nil, 0); res.Found {
+	if res := SolveForallEqualWord(context.Background(), nl, nil, nil, nil, nil, 0); res.Found {
 		t.Error("empty word matched")
 	}
-	if res := SolveForallEqualWord(nl, []netlist.ID{g}, nil, nil, nil, 0); res.Found {
+	if res := SolveForallEqualWord(context.Background(), nl, []netlist.ID{g}, nil, nil, nil, 0); res.Found {
 		t.Error("mismatched word lengths matched")
 	}
 }
@@ -71,7 +72,7 @@ func TestWordSolverWithConstsInCone(t *testing.T) {
 		outs = append(outs, nl.AddGate(netlist.Or, nl.AddGate(netlist.And, a[i], one), zero))
 		refs = append(refs, nl.AddGate(netlist.Buf, a[i]))
 	}
-	res := SolveForallEqualWord(nl, outs, refs, a, nil, 0)
+	res := SolveForallEqualWord(context.Background(), nl, outs, refs, a, nil, 0)
 	if !res.Found {
 		t.Errorf("constant-folded identity not proven: %+v", res)
 	}

@@ -108,7 +108,17 @@ type Solver struct {
 
 	// MaxConflicts aborts Solve with Unknown when positive and exceeded.
 	MaxConflicts int64
+	// Interrupt, when non-nil, is polled periodically during search (at
+	// restart boundaries and every interruptCheckMask+1 conflicts); when
+	// it returns true, Solve aborts with Unknown. The nil check is free,
+	// so an unbudgeted solve pays nothing.
+	Interrupt func() bool
 }
+
+// interruptCheckMask spaces out Interrupt polls: the callback typically
+// reads a context or an atomic flag, which must not show up in the
+// per-conflict profile.
+const interruptCheckMask = 255
 
 const (
 	varDecay    = 1.0 / 0.95
@@ -407,6 +417,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 
 	restarts := 0
 	for {
+		if s.Interrupt != nil && s.Interrupt() {
+			return Unknown
+		}
 		limit := int64(100) * int64(luby(restarts+1))
 		st := s.search(limit, assumptions)
 		if st != Unknown {
@@ -455,6 +468,10 @@ func (s *Solver) search(budget int64, assumptions []Lit) Status {
 			}
 			s.varInc *= varDecay
 			s.claInc *= clauseDecay
+			if s.conflicts&interruptCheckMask == 0 && s.Interrupt != nil && s.Interrupt() {
+				s.cancelUntil(0)
+				return Unknown
+			}
 			if conflictsHere >= budget {
 				s.cancelUntil(int32(len(assumptions)))
 				// Keep assumption levels? Simpler: restart from root.

@@ -32,6 +32,10 @@ type Options struct {
 	// The caller's scheduler sets this so that the stage respects the
 	// shared analysis-wide worker budget.
 	Workers int
+	// Interrupt, when non-nil, is polled between class verifications;
+	// when it returns true, Analyze stops and returns the modules
+	// verified so far.
+	Interrupt func() bool
 }
 
 func (o *Options) defaults() {
@@ -119,6 +123,9 @@ func Analyze(nl *netlist.Netlist, opt Options) []*module.Module {
 			go func() {
 				defer wg.Done()
 				for i := range next {
+					if opt.Interrupt != nil && opt.Interrupt() {
+						continue // drain remaining indices without verifying
+					}
 					results[i] = verifyClass(nl, cands[i], opt)
 				}
 			}()
@@ -130,6 +137,9 @@ func Analyze(nl *netlist.Netlist, opt Options) []*module.Module {
 		wg.Wait()
 	} else {
 		for i := range cands {
+			if opt.Interrupt != nil && opt.Interrupt() {
+				break
+			}
 			results[i] = verifyClass(nl, cands[i], opt)
 		}
 	}

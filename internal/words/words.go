@@ -90,6 +90,10 @@ type Options struct {
 	// MaxControlSet caps the candidate control-wire set to keep subset
 	// enumeration tractable.
 	MaxControlSet int
+	// Interrupt, when non-nil, is polled between candidate checks and
+	// between control-assignment simulations; when it returns true,
+	// propagation stops and returns the words found so far.
+	Interrupt func() bool
 }
 
 func (o *Options) defaults() {
@@ -109,6 +113,9 @@ func Propagate(nl *netlist.Netlist, w Word, opt Options) []Propagation {
 	opt.defaults()
 	var out []Propagation
 	for _, cand := range guessForward(nl, w) {
+		if opt.Interrupt != nil && opt.Interrupt() {
+			break
+		}
 		if p, ok := checkPropagation(nl, w, cand, opt, false); ok {
 			out = append(out, p)
 		}
@@ -122,6 +129,9 @@ func PropagateBackward(nl *netlist.Netlist, w Word, opt Options) []Propagation {
 	opt.defaults()
 	var out []Propagation
 	for _, cand := range guessBackward(nl, w) {
+		if opt.Interrupt != nil && opt.Interrupt() {
+			break
+		}
 		// Check that cand propagates to w: simulate with cand = D and
 		// require w symbolic.
 		if p, ok := checkPropagation(nl, cand, w, opt, true); ok {
@@ -324,6 +334,9 @@ func checkPropagation(nl *netlist.Netlist, src, tgt Word, opt Options, backward 
 			idx[i] = i
 		}
 		for {
+			if opt.Interrupt != nil && opt.Interrupt() {
+				return Propagation{}, false
+			}
 			for mask := 0; mask < 1<<uint(size); mask++ {
 				ctrl := make(map[netlist.ID]bool, size)
 				for i, ii := range idx {
@@ -375,6 +388,9 @@ func PropagateAll(nl *netlist.Netlist, seeds []Word, rounds int, opt Options) ([
 		work := frontier
 		frontier = nil
 		for _, w := range work {
+			if opt.Interrupt != nil && opt.Interrupt() {
+				return all, props
+			}
 			for _, p := range Propagate(nl, w, opt) {
 				props = append(props, p)
 				t := p.Target

@@ -25,6 +25,12 @@ type JSONReport struct {
 	Modules       []JSONModule   `json:"modules"`
 	CountsBefore  map[string]int `json:"counts_before"`
 	CountsAfter   map[string]int `json:"counts_after"`
+	// Degraded is set when the run timed out, was canceled, a stage
+	// panicked, or the input failed validation; per-stage statuses are in
+	// Trace. Both fields are omitted for complete runs so existing
+	// consumers see byte-identical output.
+	Degraded        bool   `json:"degraded,omitempty"`
+	ValidationError string `json:"validation_error,omitempty"`
 }
 
 // JSONCoverage carries coverage counts and fractions.
@@ -43,12 +49,15 @@ type JSONOverlap struct {
 	Error         string `json:"error,omitempty"`
 }
 
-// JSONStage is one per-stage timing entry of the pipeline trace.
+// JSONStage is one per-stage timing entry of the pipeline trace. Status
+// and Error appear only for stages that did not complete normally.
 type JSONStage struct {
 	Name       string  `json:"name"`
 	StartMS    float64 `json:"start_ms"`
 	DurationMS float64 `json:"duration_ms"`
 	Modules    int     `json:"modules"`
+	Status     string  `json:"status,omitempty"`
+	Error      string  `json:"error,omitempty"`
 }
 
 // JSONModule is one resolved module.
@@ -89,13 +98,22 @@ func ToJSONReport(rep *Report) JSONReport {
 	if rep.OverlapErr != nil {
 		out.Overlap.Error = rep.OverlapErr.Error()
 	}
+	out.Degraded = rep.Degraded
+	if rep.ValidationErr != nil {
+		out.ValidationError = rep.ValidationErr.Error()
+	}
 	for _, st := range rep.Trace {
-		out.Trace = append(out.Trace, JSONStage{
+		js := JSONStage{
 			Name:       st.Name,
 			StartMS:    float64(st.Start.Microseconds()) / 1000,
 			DurationMS: float64(st.Duration.Microseconds()) / 1000,
 			Modules:    st.Modules,
-		})
+		}
+		if st.Status != StageOK {
+			js.Status = st.Status.String()
+			js.Error = firstLine(st.Err)
+		}
+		out.Trace = append(out.Trace, js)
 	}
 	for ty, n := range rep.CountsBefore {
 		out.CountsBefore[ty.String()] = n

@@ -1,0 +1,269 @@
+package netlistre
+
+// Robustness tests for the budgeted/cancellable analysis path: canceled
+// contexts must yield deterministic partial reports, timeouts must not
+// leak goroutines, a panicking analyst pass must not take down the rest
+// of the portfolio, malformed netlists must be rejected up front, and
+// the report writers must propagate sink errors from every write.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAnalyzeContextAlreadyCanceledDeterministic(t *testing.T) {
+	nl, err := TestArticle("usb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	render := func() string {
+		rep := AnalyzeContext(ctx, nl, Options{})
+		if !rep.Degraded {
+			t.Fatal("canceled context must produce a degraded report")
+		}
+		if rep.ValidationErr != nil {
+			t.Fatalf("unexpected validation error: %v", rep.ValidationErr)
+		}
+		for _, st := range rep.Trace {
+			if st.Status != StageCanceled {
+				t.Errorf("stage %s status = %v, want canceled", st.Name, st.Status)
+			}
+		}
+		if len(rep.All) != 0 || len(rep.Resolved) != 0 {
+			t.Errorf("pre-canceled run produced modules: all=%d resolved=%d",
+				len(rep.All), len(rep.Resolved))
+		}
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		return normalizeDurations(buf.String())
+	}
+
+	first := render()
+	second := render()
+	if first != second {
+		t.Errorf("canceled-context report not deterministic:\n--- first ---\n%s\n--- second ---\n%s",
+			first, second)
+	}
+	if !strings.Contains(first, "DEGRADED") {
+		t.Errorf("degraded report does not say so:\n%s", first)
+	}
+}
+
+func TestAnalyzeTimeoutDegradedNoGoroutineLeak(t *testing.T) {
+	nl := BigSoC()
+	before := runtime.NumGoroutine()
+
+	rep := Analyze(nl, Options{Timeout: time.Millisecond})
+	if !rep.Degraded {
+		t.Error("a 1ms budget on BigSoC should produce a degraded report")
+	}
+	sawBudgetStatus := false
+	for _, st := range rep.Trace {
+		switch st.Status {
+		case StageOK:
+		case StageTimedOut, StageCanceled:
+			sawBudgetStatus = true
+		default:
+			t.Errorf("stage %s unexpected status %v (%s)", st.Name, st.Status, st.Err)
+		}
+	}
+	if !sawBudgetStatus {
+		t.Error("no stage was marked timed-out or canceled")
+	}
+	if rep.CountsBefore == nil || rep.CountsAfter == nil {
+		t.Error("counts maps must be non-nil in degraded reports")
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatalf("degraded report failed to render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "DEGRADED") {
+		t.Error("rendered report does not mention degradation")
+	}
+	if err := WriteJSONReport(&buf, rep); err != nil {
+		t.Fatalf("degraded JSON report failed to render: %v", err)
+	}
+
+	// The scheduler must not leave stage goroutines behind after Analyze
+	// returns. NumGoroutine is noisy (GC workers, test runner), so poll
+	// with a deadline instead of requiring an instant exact match.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutine leak after timed-out Analyze: before=%d after=%d",
+				before, runtime.NumGoroutine())
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestExtraPassPanicIsolated(t *testing.T) {
+	nl, err := TestArticle("usb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Analyze(nl, Options{})
+
+	opt := Options{}
+	var ranFirst bool
+	opt.ExtraPasses = append(opt.ExtraPasses,
+		func(*Netlist) []*Module { ranFirst = true; return nil },
+		func(*Netlist) []*Module { panic("injected pass failure") },
+	)
+	rep := Analyze(nl, opt)
+
+	if !ranFirst {
+		t.Error("pass before the panicking one did not run")
+	}
+	if !rep.Degraded {
+		t.Error("panicking extra pass must degrade the report")
+	}
+	for _, st := range rep.Trace {
+		switch st.Name {
+		case "extra":
+			if st.Status != StageFailed {
+				t.Errorf("extra stage status = %v, want failed", st.Status)
+			}
+			if !strings.Contains(st.Err, "injected pass failure") {
+				t.Errorf("extra stage error %q does not carry the panic value", st.Err)
+			}
+			if !strings.Contains(st.Err, "goroutine") {
+				t.Errorf("extra stage error does not carry a stack trace: %q", st.Err)
+			}
+		default:
+			if st.Status != StageOK {
+				t.Errorf("stage %s status = %v, want ok", st.Name, st.Status)
+			}
+		}
+	}
+	// Every other stage's modules survive: the report matches a clean run.
+	if len(rep.All) != len(base.All) {
+		t.Errorf("module set changed: %d modules, want %d", len(rep.All), len(base.All))
+	}
+	if len(rep.Resolved) != len(base.Resolved) || rep.CoverageAfter != base.CoverageAfter {
+		t.Errorf("resolution changed: %d modules %d covered, want %d modules %d covered",
+			len(rep.Resolved), rep.CoverageAfter, len(base.Resolved), base.CoverageAfter)
+	}
+}
+
+func TestAnalyzeRejectsInvalidNetlist(t *testing.T) {
+	nl := NewNetlist("bad")
+	a := nl.AddInput("a")
+	g := nl.AddGate(And, a, a)
+	nl.Node(g).Fanin[1] = g // combinational self-loop
+
+	rep := Analyze(nl, Options{})
+	if rep.ValidationErr == nil {
+		t.Fatal("expected a validation error")
+	}
+	if !rep.Degraded {
+		t.Error("validation failure must mark the report degraded")
+	}
+	if len(rep.Trace) != 0 || len(rep.All) != 0 {
+		t.Error("no analysis may run on an invalid netlist")
+	}
+	if !strings.Contains(rep.ValidationErr.Error(), "combinational cycle") {
+		t.Errorf("validation error = %v, want combinational cycle", rep.ValidationErr)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "input validation FAILED") {
+		t.Errorf("report does not surface the validation failure:\n%s", buf.String())
+	}
+	var jbuf bytes.Buffer
+	if err := WriteJSONReport(&jbuf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jbuf.String(), `"validation_error"`) {
+		t.Error("JSON report omits validation_error")
+	}
+}
+
+// errSinkFull is the error injected by failingWriter.
+var errSinkFull = errors.New("sink full")
+
+// failingWriter accepts `remaining` bytes, then fails every write.
+type failingWriter struct{ remaining int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		return 0, errSinkFull
+	}
+	if len(p) > w.remaining {
+		n := w.remaining
+		w.remaining = 0
+		return n, errSinkFull
+	}
+	w.remaining -= len(p)
+	return len(p), nil
+}
+
+func TestWriteReportPropagatesWriteErrors(t *testing.T) {
+	nl, err := TestArticle("usb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(nl, Options{})
+
+	var full bytes.Buffer
+	if err := WriteReport(&full, rep); err != nil {
+		t.Fatal(err)
+	}
+	// A sink that fails at any offset of the output must surface the
+	// error, no matter which internal write hits it.
+	for cut := 0; cut < full.Len(); cut++ {
+		if err := WriteReport(&failingWriter{remaining: cut}, rep); !errors.Is(err, errSinkFull) {
+			t.Fatalf("WriteReport into %d-byte sink: err = %v, want errSinkFull", cut, err)
+		}
+	}
+	if err := WriteReport(&failingWriter{remaining: full.Len()}, rep); err != nil {
+		t.Errorf("WriteReport into exactly-sized sink: %v", err)
+	}
+
+	var trace bytes.Buffer
+	if err := WriteTrace(&trace, rep); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < trace.Len(); cut++ {
+		if err := WriteTrace(&failingWriter{remaining: cut}, rep); !errors.Is(err, errSinkFull) {
+			t.Fatalf("WriteTrace into %d-byte sink: err = %v, want errSinkFull", cut, err)
+		}
+	}
+}
+
+func TestAnalyzeStageTimeoutDegrades(t *testing.T) {
+	nl := BigSoC()
+	rep := Analyze(nl, Options{StageTimeout: time.Millisecond, SkipModMatch: true})
+	if !rep.Degraded {
+		t.Skip("every stage beat a 1ms budget on this machine")
+	}
+	for _, st := range rep.Trace {
+		if st.Status != StageOK && st.Status != StageTimedOut {
+			t.Errorf("stage %s status = %v, want ok or timed-out", st.Name, st.Status)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "timed-out") {
+		t.Error("trace does not mark the timed-out stage")
+	}
+}
