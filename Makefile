@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench fuzz vet ci
+.PHONY: build test test-short test-race bench fuzz vet load-smoke ci
 
 build:
 	$(GO) build ./...
@@ -29,10 +29,21 @@ fuzz:
 vet:
 	$(GO) vet ./...
 
+# Load-smokes the revand service under the race detector: ~50 concurrent
+# mixed requests (cache-hot repeats, cold uploads, async jobs, metrics
+# scrapes), a clean drain, and a goroutine-leak check — plus the daemon's
+# real SIGTERM shutdown path.
+load-smoke:
+	$(GO) test -race -run 'TestLoadSmoke' -count 1 ./internal/server
+	$(GO) test -race -run 'TestRunServesAndDrainsOnSIGTERM' -count 1 ./cmd/revand
+
 # Mirrors .github/workflows/ci.yml: full build + vet + tests, a short-mode
-# race pass, and a 30-second fuzz smoke of both netlist parsers.
+# race pass, the revand load smoke, and a 30-second fuzz smoke of both
+# netlist parsers.
 ci: build vet
 	$(GO) test ./...
 	$(GO) test -short -race ./...
+	$(GO) test -race -run 'TestLoadSmoke' -count 1 ./internal/server
+	$(GO) test -race -run 'TestRunServesAndDrainsOnSIGTERM' -count 1 ./cmd/revand
 	$(GO) test ./internal/netlist -fuzz FuzzReadVerilog -fuzztime 30s
 	$(GO) test ./internal/netlist -fuzz FuzzReadBLIF -fuzztime 30s

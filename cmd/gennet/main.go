@@ -18,13 +18,23 @@ import (
 
 func main() {
 	var (
-		article = flag.String("article", "", "article to emit (see revan -list)")
+		article = flag.String("article", "", "article to emit (see -list)")
 		out     = flag.String("o", "", "output file (default stdout)")
 		all     = flag.Bool("all", false, "emit every article")
 		dir     = flag.String("dir", ".", "output directory for -all")
 		format  = flag.String("format", "verilog", "output format: verilog or blif")
+		list    = flag.Bool("list", false, "list available articles and exit")
 	)
 	flag.Parse()
+	if *list {
+		for _, name := range netlistre.TestArticleNames() {
+			fmt.Printf("%-14s  %s\n", name, netlistre.TestArticleDescription(name))
+		}
+		fmt.Printf("%-14s  %s\n", "bigsoc", "seven-core SoC case study (Section V-C)")
+		fmt.Printf("%-14s  %s\n", "evoter-trojan", "eVoter with key-sequence backdoor")
+		fmt.Printf("%-14s  %s\n", "oc8051-trojan", "oc8051 with XOR kill switch")
+		return
+	}
 	if *format != "verilog" && *format != "blif" {
 		fmt.Fprintln(os.Stderr, "gennet: -format must be verilog or blif")
 		os.Exit(1)

@@ -42,6 +42,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "pipeline worker budget (0 = GOMAXPROCS, 1 = serial)")
 		trace     = flag.Bool("trace", false, "print live per-stage progress to stderr (the final stage table is always in the report)")
 		timeout   = flag.Duration("timeout", 0, "whole-run analysis budget (0 = none); a timed-out run prints a partial report and exits 3")
+		fprint    = flag.Bool("fingerprint", false, "print the netlist's canonical SHA-256 fingerprint and exit")
 	)
 	flag.Parse()
 
@@ -63,6 +64,10 @@ func main() {
 	if err := nl.Check(); err != nil {
 		fmt.Fprintln(os.Stderr, "revan: invalid netlist:", err)
 		os.Exit(1)
+	}
+	if *fprint {
+		fmt.Println(nl.Fingerprint())
+		return
 	}
 
 	if *doSimp {

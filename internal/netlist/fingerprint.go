@@ -1,0 +1,194 @@
+package netlist
+
+// Content-addressed netlist fingerprinting. Fingerprint returns a
+// canonical SHA-256 over the netlist's functional content, independent of
+// the order in which nodes were created: the same circuit built by hand,
+// parsed from Verilog, or parsed from its BLIF serialization (which
+// resolves nets in a different order) hashes identically, as long as the
+// serialization preserves the gate-level structure — BLIF has no native
+// Nand/Nor/Xor/Xnor, so writing those kinds lowers them to cube networks
+// that are genuinely different graphs and hash differently. The analysis
+// service uses the fingerprint as the netlist half of its report-cache
+// key; it is also exposed as `revan -fingerprint`.
+//
+// Canonicalization is a Weisfeiler-Leman-style refinement: every node
+// starts with a label derived from its local content (kind, name, and the
+// primary-output ports it drives), then labels are repeatedly re-hashed
+// with the labels of their fanins and fanouts until the partition into
+// label classes stops refining. Sorting nodes by final label yields a
+// canonical order; the serialization written in that order references
+// fanins by canonical index, so the digest covers the full edge structure.
+// Nodes still sharing a label after convergence are structurally
+// indistinguishable to the refinement and are serialized as identical
+// lines, so their relative order cannot affect the digest.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// maxRefineRounds bounds label refinement. Named netlists converge in one
+// or two rounds (names separate almost every class immediately); the cap
+// only matters for pathological fully-anonymous regular structures, where
+// stopping early merely coarsens the canonical order inside symmetric
+// classes.
+const maxRefineRounds = 64
+
+type fpLabel [sha256.Size]byte
+
+// commutative reports whether a node kind's fanin order is semantically
+// irrelevant, in which case the fingerprint sorts the fanin references so
+// argument permutations do not change the hash.
+func commutative(k Kind) bool {
+	switch k {
+	case And, Or, Nand, Nor, Xor, Xnor:
+		return true
+	}
+	return false
+}
+
+// Fingerprint returns the canonical SHA-256 of the netlist as a lowercase
+// hex string. Two netlists with the same fingerprint have the same design
+// name, the same primary outputs in declaration order, and isomorphic
+// node structure with matching kinds and node names — so an analysis
+// report computed for one is valid for the other.
+func (n *Netlist) Fingerprint() string {
+	numNodes := len(n.nodes)
+	labels := make([]fpLabel, numNodes)
+	next := make([]fpLabel, numNodes)
+
+	// Output ports driven by each node, in declaration order.
+	outsOf := make(map[ID][]string)
+	for _, p := range n.outputs {
+		if p.Driver >= 0 && int(p.Driver) < numNodes {
+			outsOf[p.Driver] = append(outsOf[p.Driver], p.Name)
+		}
+	}
+
+	// Round 0: local content only.
+	h := sha256.New()
+	var scratch [8]byte
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(s)))
+		h.Write(scratch[:])
+		h.Write([]byte(s))
+	}
+	for i, node := range n.nodes {
+		h.Reset()
+		h.Write([]byte{0x00, byte(node.Kind)})
+		writeStr(node.Name)
+		for _, out := range outsOf[ID(i)] {
+			writeStr(out)
+		}
+		h.Sum(labels[i][:0])
+	}
+
+	distinct := func(ls []fpLabel) int {
+		seen := make(map[fpLabel]struct{}, len(ls))
+		for _, l := range ls {
+			seen[l] = struct{}{}
+		}
+		return len(seen)
+	}
+
+	classes := distinct(labels)
+	var neigh []fpLabel
+	for round := 0; classes < numNodes && round < maxRefineRounds; round++ {
+		for i, node := range n.nodes {
+			h.Reset()
+			h.Write([]byte{0x01})
+			h.Write(labels[i][:])
+			neigh = neigh[:0]
+			for _, f := range node.Fanin {
+				if f >= 0 && int(f) < numNodes {
+					neigh = append(neigh, labels[f])
+				}
+			}
+			if commutative(node.Kind) {
+				sortLabels(neigh)
+			}
+			for _, l := range neigh {
+				h.Write(l[:])
+			}
+			h.Write([]byte{0x02})
+			neigh = neigh[:0]
+			for _, f := range n.fanout[i] {
+				neigh = append(neigh, labels[f])
+			}
+			sortLabels(neigh)
+			for _, l := range neigh {
+				h.Write(l[:])
+			}
+			h.Sum(next[i][:0])
+		}
+		labels, next = next, labels
+		refined := distinct(labels)
+		if refined == classes {
+			break
+		}
+		classes = refined
+	}
+
+	// Canonical order: by final label, original ID only inside classes the
+	// refinement could not separate (such nodes serialize identically).
+	order := make([]ID, numNodes)
+	for i := range order {
+		order[i] = ID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := &labels[order[a]], &labels[order[b]]
+		for k := range la {
+			if la[k] != lb[k] {
+				return la[k] < lb[k]
+			}
+		}
+		return order[a] < order[b]
+	})
+	rank := make([]int, numNodes)
+	for r, id := range order {
+		rank[id] = r
+	}
+
+	// Serialize in canonical order and hash.
+	dig := sha256.New()
+	fmt.Fprintf(dig, "netlistre-fp-v1\nname %q\n", n.Name)
+	var fan []int
+	for _, id := range order {
+		node := &n.nodes[id]
+		fan = fan[:0]
+		for _, f := range node.Fanin {
+			if f >= 0 && int(f) < numNodes {
+				fan = append(fan, rank[f])
+			} else {
+				fan = append(fan, -1) // dangling (pre-Validate input)
+			}
+		}
+		if commutative(node.Kind) {
+			sort.Ints(fan)
+		}
+		fmt.Fprintf(dig, "node %s %q %v\n", node.Kind, node.Name, fan)
+	}
+	for _, p := range n.outputs {
+		r := -1
+		if p.Driver >= 0 && int(p.Driver) < numNodes {
+			r = rank[p.Driver]
+		}
+		fmt.Fprintf(dig, "output %q %d\n", p.Name, r)
+	}
+	return hex.EncodeToString(dig.Sum(nil))
+}
+
+func sortLabels(ls []fpLabel) {
+	sort.Slice(ls, func(i, j int) bool {
+		a, b := &ls[i], &ls[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

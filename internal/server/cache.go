@@ -1,0 +1,105 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the content-addressed report cache: rendered JSON reports keyed
+// by Netlist.Fingerprint() plus the canonical options string, bounded by an
+// LRU entry limit. Because the key addresses the analysis *content* (the
+// circuit and every option that can change the report), a hit can be served
+// byte-for-byte without rerunning the portfolio; two clients uploading the
+// same netlist in different serialization orders share one entry.
+//
+// Degraded reports are never stored: a run cut short by a client disconnect
+// or an operator timeout is not the canonical answer for its key.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits      int64
+	misses    int64
+	evictions int64
+	bytes     int64
+}
+
+type cacheEntry struct {
+	key         string
+	fingerprint string
+	report      []byte
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters, exported
+// on /metrics.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+	Bytes                   int64
+}
+
+// NewCache returns a cache bounded to max entries. A max of zero or less
+// disables caching entirely (every Get misses, Put is a no-op).
+func NewCache(max int) *Cache {
+	return &Cache{
+		max:     max,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached report bytes and fingerprint for key, marking the
+// entry most recently used. The returned slice must not be mutated.
+func (c *Cache) Get(key string) (report []byte, fingerprint string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[key]
+	if !found {
+		c.misses++
+		return nil, "", false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.report, e.fingerprint, true
+}
+
+// Put stores a report under key, evicting least-recently-used entries to
+// stay within the entry bound.
+func (c *Cache) Put(key, fingerprint string, report []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.entries[key]; found {
+		// Same key means same content; just refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, fingerprint: fingerprint, report: report})
+	c.bytes += int64(len(report))
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.report))
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c := NewCache(2)
+	if _, _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", "fpa", []byte("ra"))
+	c.Put("b", "fpb", []byte("rb"))
+	if got, fp, ok := c.Get("a"); !ok || string(got) != "ra" || fp != "fpa" {
+		t.Fatalf("Get(a) = %q, %q, %v", got, fp, ok)
+	}
+	// "b" is now LRU; inserting "c" must evict it.
+	c.Put("c", "fpc", []byte("rc"))
+	if _, _, ok := c.Get("b"); ok {
+		t.Error("expected b evicted as least recently used")
+	}
+	if _, _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 2 hits, 2 misses, 1 eviction, 2 entries", st)
+	}
+	if want := int64(len("ra") + len("rc")); st.Bytes != want {
+		t.Errorf("bytes = %d, want %d", st.Bytes, want)
+	}
+}
+
+func TestCacheDuplicatePut(t *testing.T) {
+	c := NewCache(4)
+	c.Put("k", "fp", []byte("r1"))
+	c.Put("k", "fp", []byte("r1"))
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 2 {
+		t.Errorf("duplicate Put double-counted: %+v", st)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1)
+	c.Put("k", "fp", []byte("r"))
+	if _, _, ok := c.Get("k"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("disabled cache stored an entry: %+v", st)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(8)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				c.Put(key, "fp", []byte(key))
+				c.Get(key)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if st := c.Stats(); st.Entries > 8 {
+		t.Errorf("cache exceeded bound: %+v", st)
+	}
+}

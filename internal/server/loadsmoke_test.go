@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLoadSmoke is the CI load check: ~50 concurrent requests mixing
+// cache-hot repeats, cold uploads, async jobs, and read-only endpoints,
+// followed by a clean shutdown and a goroutine-leak poll. Run it with
+// -race (make ci does).
+func TestLoadSmoke(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := New(Config{QueueWorkers: 2, QueueDepth: 32})
+	ts := httptest.NewServer(s)
+
+	verilog, blif := refVerilog(t, "smoke")
+	client := ts.Client()
+	get := func(path string) error {
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+	post := func(path string, req AnalyzeRequest) (*http.Response, error) {
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return nil, err
+		}
+		return resp, nil
+	}
+
+	const n = 50
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			switch i % 5 {
+			case 0: // cache-hot after the first: same article, same options
+				var resp *http.Response
+				if resp, err = post("/v1/analyze", AnalyzeRequest{Article: "evoter"}); err == nil {
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("analyze evoter: %d", resp.StatusCode)
+					}
+				}
+			case 1: // same circuit, two serializations: one cache entry
+				req := AnalyzeRequest{Verilog: verilog}
+				if i%2 == 1 {
+					req = AnalyzeRequest{BLIF: blif}
+				}
+				var resp *http.Response
+				if resp, err = post("/v1/analyze", req); err == nil {
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("analyze upload: %d", resp.StatusCode)
+					}
+				}
+			case 2: // async job; 503 on a momentarily full queue is expected
+				var resp *http.Response
+				if resp, err = post("/v1/jobs", AnalyzeRequest{Article: "evoter"}); err == nil {
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusServiceUnavailable {
+						err = fmt.Errorf("submit job: %d", resp.StatusCode)
+					}
+				}
+			case 3:
+				err = get("/metrics")
+			case 4:
+				err = get("/healthz")
+			}
+			if err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The mix repeats articles and re-serializes one circuit, so the cache
+	// must have been exercised on both sides.
+	st := s.cache.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("load mix did not exercise the cache: %+v", st)
+	}
+
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Workers, HTTP handlers, and analysis goroutines must all be gone.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Errorf("goroutine leak: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}

@@ -1,0 +1,486 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"netlistre"
+)
+
+// newTestServer starts a Server behind httptest and tears both down with
+// the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readBody(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// wallClockRE matches the report's wall-clock fields, which legitimately
+// differ between two runs of the same analysis.
+var wallClockRE = regexp.MustCompile(`"(runtime_ms|start_ms|duration_ms)": [0-9.eE+-]+`)
+
+func normalizeTimings(b []byte) string {
+	return wallClockRE.ReplaceAllString(string(b), `"$1": 0`)
+}
+
+// refVerilog returns the reference circuit from the fingerprint tests as
+// Verilog and BLIF text plus the netlist itself.
+func refVerilog(t *testing.T, name string) (verilog, blif string) {
+	t.Helper()
+	n := netlistre.NewNetlist(name)
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	w1 := n.AddNamedGate("w1", netlistre.And, a, b)
+	w2 := n.AddNamedGate("w2", netlistre.Not, c)
+	q := n.AddNamedLatch("q", w1)
+	y := n.AddNamedGate("y", netlistre.Or, w1, w2, q)
+	n.SetLatchD(q, y)
+	n.MarkOutput("y", y)
+	var v, bl bytes.Buffer
+	if err := n.WriteVerilog(&v); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WriteBLIF(&bl); err != nil {
+		t.Fatal(err)
+	}
+	return v.String(), bl.String()
+}
+
+// TestAnalyzeMatchesRevan is the wire-format acceptance check: the service
+// response for an article must match what the revan CLI (-json) computes
+// for the same netlist and options, byte for byte once wall-clock fields
+// are normalized.
+func TestAnalyzeMatchesRevan(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Article: "usb"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	if got := resp.Header.Get("X-Cache"); got != "MISS" {
+		t.Errorf("first request X-Cache = %q, want MISS", got)
+	}
+	body := readBody(t, resp)
+
+	nl, err := netlistre.TestArticle("usb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := resp.Header.Get("X-Netlist-Fingerprint"); fp != nl.Fingerprint() {
+		t.Errorf("X-Netlist-Fingerprint = %q, want %q", fp, nl.Fingerprint())
+	}
+	opt := netlistre.Options{}
+	opt.Overlap.Sliceable = true // the revan default (no -basic-ilp)
+	rep := netlistre.Analyze(nl, opt)
+	var want bytes.Buffer
+	if err := netlistre.WriteJSONReport(&want, rep); err != nil {
+		t.Fatal(err)
+	}
+	if normalizeTimings(body) != normalizeTimings(want.Bytes()) {
+		t.Errorf("service report differs from revan -json:\n--- service ---\n%s\n--- revan ---\n%s",
+			body, want.String())
+	}
+}
+
+func TestAnalyzeCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	req := AnalyzeRequest{Article: "evoter"}
+	first := postJSON(t, ts.URL+"/v1/analyze", req)
+	firstBody := readBody(t, first)
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", first.StatusCode, firstBody)
+	}
+
+	second := postJSON(t, ts.URL+"/v1/analyze", req)
+	secondBody := readBody(t, second)
+	if got := second.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("repeat request X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(firstBody, secondBody) {
+		t.Error("cache hit response is not byte-identical to the original")
+	}
+	if st := s.cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	// Different options must not share the entry.
+	third := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+		Article: "evoter",
+		Options: RequestOptions{SkipModMatch: true},
+	})
+	readBody(t, third)
+	if got := third.Header.Get("X-Cache"); got != "MISS" {
+		t.Errorf("changed options X-Cache = %q, want MISS", got)
+	}
+}
+
+// TestAnalyzeCrossFormatCacheShare is the content-addressing payoff: the
+// same circuit uploaded as Verilog and then as BLIF shares one cache
+// entry, because the key is the canonical fingerprint, not the upload
+// bytes.
+func TestAnalyzeCrossFormatCacheShare(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	verilog, blif := refVerilog(t, "ref")
+
+	first := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Verilog: verilog})
+	firstBody := readBody(t, first)
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("verilog upload: status %d: %s", first.StatusCode, firstBody)
+	}
+	second := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{BLIF: blif})
+	secondBody := readBody(t, second)
+	if got := second.Header.Get("X-Cache"); got != "HIT" {
+		t.Errorf("BLIF re-upload of same circuit X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(firstBody, secondBody) {
+		t.Error("cross-format cache hit returned different bytes")
+	}
+}
+
+func TestJobsLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", AnalyzeRequest{Article: "evoter"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	loc := resp.Header.Get("Location")
+	var st JobStatus
+	if err := json.Unmarshal(readBody(t, resp), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || loc != "/v1/jobs/"+st.ID {
+		t.Fatalf("bad submit response: id %q, location %q", st.ID, loc)
+	}
+
+	final := pollJob(t, ts.URL+loc)
+	if final.Status != JobDone {
+		t.Fatalf("job finished %q (error %q), want done", final.Status, final.Error)
+	}
+	if len(final.Report) == 0 {
+		t.Fatal("finished job carries no report")
+	}
+
+	// The sync endpoint for the same request must now be a cache hit with
+	// the job's report. The status envelope re-indents the embedded raw
+	// message, so compare compacted forms.
+	sync := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Article: "evoter"})
+	syncBody := readBody(t, sync)
+	if got := sync.Header.Get("X-Cache"); got != "HIT" {
+		t.Errorf("sync after job X-Cache = %q, want HIT", got)
+	}
+	var a, b bytes.Buffer
+	if err := json.Compact(&a, syncBody); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&b, final.Report); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("sync response differs from the job report for the same key")
+	}
+
+	// A second identical job records a cache hit in its status.
+	resp2 := postJSON(t, ts.URL+"/v1/jobs", AnalyzeRequest{Article: "evoter"})
+	var st2 JobStatus
+	if err := json.Unmarshal(readBody(t, resp2), &st2); err != nil {
+		t.Fatal(err)
+	}
+	final2 := pollJob(t, ts.URL+"/v1/jobs/"+st2.ID)
+	if final2.Status != JobDone || !final2.CacheHit {
+		t.Errorf("repeat job = %q cache_hit=%v, want done with cache_hit", final2.Status, final2.CacheHit)
+	}
+}
+
+func pollJob(t *testing.T, url string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(readBody(t, resp), &st); err != nil {
+			t.Fatal(err)
+		}
+		switch st.Status {
+		case JobDone, JobDegraded, JobFailed:
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job did not finish within 60s")
+	return JobStatus{}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"empty", `{}`, http.StatusBadRequest},
+		{"two sources", `{"article":"usb","verilog":"module m (); endmodule"}`, http.StatusBadRequest},
+		{"unknown article", `{"article":"nonesuch"}`, http.StatusBadRequest},
+		{"bad verilog", `{"verilog":"not a netlist"}`, http.StatusBadRequest},
+		{"bad objective", `{"article":"usb","options":{"objective":"most"}}`, http.StatusBadRequest},
+		{"negative timeout", `{"article":"usb","options":{"timeout_ms":-5}}`, http.StatusBadRequest},
+		{"unknown field", `{"articel":"usb"}`, http.StatusBadRequest},
+		{"not json", `hello`, http.StatusBadRequest},
+	}
+	for _, endpoint := range []string{"/v1/analyze", "/v1/jobs"} {
+		for _, tc := range cases {
+			resp, err := http.Post(ts.URL+endpoint, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := readBody(t, resp)
+			if resp.StatusCode != tc.want {
+				t.Errorf("%s %s: status %d, want %d (%s)", endpoint, tc.name, resp.StatusCode, tc.want, body)
+			}
+			var apiErr apiError
+			if err := json.Unmarshal(body, &apiErr); err != nil || apiErr.Error == "" {
+				t.Errorf("%s %s: error body not structured: %s", endpoint, tc.name, body)
+			}
+		}
+	}
+}
+
+func TestSyncSizeGate(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSyncElements: 10})
+	resp := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Article: "usb"})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "/v1/jobs") {
+		t.Errorf("413 body should steer to /v1/jobs: %s", body)
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxRequestBytes: 128})
+	big := fmt.Sprintf(`{"verilog":%q}`, strings.Repeat("x", 1024))
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (%s)", resp.StatusCode, body)
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-doesnotexist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404 (%s)", resp.StatusCode, body)
+	}
+}
+
+func TestArticlesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/articles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var articles []Article
+	if err := json.Unmarshal(readBody(t, resp), &articles); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, a := range articles {
+		names[a.Name] = true
+		if a.Description == "" {
+			t.Errorf("article %q has no description", a.Name)
+		}
+	}
+	for _, want := range []string{"usb", "evoter", "mips16", "bigsoc", "evoter-trojan", "oc8051-trojan"} {
+		if !names[want] {
+			t.Errorf("articles listing missing %q", want)
+		}
+	}
+}
+
+func TestHealthzAndDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status        string `json:"status"`
+		QueueCapacity int    `json:"queue_capacity"`
+	}
+	if err := json.Unmarshal(readBody(t, resp), &health); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" || health.QueueCapacity != 64 {
+		t.Errorf("healthz = %d %+v, want 200 ok capacity 64", resp.StatusCode, health)
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp2); resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining = %d (%s), want 503", resp2.StatusCode, body)
+	}
+	resp3 := postJSON(t, ts.URL+"/v1/jobs", AnalyzeRequest{Article: "evoter"})
+	if body := readBody(t, resp3); resp3.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("job submit while draining = %d (%s), want 503", resp3.StatusCode, body)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// One miss, one hit, one finished job.
+	readBody(t, postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Article: "evoter"}))
+	readBody(t, postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Article: "evoter"}))
+	var st JobStatus
+	if err := json.Unmarshal(readBody(t, postJSON(t, ts.URL+"/v1/jobs", AnalyzeRequest{Article: "evoter"})), &st); err != nil {
+		t.Fatal(err)
+	}
+	pollJob(t, ts.URL+"/v1/jobs/"+st.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	body := string(readBody(t, resp))
+	for _, want := range []string{
+		"revand_jobs_total{state=\"done\"} 1",
+		"revand_cache_hits_total 2",
+		"revand_cache_misses_total 1",
+		"revand_queue_depth 0",
+		"revand_queue_capacity 64",
+		"revand_analyses_total{source=\"sync\"} 1",
+		"revand_stage_duration_seconds_bucket{stage=\"overlap\",le=\"+Inf\"} 1",
+		"revand_http_requests_total{route=\"/v1/analyze\",code=\"200\"} 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n--- exposition ---\n%s", want, body)
+		}
+	}
+}
+
+// TestDegradedNotCached drives the analysis path with an already-canceled
+// context: the run degrades deterministically and its partial report must
+// not poison the cache.
+func TestDegradedNotCached(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	nl, err := netlistre.TestArticle("usb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ro RequestOptions
+	opt := ro.toOptions(nl, 0)
+	fp := nl.Fingerprint()
+	key := ro.cacheKey(fp, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	report, hit, degraded, err := s.analyze(ctx, "sync", nl, opt, fp, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || !degraded {
+		t.Fatalf("canceled analyze: hit=%v degraded=%v, want miss+degraded", hit, degraded)
+	}
+	var js netlistre.JSONReport
+	if err := json.Unmarshal(report, &js); err != nil {
+		t.Fatalf("degraded report is not valid JSON: %v", err)
+	}
+	if !js.Degraded {
+		t.Error("degraded report does not say degraded")
+	}
+	if st := s.cache.Stats(); st.Entries != 0 {
+		t.Errorf("degraded report was cached: %+v", st)
+	}
+}
+
+// TestShutdownDrainsQueuedJobs submits more jobs than workers and then
+// shuts down: every job must still reach a terminal state with a report.
+func TestShutdownDrainsQueuedJobs(t *testing.T) {
+	s := New(Config{QueueWorkers: 1, QueueDepth: 8})
+	var ids []*Job
+	for i := 0; i < 4; i++ {
+		req := AnalyzeRequest{Article: "evoter"}
+		if i%2 == 1 {
+			req.Options.SkipModMatch = true // alternate keys: mix of hits and misses
+		}
+		nl, err := buildNetlist(&req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := nl.Fingerprint()
+		j := NewJob(nl, req.Options.toOptions(nl, 0), fp, req.Options.cacheKey(fp, 0))
+		if err := s.queue.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for i, j := range ids {
+		if st := j.State(); st != JobDone {
+			t.Errorf("job %d state after drain = %q, want done", i, st)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package netlistre
+
+// JSON wire-format pin: the report served by revand and written by
+// revan -json is committed under testdata/ for a complete run and a
+// degraded (canceled) run, and must decode back through ReadJSONReport
+// into the identical byte stream. A field rename, reorder, or omitempty
+// change fails here before it breaks downstream consumers.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// jsonWallClockRE matches the report fields that carry wall-clock time.
+var jsonWallClockRE = regexp.MustCompile(`"(runtime_ms|start_ms|duration_ms)": [0-9.eE+-]+`)
+
+func normalizeJSONTimings(b []byte) string {
+	return jsonWallClockRE.ReplaceAllString(string(b), `"$1": 0`)
+}
+
+func TestJSONReportRoundTrip(t *testing.T) {
+	cases := []struct {
+		name     string
+		degraded bool
+	}{
+		{"usb", false},
+		{"usb_canceled", true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			nl, err := TestArticle("usb")
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := Options{}
+			opt.Overlap.Sliceable = true
+
+			ctx := context.Background()
+			if tc.degraded {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithCancel(ctx)
+				cancel() // every stage degrades deterministically
+			}
+			rep := AnalyzeContext(ctx, nl, opt)
+			if rep.Degraded != tc.degraded {
+				t.Fatalf("Degraded = %v, want %v", rep.Degraded, tc.degraded)
+			}
+
+			var buf bytes.Buffer
+			if err := WriteJSONReport(&buf, rep); err != nil {
+				t.Fatal(err)
+			}
+
+			// Decode-back must reproduce the byte stream exactly: the JSON
+			// struct covers every field the encoder writes, map keys are
+			// sorted on both passes, and float64 values round-trip.
+			decoded, err := ReadJSONReport(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadJSONReport: %v", err)
+			}
+			var re bytes.Buffer
+			enc := json.NewEncoder(&re)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(decoded); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), re.Bytes()) {
+				t.Errorf("decode/re-encode is not byte-identical:\n--- wrote ---\n%s\n--- re-encoded ---\n%s",
+					buf.String(), re.String())
+			}
+
+			// Golden pin, with wall-clock fields normalized.
+			got := normalizeJSONTimings(buf.Bytes())
+			path := filepath.Join("testdata", "json_"+tc.name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with `go test -run TestJSONReportRoundTrip -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("JSON wire format drifted from %s.\nRun `go test -run TestJSONReportRoundTrip -update` if the change is intended.\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// TestReadJSONReportRejectsUnknownFields pins the DisallowUnknownFields
+// contract ReadJSONReport documents.
+func TestReadJSONReportRejectsUnknownFields(t *testing.T) {
+	_, err := ReadJSONReport(bytes.NewReader([]byte(`{"design":"x","new_field":1}`)))
+	if err == nil {
+		t.Fatal("expected an error for an unknown field")
+	}
+}

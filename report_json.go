@@ -162,3 +162,17 @@ func WriteJSONReport(w io.Writer, rep *Report) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(ToJSONReport(rep))
 }
+
+// ReadJSONReport decodes a report previously written by WriteJSONReport
+// (or served by the revand analysis service). Unknown fields are
+// rejected, so a report produced by a newer, incompatible wire format
+// fails loudly instead of being silently truncated.
+func ReadJSONReport(r io.Reader) (*JSONReport, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rep JSONReport
+	if err := dec.Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
