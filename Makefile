@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench fuzz vet load-smoke ci
+.PHONY: build test test-short test-race bench bench-stagecache fuzz vet load-smoke resume-smoke ci
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ test-race: build
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
+# Cold-vs-warm stage-store comparison on the BigSoC case study: analyzes
+# the SoC once from scratch, then again replaying every stage artifact,
+# and writes the timings (and the >= 5x speedup assertion) to
+# BENCH_stagecache.json.
+bench-stagecache: build
+	BENCH_STAGECACHE_OUT=BENCH_stagecache.json $(GO) test -run TestStageCacheBench -count 1 -v .
+
 # Short fuzz sweep of the netlist parsers (seeds always run under
 # `make test`; this explores beyond them).
 fuzz:
@@ -37,6 +44,11 @@ load-smoke:
 	$(GO) test -race -run 'TestLoadSmoke' -count 1 ./internal/server
 	$(GO) test -race -run 'TestRunServesAndDrainsOnSIGTERM' -count 1 ./cmd/revand
 
+# Race-checks the stage store's resume path: warm-run determinism at two
+# worker counts plus the timeout-then-resume round trip.
+resume-smoke:
+	$(GO) test -race -run 'TestStageCacheWarmDeterminism|TestStageCacheResumeAfterStageTimeout' -count 1 .
+
 # Mirrors .github/workflows/ci.yml: full build + vet + tests, a short-mode
 # race pass, the revand load smoke, and a 30-second fuzz smoke of both
 # netlist parsers.
@@ -45,5 +57,6 @@ ci: build vet
 	$(GO) test -short -race ./...
 	$(GO) test -race -run 'TestLoadSmoke' -count 1 ./internal/server
 	$(GO) test -race -run 'TestRunServesAndDrainsOnSIGTERM' -count 1 ./cmd/revand
+	$(GO) test -race -run 'TestStageCacheWarmDeterminism|TestStageCacheResumeAfterStageTimeout' -count 1 .
 	$(GO) test ./internal/netlist -fuzz FuzzReadVerilog -fuzztime 30s
 	$(GO) test ./internal/netlist -fuzz FuzzReadBLIF -fuzztime 30s

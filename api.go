@@ -57,6 +57,40 @@
 // polling hooks are installed and the report is byte-identical to an
 // unbudgeted Analyze. The revan CLI exposes the run budget as -timeout
 // and exits with code 3 when the report is degraded.
+//
+// # Incremental analysis: the stage store
+//
+// Options.StageStore enables per-stage memoization. Every pipeline stage
+// is a pure function of its declared inputs, and its result is wrapped in
+// a typed artifact whose digest covers the full input closure: the
+// netlist's canonical Fingerprint, the stage name, the stage-relevant
+// Options fields, and the digests of the upstream artifacts. Before a
+// stage body runs, the scheduler consults the store; a hit replays the
+// finished artifact without executing anything, recorded as provenance
+// StageCached in the trace (cold stages are StageRan, stages whose body
+// never started are StageSkipped). Population is single-flight, so
+// concurrent analyses of the same content compute each stage once.
+//
+// Options digesting is selective: only fields that can change a stage's
+// result participate. Workers, Timeout, StageTimeout, Progress and the
+// other callbacks are excluded — results are worker-count- and
+// budget-invariant — so a re-run with a different parallelism or budget
+// still hits. ExtraPasses are arbitrary functions and cannot be digested;
+// when present, the extra stage and everything downstream of it always
+// executes.
+//
+// The cache invariants: (1) warm, cold, and any-worker-count runs of the
+// same inputs produce byte-identical reports (only Trace provenance and
+// wall-clock fields differ); (2) only complete artifacts of complete
+// inputs are published — a stage interrupted by a timeout or
+// cancellation, or one that consumed a partial upstream output, keeps its
+// result out of the store; (3) with StageStore nil nothing is digested
+// and the zero-overhead path is unchanged. Invariant (2) is what makes
+// degraded runs resumable: re-running the same analysis after a timeout
+// replays every stage that completed and re-executes only the interrupted
+// ones. The revand service keeps one process-wide store for exactly this
+// (resubmitting a timed-out job resumes it), and revan exposes the
+// mechanism as -stage-cache.
 package netlistre
 
 import (
@@ -66,6 +100,7 @@ import (
 	"sort"
 	"strings"
 
+	"netlistre/internal/artifact"
 	"netlistre/internal/core"
 	"netlistre/internal/module"
 	"netlistre/internal/netlist"
@@ -118,6 +153,32 @@ const (
 	StageCanceled = core.StageCanceled
 	StageFailed   = core.StageFailed
 )
+
+// StageProvenance records how a stage's output came to be (see
+// StageTiming.Provenance and the package comment, "Incremental analysis:
+// the stage store").
+type StageProvenance = core.StageProvenance
+
+// Stage provenances: the body executed, the artifact was replayed from
+// the stage store, or the body never started because the run was over.
+const (
+	StageRan     = core.StageRan
+	StageCached  = core.StageCached
+	StageSkipped = core.StageSkipped
+)
+
+// StageStore is a bounded, content-addressed, single-flight cache of
+// per-stage analysis artifacts; assign one to Options.StageStore to make
+// analyses incremental and degraded runs resumable. Safe for concurrent
+// use by any number of analyses.
+type StageStore = artifact.Store
+
+// StageCacheStats is a point-in-time snapshot of a StageStore's counters.
+type StageCacheStats = artifact.Stats
+
+// NewStageStore returns a stage store bounded to maxEntries artifacts
+// (<= 0 selects a default of 1024).
+func NewStageStore(maxEntries int) *StageStore { return artifact.NewStore(maxEntries) }
 
 // Re-exported netlist primitives.
 const (
@@ -333,24 +394,26 @@ func WriteReport(w io.Writer, rep *Report) error {
 	return ew.err
 }
 
-// WriteTrace renders the per-stage timing table of Report.Trace. Stages
-// that did not complete normally carry a trailing status column; for
-// fully-OK runs the table is unchanged from earlier releases.
+// WriteTrace renders the per-stage timing table of Report.Trace. The
+// modules column is right-aligned under its header, and every row carries
+// the stage's provenance (ran, cached, or skipped) so warm-cache and
+// degraded runs are distinguishable at a glance; stages that did not
+// complete normally additionally carry a trailing status column.
 func WriteTrace(w io.Writer, rep *Report) error {
 	ew := &errWriter{w: w}
-	ew.printf("%-12s %12s %12s %8s\n", "stage", "start", "duration", "produced")
+	ew.printf("%-12s %12s %12s %8s  %s\n", "stage", "start", "duration", "modules", "origin")
 	for _, st := range rep.Trace {
 		if st.Status == StageOK {
-			ew.printf("%-12s %12v %12v %8d\n",
-				st.Name, st.Start, st.Duration, st.Modules)
+			ew.printf("%-12s %12v %12v %8d  %s\n",
+				st.Name, st.Start, st.Duration, st.Modules, st.Provenance)
 			continue
 		}
 		detail := ""
 		if st.Err != "" {
 			detail = ": " + firstLine(st.Err)
 		}
-		ew.printf("%-12s %12v %12v %8d  [%s%s]\n",
-			st.Name, st.Start, st.Duration, st.Modules, st.Status, detail)
+		ew.printf("%-12s %12v %12v %8d  %-7s  [%s%s]\n",
+			st.Name, st.Start, st.Duration, st.Modules, st.Provenance, st.Status, detail)
 	}
 	return ew.err
 }

@@ -42,6 +42,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "pipeline worker budget (0 = GOMAXPROCS, 1 = serial)")
 		trace     = flag.Bool("trace", false, "print live per-stage progress to stderr (the final stage table is always in the report)")
 		timeout   = flag.Duration("timeout", 0, "whole-run analysis budget (0 = none); a timed-out run prints a partial report and exits 3")
+		stCache   = flag.Int("stage-cache", 0, "memoize stage artifacts in an in-process store of this many entries (0 disables); repeated analyses in one run, e.g. -partition, resume from it")
 		fprint    = flag.Bool("fingerprint", false, "print the netlist's canonical SHA-256 fingerprint and exit")
 	)
 	flag.Parse()
@@ -81,11 +82,16 @@ func main() {
 
 	opt := netlistre.Options{SkipModMatch: *skipQBF, KeepCandidates: *cands,
 		Workers: *workers, Timeout: *timeout}
+	var stages *netlistre.StageStore
+	if *stCache > 0 {
+		stages = netlistre.NewStageStore(*stCache)
+		opt.StageStore = stages
+	}
 	if *trace {
 		opt.Progress = func(ev netlistre.StageEvent) {
 			if ev.Done {
-				fmt.Fprintf(os.Stderr, "[%12v] done  %-10s (%v, %d produced)\n",
-					ev.Start+ev.Duration, ev.Stage, ev.Duration, ev.Modules)
+				fmt.Fprintf(os.Stderr, "[%12v] done  %-10s (%v, %d produced, %s)\n",
+					ev.Start+ev.Duration, ev.Stage, ev.Duration, ev.Modules, ev.Provenance)
 			} else {
 				fmt.Fprintf(os.Stderr, "[%12v] start %s\n", ev.Start, ev.Stage)
 			}
@@ -114,14 +120,28 @@ func main() {
 			degraded = analyzeOne(c.Netlist, opt, *target, *verbose, "", *jsonOut) || degraded
 			fmt.Println()
 		}
+		printStageCacheStats(stages)
 		if degraded {
 			os.Exit(exitDegraded)
 		}
 		return
 	}
-	if analyzeOne(nl, opt, *target, *verbose, *dotFile, *jsonOut) {
+	degraded := analyzeOne(nl, opt, *target, *verbose, *dotFile, *jsonOut)
+	printStageCacheStats(stages)
+	if degraded {
 		os.Exit(exitDegraded)
 	}
+}
+
+// printStageCacheStats summarizes -stage-cache effectiveness on stderr so
+// it never disturbs the report stream (text or JSON) on stdout.
+func printStageCacheStats(stages *netlistre.StageStore) {
+	if stages == nil {
+		return
+	}
+	st := stages.Stats()
+	fmt.Fprintf(os.Stderr, "stage cache: %d hits, %d misses, %d evictions, %d entries\n",
+		st.Hits, st.Misses, st.Evictions, st.Entries)
 }
 
 func loadNetlist(inFile, article string) (*netlistre.Netlist, error) {

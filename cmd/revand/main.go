@@ -7,6 +7,7 @@
 //
 //	revand -addr :8080
 //	revand -addr :8080 -workers 4 -queue 128 -cache 512 -timeout 2m
+//	revand -addr :8080 -stage-cache 2048   # larger stage artifact store
 //
 // SIGINT/SIGTERM starts a graceful shutdown: the listener stops accepting
 // requests, queued and running jobs drain (bounded by -drain-timeout,
@@ -48,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		workers      = fs.Int("workers", 0, "queue worker count (0 = min(GOMAXPROCS, 4))")
 		queueDepth   = fs.Int("queue", 64, "job queue depth; a full queue rejects submissions with 503")
 		cacheEntries = fs.Int("cache", 256, "report cache entries (negative disables the cache)")
+		stageCache   = fs.Int("stage-cache", 512, "stage artifact store entries shared across analyses (negative disables)")
 		timeout      = fs.Duration("timeout", 0, "default per-analysis budget when the request sets none (0 = unbounded)")
 		syncLimit    = fs.Int("sync-limit", 20000, "max netlist elements on POST /v1/analyze; larger designs must use /v1/jobs (negative disables)")
 		maxBody      = fs.Int64("max-body", 32<<20, "max request body bytes")
@@ -62,12 +64,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return 2
 	}
 	cfg := server.Config{
-		QueueWorkers:    *workers,
-		QueueDepth:      *queueDepth,
-		CacheEntries:    *cacheEntries,
-		MaxRequestBytes: *maxBody,
-		DefaultTimeout:  *timeout,
-		MaxSyncElements: *syncLimit,
+		QueueWorkers:      *workers,
+		QueueDepth:        *queueDepth,
+		CacheEntries:      *cacheEntries,
+		StageCacheEntries: *stageCache,
+		MaxRequestBytes:   *maxBody,
+		DefaultTimeout:    *timeout,
+		MaxSyncElements:   *syncLimit,
 	}
 
 	logger := log.New(stdout, "revand: ", log.LstdFlags)
@@ -82,8 +85,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintf(stderr, "revand: listen %s: %v\n", *addr, err)
 		return 1
 	}
-	logger.Printf("serving on %s (queue depth %d, cache %d entries)",
-		ln.Addr(), *queueDepth, *cacheEntries)
+	logger.Printf("serving on %s (queue depth %d, cache %d entries, stage cache %d entries)",
+		ln.Addr(), *queueDepth, *cacheEntries, *stageCache)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -9,6 +9,17 @@
 // concurrently, downstream stages are gated on their declared inputs, and
 // results are merged in a canonical order so the report is bit-identical
 // for any worker count.
+//
+// Stages exchange data exclusively through typed artifacts
+// (internal/artifact): each stage consumes the artifacts of its declared
+// dependencies and produces exactly one output artifact, with no shared
+// locals. When Options.StageStore is set, stage results are memoized
+// content-addressed — the digest covers the netlist fingerprint, the stage
+// name, the stage-relevant option fields, and the upstream artifact
+// digests — so re-analyzing an unchanged netlist replays every stage from
+// the store (provenance StageCached in the trace) and a degraded run's
+// completed stages survive for the next attempt. Without a store, nothing
+// is digested and the unbudgeted path has zero caching overhead.
 package core
 
 import (
@@ -17,6 +28,7 @@ import (
 	"time"
 
 	"netlistre/internal/aggregate"
+	"netlistre/internal/artifact"
 	"netlistre/internal/bitslice"
 	"netlistre/internal/graph"
 	"netlistre/internal/modmatch"
@@ -61,6 +73,23 @@ type Options struct {
 	// from scheduler goroutines, not the Analyze caller's goroutine.
 	Progress func(StageEvent)
 
+	// StageStore, if non-nil, memoizes per-stage results across analyses:
+	// a stage whose input closure (netlist fingerprint, options,
+	// upstream artifacts) matches a stored artifact is replayed instead
+	// of executed, with StageCached provenance in the trace. Stages
+	// interrupted by a timeout or cancellation never publish, so a
+	// degraded run's completed stages are reusable and a later identical
+	// run re-executes only the interrupted ones. Budget fields (Workers,
+	// Timeout, StageTimeout) and callbacks are excluded from the digests:
+	// they cannot change a completed stage's result.
+	StageStore *artifact.Store
+	// Fingerprint optionally supplies a precomputed nl.Fingerprint() so
+	// AnalyzeContext does not recompute it when StageStore is set (the
+	// analysis service already fingerprints every request for its report
+	// cache). Ignored when StageStore is nil; computed on demand when
+	// empty.
+	Fingerprint string
+
 	// SkipModMatch disables QBF module matching (the most expensive
 	// algorithm on wide datapaths).
 	SkipModMatch bool
@@ -78,7 +107,9 @@ type Options struct {
 	// additional inferred modules that participate in overlap resolution
 	// like any other (the paper's design-specific algorithms, e.g. the
 	// BigSoC framebuffer-read detector). Passes run sequentially, after
-	// every built-in stage has finished.
+	// every built-in stage has finished. Because arbitrary functions
+	// cannot be digested, the extra stage (and everything downstream of
+	// it) is never memoized when passes are present.
 	ExtraPasses []func(*netlist.Netlist) []*module.Module
 }
 
@@ -163,6 +194,145 @@ func interruptOf(ctx context.Context) func() bool {
 	return func() bool { return ctx.Err() != nil }
 }
 
+// aggregateOut is the aggregate stage's artifact value: every module list
+// the rest of the pipeline reads from aggregation.
+type aggregateOut struct {
+	// Common holds the common-signal modules (mux groups, gating, ...).
+	Common []*module.Module
+	// Propagated holds the propagated-signal modules (adders, parity
+	// trees, ...).
+	Propagated []*module.Module
+	// Mux is the mux subset of Common (fusion and register detection
+	// read it).
+	Mux []*module.Module
+	// Candidates holds unknown-bitslice candidate modules for the
+	// analyst; excluded from merging and coverage.
+	Candidates []*module.Module
+}
+
+// overlapOut is the overlap stage's artifact value: the merged
+// pre-resolution module set plus the resolved selection and its coverage
+// accounting, i.e. everything the stage contributes to the Report.
+type overlapOut struct {
+	All            []*module.Module
+	Resolved       []*module.Module
+	CoverageBefore int
+	CoverageAfter  int
+	CountsBefore   map[module.Type]int
+	CountsAfter    map[module.Type]int
+	Optimal        bool
+	Err            error
+}
+
+// modsOf returns the module list produced by the named stage, or nil when
+// the stage produced nothing (skipped, or a different value type).
+func modsOf(in map[string]*artifact.Artifact, name string) []*module.Module {
+	if a := in[name]; a != nil {
+		ms, _ := a.Value.([]*module.Module)
+		return ms
+	}
+	return nil
+}
+
+// aggOf returns the aggregate stage's output (zero value when absent).
+func aggOf(in map[string]*artifact.Artifact) aggregateOut {
+	if a := in["aggregate"]; a != nil {
+		out, _ := a.Value.(aggregateOut)
+		return out
+	}
+	return aggregateOut{}
+}
+
+// wordsOf returns the word stage's output (nil when absent).
+func wordsOf(in map[string]*artifact.Artifact) []words.Word {
+	if a := in["words"]; a != nil {
+		ws, _ := a.Value.([]words.Word)
+		return ws
+	}
+	return nil
+}
+
+// baseMods assembles the combinational module set in the canonical
+// (serial) order; the word stage seeds from it.
+func baseMods(in map[string]*artifact.Artifact) []*module.Module {
+	agg := aggOf(in)
+	var mods []*module.Module
+	mods = append(mods, agg.Common...)
+	mods = append(mods, agg.Propagated...)
+	mods = append(mods, modsOf(in, "support")...)
+	mods = append(mods, modsOf(in, "fuse")...)
+	return mods
+}
+
+// mergeMods assembles the full pre-resolution module set in the canonical
+// order of the serial pipeline. It reads only stage artifacts, so after a
+// degraded run it merges whatever the completed stages produced. The
+// register list comes from the order stage's artifact (ordered copies)
+// when it exists, falling back to the raw detection output.
+func mergeMods(in map[string]*artifact.Artifact) []*module.Module {
+	mods := baseMods(in)
+	mods = append(mods, modsOf(in, "modmatch")...)
+	mods = append(mods, modsOf(in, "counters")...)
+	mods = append(mods, modsOf(in, "shift")...)
+	mods = append(mods, modsOf(in, "rams")...)
+	if a := in["order"]; a != nil {
+		mods = append(mods, modsOf(in, "order")...)
+	} else {
+		mods = append(mods, modsOf(in, "registers")...)
+	}
+	if a := in["extra"]; a != nil {
+		if lists, ok := a.Value.([][]*module.Module); ok {
+			for _, ms := range lists {
+				mods = append(mods, ms...)
+			}
+		}
+	}
+	return mods
+}
+
+// cloneModule returns a copy of m whose Ports and Attr maps are fresh, so
+// in-place edits (SetPort/SetAttr) do not reach the original. Elements and
+// Slices are shared: nothing in the pipeline mutates them after
+// construction.
+func cloneModule(m *module.Module) *module.Module {
+	c := *m
+	if m.Ports != nil {
+		c.Ports = make(map[string][]netlist.ID, len(m.Ports))
+		for k, v := range m.Ports {
+			c.Ports[k] = v
+		}
+	}
+	if m.Attr != nil {
+		c.Attr = make(map[string]string, len(m.Attr))
+		for k, v := range m.Attr {
+			c.Attr[k] = v
+		}
+	}
+	return &c
+}
+
+// digestLibrary appends the effective matching library to a stage digest.
+func digestLibrary(h *artifact.Hasher, lib []truth.Entry) {
+	h.Bool(lib != nil)
+	h.Int(int64(len(lib)))
+	for _, e := range lib {
+		h.Int(int64(e.Class))
+		h.Uint64(e.Table.Bits)
+		h.Int(int64(e.Table.N))
+		h.Int(int64(len(e.ArgNames)))
+		for _, a := range e.ArgNames {
+			h.Str(a)
+		}
+	}
+}
+
+// digestSeq appends the sequential-analysis options to a stage digest.
+func digestSeq(h *artifact.Hasher, o seq.Options) {
+	h.Int(int64(o.MinCounter))
+	h.Int(int64(o.MinShift))
+	h.Int(int64(o.MaxSelectVars))
+}
+
 // AnalyzeContext runs the full portfolio on nl under ctx. Cancellation is
 // cooperative: the solver loops (SAT search, QBF CEGAR, ILP
 // branch-and-bound, cut enumeration, word propagation, BDD verification)
@@ -219,226 +389,291 @@ func AnalyzeContext(ctx context.Context, nl *netlist.Netlist, opt Options) *Repo
 		opt.Bitslice.Library = append(append([]truth.Entry(nil), lib...), opt.ExtraLibrary...)
 	}
 
-	// Intermediate state shared between stages. Each field is written by
-	// exactly one stage and read only by stages gated on it.
-	var (
-		slices *bitslice.Result
-		lcg    *graph.LCG
-
-		common, propagated []*module.Module
-		muxMods            []*module.Module
-		supportMods        []*module.Module
-		fused              []*module.Module
-		wordOps            []*module.Module
-		counters, shifts   []*module.Module
-		rams, regs         []*module.Module
-		extras             [][]*module.Module
-	)
-
-	// baseMods assembles the combinational module set in the canonical
-	// (serial) order; the word stage seeds from it.
-	baseMods := func() []*module.Module {
-		var mods []*module.Module
-		mods = append(mods, common...)
-		mods = append(mods, propagated...)
-		mods = append(mods, supportMods...)
-		mods = append(mods, fused...)
-		return mods
+	// Fingerprint the netlist only when memoization is on; the digest of
+	// every stage key starts from it.
+	fingerprint := ""
+	if opt.StageStore != nil {
+		fingerprint = opt.Fingerprint
+		if fingerprint == "" {
+			fingerprint = nl.Fingerprint()
+		}
 	}
 
-	// mergeMods assembles the full pre-resolution module set in the
-	// canonical order of the serial pipeline. It reads only stage outputs,
-	// so after a degraded run it merges whatever the completed stages
-	// produced.
-	mergeMods := func() []*module.Module {
-		mods := baseMods()
-		mods = append(mods, wordOps...)
-		mods = append(mods, counters...)
-		mods = append(mods, shifts...)
-		mods = append(mods, rams...)
-		mods = append(mods, regs...)
-		for _, ms := range extras {
-			mods = append(mods, ms...)
-		}
-		return mods
+	wordRounds := opt.WordRounds
+	if wordRounds <= 0 {
+		wordRounds = 3
 	}
 
 	stages := []stage{
 		// Stage 1: cut enumeration + Boolean matching (Algorithm 1).
-		{name: "bitslice", run: func(ctx context.Context) int {
-			o := opt.Bitslice
-			o.Cuts.Interrupt = interruptOf(ctx)
-			slices = bitslice.Find(nl, o)
-			return 0
-		}},
+		{name: "bitslice",
+			digest: func(h *artifact.Hasher) {
+				h.Int(int64(opt.Bitslice.Cuts.K))
+				h.Int(int64(opt.Bitslice.Cuts.MaxCuts))
+				h.Bool(opt.Bitslice.KeepUnknown)
+				digestLibrary(h, opt.Bitslice.Library)
+			},
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				o := opt.Bitslice
+				o.Cuts.Interrupt = interruptOf(ctx)
+				return bitslice.Find(nl, o), 0
+			}},
 		// Stage 3: common-support analysis (Algorithm 5); independent of
 		// the bitslice pipeline.
-		{name: "support", run: func(ctx context.Context) int {
-			o := opt.Support
-			o.Interrupt = interruptOf(ctx)
-			supportMods = support.Analyze(nl, o)
-			return len(supportMods)
-		}},
+		{name: "support",
+			digest: func(h *artifact.Hasher) {
+				h.Int(int64(opt.Support.MaxSupport))
+				h.Int(int64(opt.Support.MinOutputs))
+				h.Int(int64(opt.Support.MaxConeGates))
+			},
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				o := opt.Support
+				o.Interrupt = interruptOf(ctx)
+				mods := support.Analyze(nl, o)
+				return mods, len(mods)
+			}},
 		// Latch-connection graph shared by the sequential detectors.
-		{name: "lcg", run: func(ctx context.Context) int {
-			lcg = graph.BuildLCG(nl)
-			return 0
-		}},
+		{name: "lcg",
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				return graph.BuildLCG(nl), 0
+			}},
 		// Stage 7 (LCG half): counter and shift-register detection
 		// (Algorithms 6-7); independent of the combinational stages.
-		{name: "counters", deps: []string{"lcg"}, run: func(ctx context.Context) int {
-			if lcg == nil {
-				return 0 // upstream stage was skipped
-			}
-			counters = seq.FindCounters(nl, lcg, opt.Seq)
-			return len(counters)
-		}},
-		{name: "shift", deps: []string{"lcg"}, run: func(ctx context.Context) int {
-			if lcg == nil {
-				return 0
-			}
-			shifts = seq.FindShiftRegisters(nl, lcg, opt.Seq)
-			return len(shifts)
-		}},
+		{name: "counters", deps: []string{"lcg"},
+			digest: func(h *artifact.Hasher) { digestSeq(h, opt.Seq) },
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				a := in["lcg"]
+				if a == nil {
+					return []*module.Module(nil), 0 // upstream stage was skipped
+				}
+				mods := seq.FindCounters(nl, a.Value.(*graph.LCG), opt.Seq)
+				return mods, len(mods)
+			}},
+		{name: "shift", deps: []string{"lcg"},
+			digest: func(h *artifact.Hasher) { digestSeq(h, opt.Seq) },
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				a := in["lcg"]
+				if a == nil {
+					return []*module.Module(nil), 0
+				}
+				mods := seq.FindShiftRegisters(nl, a.Value.(*graph.LCG), opt.Seq)
+				return mods, len(mods)
+			}},
 		// Stage 2: aggregation (Algorithm 2).
-		{name: "aggregate", deps: []string{"bitslice"}, run: func(ctx context.Context) int {
-			if slices == nil {
-				return 0
-			}
-			for _, m := range aggregate.CommonSignal(nl, slices, opt.Aggregate) {
-				if m.Type == module.Candidate {
-					rep.Candidates = append(rep.Candidates, m)
-					continue
+		{name: "aggregate", deps: []string{"bitslice"},
+			digest: func(h *artifact.Hasher) {
+				h.Int(int64(opt.Aggregate.MinSlices))
+				h.Int(int64(opt.Aggregate.MinParity))
+			},
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				a := in["bitslice"]
+				if a == nil {
+					return aggregateOut{}, 0
 				}
-				common = append(common, m)
-				if m.Type == module.Mux {
-					muxMods = append(muxMods, m)
+				slices := a.Value.(*bitslice.Result)
+				var out aggregateOut
+				for _, m := range aggregate.CommonSignal(nl, slices, opt.Aggregate) {
+					if m.Type == module.Candidate {
+						out.Candidates = append(out.Candidates, m)
+						continue
+					}
+					out.Common = append(out.Common, m)
+					if m.Type == module.Mux {
+						out.Mux = append(out.Mux, m)
+					}
 				}
-			}
-			propagated = aggregate.PropagatedSignal(nl, slices, opt.Aggregate)
-			return len(common) + len(propagated)
-		}},
+				out.Propagated = aggregate.PropagatedSignal(nl, slices, opt.Aggregate)
+				return out, len(out.Common) + len(out.Propagated)
+			}},
 		// Stage 4: module fusion post-processing (Section II-F). Fusion
 		// candidates are the mux and decoder modules.
-		{name: "fuse", deps: []string{"aggregate", "support"}, run: func(ctx context.Context) int {
-			var fusable []*module.Module
-			fusable = append(fusable, muxMods...)
-			for _, m := range supportMods {
-				if m.Type == module.Decoder {
-					fusable = append(fusable, m)
+		{name: "fuse", deps: []string{"aggregate", "support"},
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				var fusable []*module.Module
+				fusable = append(fusable, aggOf(in).Mux...)
+				for _, m := range modsOf(in, "support") {
+					if m.Type == module.Decoder {
+						fusable = append(fusable, m)
+					}
 				}
-			}
-			fused = aggregate.Fuse(fusable)
-			return len(fused)
-		}},
+				fused := aggregate.Fuse(fusable)
+				return fused, len(fused)
+			}},
 		// Stage 5: word identification and propagation (Algorithm 3).
-		{name: "words", deps: []string{"fuse"}, run: func(ctx context.Context) int {
-			seeds := words.FromModules(baseMods())
-			rounds := opt.WordRounds
-			if rounds <= 0 {
-				rounds = 3
-			}
-			if opt.SkipWordProp {
-				rep.Words = seeds
-			} else {
+		{name: "words", deps: []string{"aggregate", "support", "fuse"},
+			digest: func(h *artifact.Hasher) {
+				h.Bool(opt.SkipWordProp)
+				h.Int(int64(wordRounds))
+				h.Int(int64(opt.Words.ControlDepth))
+				h.Int(int64(opt.Words.MaxControls))
+				h.Int(int64(opt.Words.MaxControlSet))
+			},
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				seeds := words.FromModules(baseMods(in))
+				if opt.SkipWordProp {
+					return seeds, len(seeds)
+				}
 				o := opt.Words
 				o.Interrupt = interruptOf(ctx)
-				all, _ := words.PropagateAll(nl, seeds, rounds, o)
-				rep.Words = all
-			}
-			return len(rep.Words)
-		}},
+				all, _ := words.PropagateAll(nl, seeds, wordRounds, o)
+				return all, len(all)
+			}},
 		// Stage 6: QBF module matching between words (Algorithm 4).
-		{name: "modmatch", deps: []string{"words"}, run: func(ctx context.Context) int {
-			if opt.SkipModMatch {
-				return 0
-			}
-			wordOps = modmatch.Match(ctx, nl, rep.Words, opt.ModMatch)
-			return len(wordOps)
-		}},
+		{name: "modmatch", deps: []string{"words"},
+			digest: func(h *artifact.Hasher) {
+				h.Bool(opt.SkipModMatch)
+				h.Int(int64(opt.ModMatch.MaxSideInputs))
+				h.Int(int64(opt.ModMatch.MinWidth))
+				h.Int(int64(opt.ModMatch.MaxWidth))
+				h.Int(int64(opt.ModMatch.MaxRotate))
+			},
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				if opt.SkipModMatch {
+					return []*module.Module(nil), 0
+				}
+				mods := modmatch.Match(ctx, nl, wordsOf(in), opt.ModMatch)
+				return mods, len(mods)
+			}},
 		// Stage 7 (bitslice half): RAM and multibit-register detection
 		// (Algorithms 8-9).
-		{name: "rams", deps: []string{"bitslice"}, run: func(ctx context.Context) int {
-			if slices == nil {
-				return 0
-			}
-			rams = seq.FindRAMs(nl, slices, opt.Seq)
-			return len(rams)
-		}},
-		{name: "registers", deps: []string{"aggregate"}, run: func(ctx context.Context) int {
-			regs = seq.FindMultibitRegisters(nl, muxMods, opt.Seq)
-			return len(regs)
-		}},
+		{name: "rams", deps: []string{"bitslice"},
+			digest: func(h *artifact.Hasher) { digestSeq(h, opt.Seq) },
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				a := in["bitslice"]
+				if a == nil {
+					return []*module.Module(nil), 0
+				}
+				mods := seq.FindRAMs(nl, a.Value.(*bitslice.Result), opt.Seq)
+				return mods, len(mods)
+			}},
+		{name: "registers", deps: []string{"aggregate"},
+			digest: func(h *artifact.Hasher) { digestSeq(h, opt.Seq) },
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				mods := seq.FindMultibitRegisters(nl, aggOf(in).Mux, opt.Seq)
+				return mods, len(mods)
+			}},
 		// Footnote 15: recover multibit-register bit order by matching the
 		// registers against ordered words (word propagation reaches the
 		// registers' D-input gates; the driven latches inherit the order).
-		{name: "order", deps: []string{"words", "registers"}, run: func(ctx context.Context) int {
-			if len(regs) == 0 {
-				return 0
-			}
-			var ordered [][]netlist.ID
-			for _, w := range rep.Words {
-				ordered = append(ordered, w.Bits)
-			}
-			seq.OrderRegisterBits(nl, regs, ordered)
-			return 0
-		}},
+		// The detection output is immutable once published, so the stage
+		// orders fresh copies; its artifact replaces the register list in
+		// the merge.
+		{name: "order", deps: []string{"words", "registers"},
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				regs := modsOf(in, "registers")
+				if len(regs) == 0 {
+					return []*module.Module(nil), 0
+				}
+				copies := make([]*module.Module, len(regs))
+				for i, m := range regs {
+					copies[i] = cloneModule(m)
+				}
+				var ordered [][]netlist.ID
+				for _, w := range wordsOf(in) {
+					ordered = append(ordered, w.Bits)
+				}
+				seq.OrderRegisterBits(nl, copies, ordered)
+				return copies, 0
+			}},
 		// Stage 7b: design-specific passes supplied by the analyst. They
 		// run sequentially after every built-in stage, matching the
 		// serial pipeline's semantics (a pass may inspect the netlist
 		// without racing the built-in analyses). A panicking pass fails
-		// only this stage; passes that ran before the panic keep their
-		// modules.
-		{name: "extra", deps: []string{"modmatch", "counters", "shift", "rams", "order"}, run: func(ctx context.Context) int {
-			n := 0
-			for _, pass := range opt.ExtraPasses {
-				if ctx.Err() != nil {
-					break
+		// only this stage; the built-in stages' modules are unaffected.
+		// Arbitrary functions have no digest, so the stage is uncacheable
+		// whenever passes are present.
+		{name: "extra", deps: []string{"modmatch", "counters", "shift", "rams", "order"},
+			uncacheable: len(opt.ExtraPasses) > 0,
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				var extras [][]*module.Module
+				n := 0
+				for _, pass := range opt.ExtraPasses {
+					if ctx.Err() != nil {
+						break
+					}
+					ms := pass(nl)
+					extras = append(extras, ms)
+					n += len(ms)
 				}
-				ms := pass(nl)
-				extras = append(extras, ms)
-				n += len(ms)
-			}
-			return n
-		}},
-		// Stage 8: overlap resolution (Algorithm 10). Depends on "extra",
-		// which transitively gates on every other stage, so the merge sees
-		// all completed outputs. Running it inside the DAG gives it the
-		// same timeout/panic handling as the analyses.
-		{name: "overlap", deps: []string{"extra"}, run: func(ctx context.Context) int {
-			mods := mergeMods()
-			rep.All = mods
-			rep.CoverageBefore = module.CoverageCount(mods)
-			rep.CountsBefore = module.CountByType(mods)
-			o := opt.Overlap
-			o.Interrupt = interruptOf(ctx)
-			res, err := overlap.Resolve(mods, o)
-			if err == nil {
-				rep.Resolved = res.Selected
-				rep.CoverageAfter = res.Coverage
-				rep.OverlapOptimal = res.Optimal
-				rep.CountsAfter = module.CountByType(res.Selected)
-			} else {
-				// Infeasible only when a MinModules target exceeds what
-				// is coverable; report the unresolved set.
-				rep.OverlapErr = err
-				rep.CountsAfter = map[module.Type]int{}
-			}
-			return len(rep.Resolved)
-		}},
+				return extras, n
+			}},
+		// Stage 8: overlap resolution (Algorithm 10). Depends on every
+		// stage whose modules it merges; "extra" transitively gates on the
+		// rest, so the merge sees all completed outputs. Running it inside
+		// the DAG gives it the same timeout/panic handling as the
+		// analyses.
+		{name: "overlap",
+			deps: []string{"aggregate", "support", "fuse", "modmatch",
+				"counters", "shift", "rams", "registers", "order", "extra"},
+			digest: func(h *artifact.Hasher) {
+				h.Int(int64(opt.Overlap.Objective))
+				h.Int(int64(opt.Overlap.CoverageTarget))
+				h.Bool(opt.Overlap.Sliceable)
+				h.Int(int64(opt.Overlap.MinSlices))
+				h.Int(opt.Overlap.NodeLimit)
+			},
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				mods := mergeMods(in)
+				out := overlapOut{
+					All:            mods,
+					CoverageBefore: module.CoverageCount(mods),
+					CountsBefore:   module.CountByType(mods),
+				}
+				o := opt.Overlap
+				o.Interrupt = interruptOf(ctx)
+				res, err := overlap.Resolve(mods, o)
+				if err == nil {
+					out.Resolved = res.Selected
+					out.CoverageAfter = res.Coverage
+					out.Optimal = res.Optimal
+					out.CountsAfter = module.CountByType(res.Selected)
+				} else {
+					// Infeasible only when a MinModules target exceeds what
+					// is coverable; report the unresolved set.
+					out.Err = err
+					out.CountsAfter = map[module.Type]int{}
+				}
+				return out, len(out.Resolved)
+			}},
 	}
 
-	sched := newScheduler(ctx, workers, opt.StageTimeout, start, opt.Progress)
-	rep.Trace = sched.run(stages)
+	sched := newScheduler(ctx, workers, opt.StageTimeout, start, opt.Progress,
+		opt.StageStore, fingerprint)
+	timings, arts := sched.run(stages)
+	rep.Trace = timings
 
-	// When the overlap stage was skipped (run canceled/timed out before it
-	// started) or died before merging, still assemble the canonical merge
-	// of whatever the completed stages produced so the report lists them.
-	if rep.All == nil {
-		mods := mergeMods()
+	// Assemble the report from the stage artifacts. byName is the same
+	// shape as a stage's input map, so the merge helpers work on it.
+	byName := make(map[string]*artifact.Artifact, len(stages))
+	for i, st := range stages {
+		if arts[i] != nil {
+			byName[st.name] = arts[i]
+		}
+	}
+	rep.Candidates = aggOf(byName).Candidates
+	rep.Words = wordsOf(byName)
+	if a := byName["overlap"]; a != nil {
+		out := a.Value.(overlapOut)
+		rep.All = out.All
+		rep.Resolved = out.Resolved
+		rep.CoverageBefore = out.CoverageBefore
+		rep.CoverageAfter = out.CoverageAfter
+		rep.CountsBefore = out.CountsBefore
+		rep.CountsAfter = out.CountsAfter
+		rep.OverlapOptimal = out.Optimal
+		rep.OverlapErr = out.Err
+	} else {
+		// The overlap stage was skipped (run canceled/timed out before it
+		// started) or died before merging; still assemble the canonical
+		// merge of whatever the completed stages produced so the report
+		// lists them.
+		mods := mergeMods(byName)
 		rep.All = mods
 		rep.CoverageBefore = module.CoverageCount(mods)
 		rep.CountsBefore = module.CountByType(mods)
+	}
+	if rep.CountsBefore == nil {
+		rep.CountsBefore = map[module.Type]int{}
 	}
 	if rep.CountsAfter == nil {
 		rep.CountsAfter = map[module.Type]int{}

@@ -5,14 +5,26 @@ package core
 // common-support analysis and the latch-connection-graph detectors share
 // no intermediate state, so they run concurrently; downstream stages are
 // gated on their declared inputs. Execution is deterministic for any
-// worker count because every stage writes to its own output slot and the
+// worker count because every stage consumes only the artifacts of its
+// declared dependencies, writes exactly one output artifact, and the
 // final module list is assembled in a fixed canonical order.
+//
+// Memoization: when the analysis carries a stage store, each stage's
+// input closure is digested — netlist fingerprint, stage name, the
+// stage-relevant option fields, and the digests of its dependency
+// artifacts — and the store is consulted before the stage body runs. A
+// hit replays the finished artifact (provenance StageCached in the
+// trace); a miss executes under single-flight so concurrent analyses of
+// the same content compute each stage once. Only complete artifacts with
+// fully canonical inputs are published: a stage interrupted mid-run, or
+// one that consumed a partial upstream output, keeps its result out of
+// the store so a later run never resumes from poisoned state.
 //
 // Robustness: every stage runs under the analysis context (optionally
 // narrowed by a per-stage timeout), panics are recovered and converted to
 // a Failed status with the stack, and a stage that times out or fails
 // does not stop the run — downstream stages still execute against
-// whatever partial intermediate state the stage managed to produce.
+// whatever partial artifacts the stage managed to produce.
 
 import (
 	"context"
@@ -21,6 +33,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"netlistre/internal/artifact"
 )
 
 // StageStatus classifies how a pipeline stage ended.
@@ -56,6 +70,38 @@ func (s StageStatus) String() string {
 	return fmt.Sprintf("StageStatus(%d)", uint8(s))
 }
 
+// StageProvenance records how a stage's output came to be: executed in
+// this run, replayed from the stage store, or never produced because the
+// run was already over. Orthogonal to StageStatus — a degraded run and a
+// warm-cache run both differ from a cold one only in provenance.
+type StageProvenance uint8
+
+const (
+	// StageRan means the stage body executed in this run.
+	StageRan StageProvenance = iota
+	// StageCached means the stage's artifact was replayed from the stage
+	// store (or from a concurrent analysis's in-flight computation)
+	// without executing the body.
+	StageCached
+	// StageSkipped means the body never ran: the whole-run budget had
+	// expired or the context was canceled before the stage started.
+	StageSkipped
+)
+
+// String returns the provenance name used in traces ("ran", "cached",
+// "skipped").
+func (p StageProvenance) String() string {
+	switch p {
+	case StageRan:
+		return "ran"
+	case StageCached:
+		return "cached"
+	case StageSkipped:
+		return "skipped"
+	}
+	return fmt.Sprintf("StageProvenance(%d)", uint8(p))
+}
+
 // StageTiming records the wall-clock footprint of one pipeline stage.
 type StageTiming struct {
 	// Name identifies the stage (see Analyze for the stage list).
@@ -66,11 +112,16 @@ type StageTiming struct {
 	Duration time.Duration
 	// Modules counts the items the stage produced: inferred modules for
 	// the detector stages, words for the word stage, selected modules
-	// for the overlap stage, and 0 for pure intermediate stages.
+	// for the overlap stage, and 0 for pure intermediate stages. A
+	// cached stage reports the count recorded when its artifact was
+	// first produced.
 	Modules int
 	// Status classifies how the stage ended; anything but StageOK marks
 	// the report as Degraded.
 	Status StageStatus
+	// Provenance records whether the stage body ran, was replayed from
+	// the stage store, or was skipped outright.
+	Provenance StageProvenance
 	// Err holds the error text for a non-OK stage (the context error, or
 	// the panic value plus stack for StageFailed).
 	Err string
@@ -87,20 +138,32 @@ type StageEvent struct {
 	// Duration and Modules are zero until Done.
 	Duration time.Duration
 	Modules  int
-	// Status and Err mirror the finished stage's StageTiming; both are
-	// zero until Done.
-	Status StageStatus
-	Err    string
+	// Status, Provenance and Err mirror the finished stage's
+	// StageTiming; all are zero until Done.
+	Status     StageStatus
+	Provenance StageProvenance
+	Err        string
 }
 
-// stage is one node of the DAG. Deps name earlier stages that must finish
-// before run is called; run returns the produced item count for the trace.
-// The context passed to run is the analysis context, narrowed by the
-// per-stage timeout when one is configured.
+// stage is one node of the DAG. Deps name earlier stages whose artifacts
+// the stage consumes; they must finish before run is called, and their
+// digests are folded into this stage's digest. run executes the body
+// against the dependency artifacts and returns the output value plus the
+// produced item count for the trace. The context passed to run is the
+// analysis context, narrowed by the per-stage timeout when one is
+// configured.
 type stage struct {
 	name string
 	deps []string
-	run  func(ctx context.Context) int
+	// digest appends the stage-relevant Options fields to the stage's
+	// content digest; nil when the stage has no option knobs of its own.
+	// Fields that cannot change the result (Workers, budgets, callbacks)
+	// must not be digested.
+	digest func(h *artifact.Hasher)
+	// uncacheable forces execution and suppresses publication — used when
+	// the stage's behavior cannot be digested (analyst ExtraPasses).
+	uncacheable bool
+	run         func(ctx context.Context, in map[string]*artifact.Artifact) (value any, items int)
 }
 
 // scheduler executes a stage DAG with at most `workers` stages in flight.
@@ -111,10 +174,24 @@ type scheduler struct {
 	start        time.Time
 	progress     func(StageEvent)
 
+	// store and fingerprint enable memoization; both zero on the
+	// unbudgeted fast path so no digesting happens at all.
+	store       *artifact.Store
+	fingerprint string
+
+	stages []stage
+	index  map[string]int
+	// arts[i] is stage i's output artifact (nil when it never produced
+	// one); canonical[i] reports whether that artifact is the complete
+	// result of fully complete inputs — the publication criterion.
+	arts      []*artifact.Artifact
+	canonical []bool
+	timings   []StageTiming
+
 	mu sync.Mutex // serializes progress callbacks
 }
 
-func newScheduler(ctx context.Context, workers int, stageTimeout time.Duration, start time.Time, progress func(StageEvent)) *scheduler {
+func newScheduler(ctx context.Context, workers int, stageTimeout time.Duration, start time.Time, progress func(StageEvent), store *artifact.Store, fingerprint string) *scheduler {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -122,7 +199,7 @@ func newScheduler(ctx context.Context, workers int, stageTimeout time.Duration, 
 		workers = 1
 	}
 	return &scheduler{ctx: ctx, stageTimeout: stageTimeout, workers: workers,
-		start: start, progress: progress}
+		start: start, progress: progress, store: store, fingerprint: fingerprint}
 }
 
 func (s *scheduler) emit(ev StageEvent) {
@@ -135,23 +212,25 @@ func (s *scheduler) emit(ev StageEvent) {
 }
 
 // run executes the stages and returns per-stage timings in declaration
-// order. Stages may only depend on earlier-declared stages (the
-// declaration order is a topological order); a forward or unknown
-// dependency panics, as it is a programming error in the stage table.
-func (s *scheduler) run(stages []stage) []StageTiming {
+// order plus each stage's output artifact. Stages may only depend on
+// earlier-declared stages (the declaration order is a topological order);
+// a forward or unknown dependency panics, as it is a programming error in
+// the stage table.
+func (s *scheduler) run(stages []stage) ([]StageTiming, []*artifact.Artifact) {
 	n := len(stages)
-	index := make(map[string]int, n)
+	s.stages = stages
+	s.index = make(map[string]int, n)
 	for i, st := range stages {
-		if _, dup := index[st.name]; dup {
+		if _, dup := s.index[st.name]; dup {
 			panic(fmt.Sprintf("core: duplicate stage %q", st.name))
 		}
-		index[st.name] = i
+		s.index[st.name] = i
 	}
 	waiting := make([]int, n) // unmet dependency count per stage
 	dependents := make([][]int, n)
 	for i, st := range stages {
 		for _, d := range st.deps {
-			j, ok := index[d]
+			j, ok := s.index[d]
 			if !ok || j >= i {
 				panic(fmt.Sprintf("core: stage %q has invalid dep %q", st.name, d))
 			}
@@ -160,7 +239,9 @@ func (s *scheduler) run(stages []stage) []StageTiming {
 		}
 	}
 
-	timings := make([]StageTiming, n)
+	s.timings = make([]StageTiming, n)
+	s.arts = make([]*artifact.Artifact, n)
+	s.canonical = make([]bool, n)
 	done := make(chan int)
 	// ready holds runnable stage indices in ascending order so that with
 	// Workers=1 execution follows the declaration (serial) order.
@@ -176,7 +257,7 @@ func (s *scheduler) run(stages []stage) []StageTiming {
 			i := ready[0]
 			ready = ready[1:]
 			running++
-			go s.exec(stages[i], i, timings, done)
+			go s.exec(i, done)
 		}
 		i := <-done
 		running--
@@ -196,30 +277,53 @@ func (s *scheduler) run(stages []stage) []StageTiming {
 			}
 		}
 	}
-	return timings
+	return s.timings, s.arts
 }
 
-func (s *scheduler) exec(st stage, i int, timings []StageTiming, done chan<- int) {
+func (s *scheduler) exec(i int, done chan<- int) {
+	st := s.stages[i]
 	startOff := time.Since(s.start)
 	s.emit(StageEvent{Stage: st.name, Start: startOff})
-	status, errText, mods := s.runStage(st)
+	status, errText, prov, art, canonical := s.runStage(st)
 	dur := time.Since(s.start) - startOff
-	timings[i] = StageTiming{Name: st.name, Start: startOff, Duration: dur,
-		Modules: mods, Status: status, Err: errText}
+	mods := 0
+	if art != nil {
+		mods = art.Items
+	}
+	// Publication order matters for visibility: arts/canonical are read
+	// by dependents only after the done send below is received by the
+	// scheduling loop, which happens-before their exec goroutines start.
+	s.arts[i] = art
+	s.canonical[i] = canonical
+	s.timings[i] = StageTiming{Name: st.name, Start: startOff, Duration: dur,
+		Modules: mods, Status: status, Provenance: prov, Err: errText}
 	s.emit(StageEvent{Stage: st.name, Done: true, Start: startOff, Duration: dur,
-		Modules: mods, Status: status, Err: errText})
+		Modules: mods, Status: status, Provenance: prov, Err: errText})
 	done <- i
 }
 
-// runStage executes one stage body with panic recovery and timeout/cancel
-// status mapping.
-func (s *scheduler) runStage(st stage) (status StageStatus, errText string, mods int) {
+// runStage executes one stage: it gathers the dependency artifacts,
+// consults the stage store when the inputs are canonical, and otherwise
+// runs the body with panic recovery and timeout/cancel status mapping.
+func (s *scheduler) runStage(st stage) (status StageStatus, errText string, prov StageProvenance, art *artifact.Artifact, canonical bool) {
+	in := make(map[string]*artifact.Artifact, len(st.deps))
+	depsCanonical := true
+	for _, d := range st.deps {
+		j := s.index[d]
+		if a := s.arts[j]; a != nil {
+			in[d] = a
+		}
+		if !s.canonical[j] {
+			depsCanonical = false
+		}
+	}
+
 	// When the run is already over (whole-run timeout expired or the
 	// caller canceled), skip the stage body entirely: every remaining
 	// stage is marked the same way and produces nothing, which keeps the
 	// partial report deterministic for a given cancellation point.
 	if err := s.ctx.Err(); err != nil {
-		return statusFromCtxErr(err), err.Error(), 0
+		return statusFromCtxErr(err), err.Error(), StageSkipped, nil, false
 	}
 	ctx := s.ctx
 	if s.stageTimeout > 0 {
@@ -231,14 +335,60 @@ func (s *scheduler) runStage(st stage) (status StageStatus, errText string, mods
 		if r := recover(); r != nil {
 			status = StageFailed
 			errText = fmt.Sprintf("panic: %v\n%s", r, debug.Stack())
-			mods = 0
+			prov = StageRan
+			art = nil
+			canonical = false
 		}
 	}()
-	mods = st.run(ctx)
-	if err := ctx.Err(); err != nil {
-		return statusFromCtxErr(err), err.Error(), mods
+
+	compute := func(digest artifact.Digest) (*artifact.Artifact, bool) {
+		v, items := st.run(ctx, in)
+		a := &artifact.Artifact{Stage: st.name, Digest: digest, Value: v, Items: items}
+		// Publish only complete results of complete inputs; a partial
+		// artifact is still handed to this run's downstream stages.
+		return a, depsCanonical && ctx.Err() == nil
 	}
-	return StageOK, "", mods
+
+	if s.store != nil && !st.uncacheable && depsCanonical {
+		key := s.stageKey(st)
+		a, cached, err := s.store.Do(ctx, key, func() (*artifact.Artifact, bool) {
+			return compute(key)
+		})
+		if err != nil {
+			// The wait on another analysis's in-flight computation
+			// outlived this run's budget.
+			return statusFromCtxErr(err), err.Error(), StageSkipped, nil, false
+		}
+		if cached {
+			return StageOK, "", StageCached, a, true
+		}
+		if err := ctx.Err(); err != nil {
+			return statusFromCtxErr(err), err.Error(), StageRan, a, false
+		}
+		return StageOK, "", StageRan, a, true
+	}
+
+	a, _ := compute("")
+	if err := ctx.Err(); err != nil {
+		return statusFromCtxErr(err), err.Error(), StageRan, a, false
+	}
+	return StageOK, "", StageRan, a, depsCanonical && !st.uncacheable
+}
+
+// stageKey digests a stage's input closure: the netlist fingerprint, the
+// stage name, the stage-relevant option fields, and the digests of the
+// dependency artifacts (all canonical when this is called).
+func (s *scheduler) stageKey(st stage) artifact.Digest {
+	h := artifact.NewHasher("netlistre-stage-v1")
+	h.Str(s.fingerprint)
+	h.Str(st.name)
+	if st.digest != nil {
+		st.digest(h)
+	}
+	for _, d := range st.deps {
+		h.Digest(s.arts[s.index[d]].Digest)
+	}
+	return h.Sum()
 }
 
 // statusFromCtxErr maps a context error to the stage status it implies.

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"netlistre/internal/artifact"
 	"netlistre/internal/gen"
 	"netlistre/internal/netlist"
 )
@@ -28,16 +29,24 @@ func buildTraceTestNetlist() *netlist.Netlist {
 	return nl
 }
 
+// simple wraps a bare body as a stage run function.
+func simple(body func() int) func(context.Context, map[string]*artifact.Artifact) (any, int) {
+	return func(context.Context, map[string]*artifact.Artifact) (any, int) {
+		n := body()
+		return nil, n
+	}
+}
+
 func TestSchedulerRespectsDependencies(t *testing.T) {
 	var mu sync.Mutex
 	var order []string
-	record := func(name string) func(context.Context) int {
-		return func(context.Context) int {
+	record := func(name string) func(context.Context, map[string]*artifact.Artifact) (any, int) {
+		return simple(func() int {
 			mu.Lock()
 			order = append(order, name)
 			mu.Unlock()
 			return 0
-		}
+		})
 	}
 	stages := []stage{
 		{name: "a", run: record("a")},
@@ -47,8 +56,8 @@ func TestSchedulerRespectsDependencies(t *testing.T) {
 	}
 	for _, workers := range []int{1, 4} {
 		order = nil
-		s := newScheduler(context.Background(), workers, 0, time.Now(), nil)
-		timings := s.run(stages)
+		s := newScheduler(context.Background(), workers, 0, time.Now(), nil, nil, "")
+		timings, _ := s.run(stages)
 		if len(order) != 4 {
 			t.Fatalf("workers=%d: ran %d stages, want 4", workers, len(order))
 		}
@@ -72,7 +81,7 @@ func TestSchedulerRespectsDependencies(t *testing.T) {
 func TestSchedulerBoundsConcurrency(t *testing.T) {
 	const workers = 2
 	var inFlight, peak atomic.Int32
-	busy := func(context.Context) int {
+	busy := simple(func() int {
 		n := inFlight.Add(1)
 		for {
 			p := peak.Load()
@@ -83,13 +92,13 @@ func TestSchedulerBoundsConcurrency(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 		inFlight.Add(-1)
 		return 0
-	}
+	})
 	var stages []stage
 	names := []string{"s0", "s1", "s2", "s3", "s4", "s5"}
 	for _, n := range names {
 		stages = append(stages, stage{name: n, run: busy})
 	}
-	newScheduler(context.Background(), workers, 0, time.Now(), nil).run(stages)
+	newScheduler(context.Background(), workers, 0, time.Now(), nil, nil, "").run(stages)
 	if p := peak.Load(); p > workers {
 		t.Errorf("peak concurrency %d exceeds worker budget %d", p, workers)
 	}
@@ -102,14 +111,14 @@ func TestSchedulerSerialOrderWithOneWorker(t *testing.T) {
 	var stages []stage
 	for _, n := range []string{"x", "y", "z"} {
 		n := n
-		stages = append(stages, stage{name: n, run: func(context.Context) int {
+		stages = append(stages, stage{name: n, run: simple(func() int {
 			mu.Lock()
 			order = append(order, n)
 			mu.Unlock()
 			return 0
-		}})
+		})})
 	}
-	newScheduler(context.Background(), 1, 0, time.Now(), nil).run(stages)
+	newScheduler(context.Background(), 1, 0, time.Now(), nil, nil, "").run(stages)
 	for i, want := range []string{"x", "y", "z"} {
 		if order[i] != want {
 			t.Fatalf("serial order = %v", order)
@@ -121,10 +130,10 @@ func TestSchedulerProgressEventsPaired(t *testing.T) {
 	var events []StageEvent // Progress is documented as serialized.
 	s := newScheduler(context.Background(), 4, 0, time.Now(), func(ev StageEvent) {
 		events = append(events, ev)
-	})
+	}, nil, "")
 	s.run([]stage{
-		{name: "a", run: func(context.Context) int { return 3 }},
-		{name: "b", deps: []string{"a"}, run: func(context.Context) int { return 1 }},
+		{name: "a", run: simple(func() int { return 3 })},
+		{name: "b", deps: []string{"a"}, run: simple(func() int { return 1 })},
 	})
 	if len(events) != 4 {
 		t.Fatalf("got %d events, want 4 (start+done per stage)", len(events))
@@ -160,9 +169,9 @@ func TestSchedulerInvalidDepPanics(t *testing.T) {
 			t.Fatal("forward dependency did not panic")
 		}
 	}()
-	newScheduler(context.Background(), 1, 0, time.Now(), nil).run([]stage{
-		{name: "a", deps: []string{"b"}, run: func(context.Context) int { return 0 }},
-		{name: "b", run: func(context.Context) int { return 0 }},
+	newScheduler(context.Background(), 1, 0, time.Now(), nil, nil, "").run([]stage{
+		{name: "a", deps: []string{"b"}, run: simple(func() int { return 0 })},
+		{name: "b", run: simple(func() int { return 0 })},
 	})
 }
 
@@ -182,15 +191,19 @@ func TestAnalyzeTraceShape(t *testing.T) {
 		if rep.Trace[i].Duration < 0 || rep.Trace[i].Start < 0 {
 			t.Errorf("trace[%d] has negative timing: %+v", i, rep.Trace[i])
 		}
+		if rep.Trace[i].Provenance != StageRan {
+			t.Errorf("trace[%d] provenance = %v, want ran (no store configured)",
+				i, rep.Trace[i].Provenance)
+		}
 	}
 }
 
 func TestSchedulerPanicBecomesFailedStage(t *testing.T) {
-	s := newScheduler(context.Background(), 2, 0, time.Now(), nil)
-	timings := s.run([]stage{
-		{name: "good", run: func(context.Context) int { return 1 }},
-		{name: "bad", run: func(context.Context) int { panic("kaput") }},
-		{name: "after", deps: []string{"bad"}, run: func(context.Context) int { return 2 }},
+	s := newScheduler(context.Background(), 2, 0, time.Now(), nil, nil, "")
+	timings, _ := s.run([]stage{
+		{name: "good", run: simple(func() int { return 1 })},
+		{name: "bad", run: simple(func() int { panic("kaput") })},
+		{name: "after", deps: []string{"bad"}, run: simple(func() int { return 2 })},
 	})
 	if timings[0].Status != StageOK || timings[0].Modules != 1 {
 		t.Errorf("good stage: %+v", timings[0])
@@ -211,8 +224,8 @@ func TestSchedulerCanceledContextSkipsBodies(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	ran := false
-	timings := newScheduler(ctx, 1, 0, time.Now(), nil).run([]stage{
-		{name: "a", run: func(context.Context) int { ran = true; return 7 }},
+	timings, _ := newScheduler(ctx, 1, 0, time.Now(), nil, nil, "").run([]stage{
+		{name: "a", run: simple(func() int { ran = true; return 7 })},
 	})
 	if ran {
 		t.Error("stage body ran under an already-canceled context")
@@ -220,16 +233,19 @@ func TestSchedulerCanceledContextSkipsBodies(t *testing.T) {
 	if timings[0].Status != StageCanceled || timings[0].Modules != 0 {
 		t.Errorf("stage timing = %+v, want canceled with 0 modules", timings[0])
 	}
+	if timings[0].Provenance != StageSkipped {
+		t.Errorf("stage provenance = %v, want skipped", timings[0].Provenance)
+	}
 }
 
 func TestSchedulerStageTimeout(t *testing.T) {
-	s := newScheduler(context.Background(), 1, 5*time.Millisecond, time.Now(), nil)
-	timings := s.run([]stage{
-		{name: "slow", run: func(ctx context.Context) int {
+	s := newScheduler(context.Background(), 1, 5*time.Millisecond, time.Now(), nil, nil, "")
+	timings, _ := s.run([]stage{
+		{name: "slow", run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
 			<-ctx.Done() // cooperative: return when the stage budget expires
-			return 3
+			return nil, 3
 		}},
-		{name: "fast", run: func(context.Context) int { return 1 }},
+		{name: "fast", run: simple(func() int { return 1 })},
 	})
 	if timings[0].Status != StageTimedOut {
 		t.Errorf("slow stage status = %v, want timed-out", timings[0].Status)
@@ -254,5 +270,150 @@ func TestStageStatusStrings(t *testing.T) {
 	}
 	if StageStatus(9).String() == "" {
 		t.Error("unknown status must still render")
+	}
+}
+
+func TestStageProvenanceStrings(t *testing.T) {
+	want := map[StageProvenance]string{
+		StageRan: "ran", StageCached: "cached", StageSkipped: "skipped",
+	}
+	for p, w := range want {
+		if p.String() != w {
+			t.Errorf("StageProvenance(%d).String() = %q, want %q", p, p.String(), w)
+		}
+	}
+	if StageProvenance(9).String() == "" {
+		t.Error("unknown provenance must still render")
+	}
+}
+
+// twoStage returns a two-stage DAG whose second stage consumes the first's
+// artifact; calls counts body executions per stage.
+func twoStage(calls *[2]atomic.Int32) []stage {
+	return []stage{
+		{name: "first",
+			digest: func(h *artifact.Hasher) { h.Int(1) },
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				calls[0].Add(1)
+				return 10, 1
+			}},
+		{name: "second", deps: []string{"first"},
+			run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				calls[1].Add(1)
+				return in["first"].Value.(int) * 2, 1
+			}},
+	}
+}
+
+func TestSchedulerMemoizesStages(t *testing.T) {
+	store := artifact.NewStore(16)
+	var calls [2]atomic.Int32
+	cold, coldArts := newScheduler(context.Background(), 1, 0, time.Now(), nil, store, "fp").run(twoStage(&calls))
+	for i, tm := range cold {
+		if tm.Status != StageOK || tm.Provenance != StageRan {
+			t.Fatalf("cold[%d] = %+v, want ok/ran", i, tm)
+		}
+	}
+	warm, warmArts := newScheduler(context.Background(), 1, 0, time.Now(), nil, store, "fp").run(twoStage(&calls))
+	for i, tm := range warm {
+		if tm.Status != StageOK || tm.Provenance != StageCached {
+			t.Fatalf("warm[%d] = %+v, want ok/cached", i, tm)
+		}
+		if tm.Modules != cold[i].Modules {
+			t.Errorf("warm[%d] modules = %d, want %d", i, tm.Modules, cold[i].Modules)
+		}
+	}
+	if calls[0].Load() != 1 || calls[1].Load() != 1 {
+		t.Errorf("bodies ran %d/%d times, want 1/1", calls[0].Load(), calls[1].Load())
+	}
+	if warmArts[1].Value.(int) != coldArts[1].Value.(int) {
+		t.Errorf("warm value %v != cold value %v", warmArts[1].Value, coldArts[1].Value)
+	}
+
+	// A different fingerprint misses the cache entirely.
+	newScheduler(context.Background(), 1, 0, time.Now(), nil, store, "other").run(twoStage(&calls))
+	if calls[0].Load() != 2 || calls[1].Load() != 2 {
+		t.Errorf("different fingerprint reused artifacts: %d/%d body runs",
+			calls[0].Load(), calls[1].Load())
+	}
+}
+
+// TestSchedulerPartialArtifactsNotPublished: a stage that times out must
+// not publish, and its dependent — which consumed partial input — must
+// not publish either, so a rerun re-executes exactly those stages.
+func TestSchedulerPartialArtifactsNotPublished(t *testing.T) {
+	store := artifact.NewStore(16)
+	var okRuns, slowRuns, downRuns atomic.Int32
+	mk := func(slow bool) []stage {
+		return []stage{
+			{name: "ok", run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				okRuns.Add(1)
+				return "done", 1
+			}},
+			{name: "slow", run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+				slowRuns.Add(1)
+				if slow {
+					<-ctx.Done()
+				}
+				return "partial", 0
+			}},
+			{name: "down", deps: []string{"ok", "slow"},
+				run: func(ctx context.Context, in map[string]*artifact.Artifact) (any, int) {
+					downRuns.Add(1)
+					return "derived", 0
+				}},
+		}
+	}
+	timings, _ := newScheduler(context.Background(), 1, 5*time.Millisecond, time.Now(), nil, store, "fp").run(mk(true))
+	if timings[1].Status != StageTimedOut {
+		t.Fatalf("slow stage = %+v, want timed-out", timings[1])
+	}
+	if timings[2].Status != StageOK || timings[2].Provenance != StageRan {
+		t.Fatalf("down stage = %+v, want ok/ran on partial input", timings[2])
+	}
+
+	// Resume: only the interrupted stage and its dependent re-execute.
+	timings, _ = newScheduler(context.Background(), 1, 0, time.Now(), nil, store, "fp").run(mk(false))
+	if timings[0].Provenance != StageCached {
+		t.Errorf("ok stage re-ran on resume: %+v", timings[0])
+	}
+	if timings[1].Provenance != StageRan || timings[2].Provenance != StageRan {
+		t.Errorf("interrupted chain not re-executed: slow=%+v down=%+v", timings[1], timings[2])
+	}
+	if okRuns.Load() != 1 || slowRuns.Load() != 2 || downRuns.Load() != 2 {
+		t.Errorf("body runs ok=%d slow=%d down=%d, want 1/2/2",
+			okRuns.Load(), slowRuns.Load(), downRuns.Load())
+	}
+
+	// Third run: everything is canonical now, so everything caches.
+	timings, _ = newScheduler(context.Background(), 1, 0, time.Now(), nil, store, "fp").run(mk(false))
+	for i, tm := range timings {
+		if tm.Provenance != StageCached {
+			t.Errorf("third run stage %d = %+v, want cached", i, tm)
+		}
+	}
+}
+
+// TestSchedulerUncacheableStage: an uncacheable stage always runs and taints
+// its dependents' cacheability, but not unrelated stages.
+func TestSchedulerUncacheableStage(t *testing.T) {
+	store := artifact.NewStore(16)
+	mk := func() []stage {
+		return []stage{
+			{name: "pure", run: simple(func() int { return 1 })},
+			{name: "opaque", uncacheable: true, run: simple(func() int { return 2 })},
+			{name: "tainted", deps: []string{"opaque"}, run: simple(func() int { return 3 })},
+		}
+	}
+	newScheduler(context.Background(), 1, 0, time.Now(), nil, store, "fp").run(mk())
+	timings, _ := newScheduler(context.Background(), 1, 0, time.Now(), nil, store, "fp").run(mk())
+	if timings[0].Provenance != StageCached {
+		t.Errorf("pure stage = %+v, want cached", timings[0])
+	}
+	if timings[1].Provenance != StageRan {
+		t.Errorf("uncacheable stage = %+v, want ran", timings[1])
+	}
+	if timings[2].Provenance != StageRan {
+		t.Errorf("dependent of uncacheable stage = %+v, want ran", timings[2])
 	}
 }

@@ -40,10 +40,11 @@ func (h *histogram) observe(v float64) {
 type Metrics struct {
 	mu sync.Mutex
 
-	jobs     map[string]int64 // terminal job states -> count
-	analyses map[string]int64 // "sync" / "job" -> completed analyses
-	http     map[string]int64 // "route|code" -> count
-	stages   map[string]*histogram
+	jobs      map[string]int64 // terminal job states -> count
+	analyses  map[string]int64 // "sync" / "job" -> completed analyses
+	http      map[string]int64 // "route|code" -> count
+	stages    map[string]*histogram
+	queueFull int64 // submissions rejected because the queue was full
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -60,6 +61,14 @@ func NewMetrics() *Metrics {
 func (m *Metrics) JobFinished(state string) {
 	m.mu.Lock()
 	m.jobs[state]++
+	m.mu.Unlock()
+}
+
+// QueueFull counts a job submission rejected with 503 because the queue
+// was at capacity (the backpressure signal clients should alert on).
+func (m *Metrics) QueueFull() {
+	m.mu.Lock()
+	m.queueFull++
 	m.mu.Unlock()
 }
 
@@ -92,6 +101,7 @@ type Gauges struct {
 	QueueCapacity int
 	JobsRunning   int
 	Cache         CacheStats
+	StageCache    netlistre.StageCacheStats
 	UptimeSeconds float64
 }
 
@@ -157,6 +167,9 @@ func (m *Metrics) WriteProm(w io.Writer, g Gauges) error {
 	e.printf("# HELP revand_jobs_running Jobs currently executing.\n")
 	e.printf("# TYPE revand_jobs_running gauge\n")
 	e.printf("revand_jobs_running %d\n", g.JobsRunning)
+	e.printf("# HELP revand_queue_full_total Job submissions rejected because the queue was full.\n")
+	e.printf("# TYPE revand_queue_full_total counter\n")
+	e.printf("revand_queue_full_total %d\n", m.queueFull)
 
 	e.printf("# HELP revand_cache_hits_total Report cache hits.\n")
 	e.printf("# TYPE revand_cache_hits_total counter\n")
@@ -173,6 +186,19 @@ func (m *Metrics) WriteProm(w io.Writer, g Gauges) error {
 	e.printf("# HELP revand_cache_bytes Bytes of cached report JSON.\n")
 	e.printf("# TYPE revand_cache_bytes gauge\n")
 	e.printf("revand_cache_bytes %d\n", g.Cache.Bytes)
+
+	e.printf("# HELP revand_stagecache_hits_total Stage-store artifact hits across analyses.\n")
+	e.printf("# TYPE revand_stagecache_hits_total counter\n")
+	e.printf("revand_stagecache_hits_total %d\n", g.StageCache.Hits)
+	e.printf("# HELP revand_stagecache_misses_total Stage-store misses (stage bodies executed).\n")
+	e.printf("# TYPE revand_stagecache_misses_total counter\n")
+	e.printf("revand_stagecache_misses_total %d\n", g.StageCache.Misses)
+	e.printf("# HELP revand_stagecache_evictions_total Stage artifacts dropped by the LRU bound.\n")
+	e.printf("# TYPE revand_stagecache_evictions_total counter\n")
+	e.printf("revand_stagecache_evictions_total %d\n", g.StageCache.Evictions)
+	e.printf("# HELP revand_stagecache_entries Stage artifacts currently stored.\n")
+	e.printf("# TYPE revand_stagecache_entries gauge\n")
+	e.printf("revand_stagecache_entries %d\n", g.StageCache.Entries)
 
 	e.printf("# HELP revand_uptime_seconds Seconds since the service started.\n")
 	e.printf("# TYPE revand_uptime_seconds gauge\n")

@@ -23,6 +23,16 @@
 // even serialized differently — is a cache hit served without running the
 // portfolio. X-Cache on the response (HIT/MISS) and the /metrics counters
 // expose the cache behaviour.
+//
+// Below the report cache sits a process-wide *stage store* (see
+// Options.StageStore in the root package): every pipeline stage's result
+// is memoized content-addressed across requests, so a report-cache miss
+// that shares work with any earlier analysis — the same netlist with
+// different options, or the resubmission of a job that timed out — only
+// executes the stages whose inputs actually changed; the rest replay with
+// "cached" provenance in the report trace. The
+// revand_stagecache_{hits,misses,evictions}_total counters and
+// revand_stagecache_entries gauge expose it on /metrics.
 package server
 
 import (
@@ -52,6 +62,13 @@ type Config struct {
 	// CacheEntries bounds the report cache (default 256 entries; negative
 	// disables caching).
 	CacheEntries int
+	// StageCacheEntries bounds the process-wide stage store memoizing
+	// per-stage analysis artifacts across requests (default 512 entries;
+	// negative disables it). The store is what makes re-analysis of an
+	// unchanged netlist incremental and resubmitted degraded jobs
+	// resumable: completed stages are replayed, only interrupted ones
+	// re-execute.
+	StageCacheEntries int
 	// MaxRequestBytes bounds request bodies (default 32 MiB — netlist
 	// uploads are text).
 	MaxRequestBytes int64
@@ -77,6 +94,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
 	}
+	if c.StageCacheEntries == 0 {
+		c.StageCacheEntries = 512
+	}
 	if c.MaxRequestBytes == 0 {
 		c.MaxRequestBytes = 32 << 20
 	}
@@ -91,6 +111,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	cache   *Cache
+	stages  *netlistre.StageStore // nil when StageCacheEntries < 0
 	metrics *Metrics
 	queue   *Queue
 	mux     *http.ServeMux
@@ -106,6 +127,9 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 	}
 	s.cache = NewCache(s.cfg.CacheEntries)
+	if s.cfg.StageCacheEntries > 0 {
+		s.stages = netlistre.NewStageStore(s.cfg.StageCacheEntries)
+	}
 	s.queue = NewQueue(s.cfg.QueueWorkers, s.cfg.QueueDepth, s.runJob)
 
 	s.route("POST /v1/analyze", "/v1/analyze", s.handleAnalyze)
@@ -348,11 +372,19 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*netlist
 }
 
 // analyze runs one analysis through the cache: a hit returns the stored
-// bytes; a miss runs the portfolio, feeds the stage histograms, and stores
-// the rendered report unless it is degraded.
+// bytes; a miss runs the portfolio — stage-incrementally, through the
+// process-wide stage store — feeds the stage histograms, and stores the
+// rendered report unless it is degraded. A degraded report is never
+// cached, but its completed stages live on in the stage store, so
+// resubmitting the same request resumes the analysis instead of starting
+// over.
 func (s *Server) analyze(ctx context.Context, source string, nl *netlistre.Netlist, opt netlistre.Options, fingerprint, key string) (report []byte, cacheHit, degraded bool, err error) {
 	if b, _, ok := s.cache.Get(key); ok {
 		return b, true, false, nil
+	}
+	if s.stages != nil {
+		opt.StageStore = s.stages
+		opt.Fingerprint = fingerprint
 	}
 	rep := netlistre.AnalyzeContext(ctx, nl, opt)
 	s.metrics.AnalysisDone(source, rep.Trace)
@@ -423,10 +455,14 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	j := NewJob(nl, opt, fp, key)
 	switch err := s.queue.Submit(j); {
 	case errors.Is(err, ErrQueueFull):
+		// Backpressure: tell well-behaved clients when to come back and
+		// count the rejection so operators can alert on sustained overload.
 		w.Header().Set("Retry-After", "1")
+		s.metrics.QueueFull()
 		writeError(w, http.StatusServiceUnavailable, "job queue full (capacity %d)", s.queue.Capacity())
 		return
 	case errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	case err != nil:
@@ -489,6 +525,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		JobsRunning:   s.queue.Running(),
 		Cache:         s.cache.Stats(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if s.stages != nil {
+		g.StageCache = s.stages.Stats()
 	}
 	if err := s.metrics.WriteProm(w, g); err != nil {
 		// The write failed mid-stream; nothing useful left to send.

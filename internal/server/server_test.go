@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -407,6 +408,8 @@ func TestMetricsExposition(t *testing.T) {
 		"revand_queue_depth 0",
 		"revand_queue_capacity 64",
 		"revand_analyses_total{source=\"sync\"} 1",
+		"revand_queue_full_total 0",
+		"revand_stagecache_hits_total 0", // one cold analysis: misses only
 		"revand_stage_duration_seconds_bucket{stage=\"overlap\",le=\"+Inf\"} 1",
 		"revand_http_requests_total{route=\"/v1/analyze\",code=\"200\"} 2",
 	} {
@@ -482,5 +485,178 @@ func TestShutdownDrainsQueuedJobs(t *testing.T) {
 		if st := j.State(); st != JobDone {
 			t.Errorf("job %d state after drain = %q, want done", i, st)
 		}
+	}
+}
+
+// TestQueueFullBackpressure wedges the single queue worker on a job whose
+// progress callback blocks, fills the one-slot queue, and checks that the
+// next submission is rejected with 503 + Retry-After and surfaces in the
+// revand_queue_full_total counter.
+func TestQueueFullBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueWorkers: 1, QueueDepth: 1})
+
+	nl, err := netlistre.TestArticle("evoter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	var once sync.Once
+	opt := netlistre.Options{}
+	opt.Progress = func(netlistre.StageEvent) {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	fp := nl.Fingerprint()
+	blocker := NewJob(nl, opt, fp, "blocker-"+fp)
+	if err := s.queue.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the worker is now parked inside the blocker's first stage
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", AnalyzeRequest{Article: "usb"})
+	if body := readBody(t, resp); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("filling submission: status %d, want 202 (%s)", resp.StatusCode, body)
+	}
+
+	resp2 := postJSON(t, ts.URL+"/v1/jobs", AnalyzeRequest{Article: "mips16"})
+	body := readBody(t, resp2)
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submission: status %d, want 503 (%s)", resp2.StatusCode, body)
+	}
+	if ra := resp2.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("503 Retry-After = %q, want \"1\"", ra)
+	}
+	if !strings.Contains(string(body), "queue full") {
+		t.Errorf("503 body does not mention the queue: %s", body)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := string(readBody(t, mresp)); !strings.Contains(m, "revand_queue_full_total 1") {
+		t.Errorf("metrics missing revand_queue_full_total 1:\n%s", m)
+	}
+}
+
+// TestStageStoreSharesWorkAcrossRequests issues two analyses of the same
+// netlist that differ only in skip_modmatch: the second is a report-cache
+// miss, but every stage upstream of modmatch must replay from the
+// process-wide stage store with "cached" provenance while modmatch and its
+// dependents re-execute.
+func TestStageStoreSharesWorkAcrossRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	readBody(t, postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Article: "usb"}))
+
+	req := AnalyzeRequest{Article: "usb"}
+	req.Options.SkipModMatch = true
+	resp := postJSON(t, ts.URL+"/v1/analyze", req)
+	body := readBody(t, resp)
+	if got := resp.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("options change X-Cache = %q, want MISS", got)
+	}
+	var js netlistre.JSONReport
+	if err := json.Unmarshal(body, &js); err != nil {
+		t.Fatal(err)
+	}
+	prov := make(map[string]string, len(js.Trace))
+	for _, st := range js.Trace {
+		prov[st.Name] = st.Provenance
+	}
+	for _, name := range []string{"bitslice", "support", "aggregate", "words", "registers", "order"} {
+		if prov[name] != "cached" {
+			t.Errorf("stage %s provenance = %q, want cached", name, prov[name])
+		}
+	}
+	for _, name := range []string{"modmatch", "extra", "overlap"} {
+		if prov[name] != "" {
+			t.Errorf("stage %s provenance = %q, want ran (omitted)", name, prov[name])
+		}
+	}
+
+	st := s.stages.Stats()
+	if st.Hits == 0 || st.Misses == 0 || st.Entries == 0 {
+		t.Fatalf("stage store saw no traffic: %+v", st)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := string(readBody(t, mresp))
+	for _, want := range []string{
+		fmt.Sprintf("revand_stagecache_hits_total %d", st.Hits),
+		fmt.Sprintf("revand_stagecache_misses_total %d", st.Misses),
+		fmt.Sprintf("revand_stagecache_entries %d", st.Entries),
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q\n--- exposition ---\n%s", want, m)
+		}
+	}
+}
+
+// TestDegradedRunResumesFromStageStore cancels an analysis at a stage
+// boundary and repeats it: the degraded report was never report-cached, so
+// the repeat runs the portfolio again — but the first run's completed
+// stages replay from the process-wide store and only the interrupted tail
+// re-executes.
+func TestDegradedRunResumesFromStageStore(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	nl, err := netlistre.TestArticle("usb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ro RequestOptions
+	fp := nl.Fingerprint()
+	key := ro.cacheKey(fp, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := ro.toOptions(nl, 0)
+	opt.Workers = 1 // serial: stages complete in declaration order
+	opt.Progress = func(ev netlistre.StageEvent) {
+		if ev.Done && ev.Stage == "aggregate" {
+			cancel()
+		}
+	}
+	_, hit, degraded, err := s.analyze(ctx, "sync", nl, opt, fp, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || !degraded {
+		t.Fatalf("interrupted analyze: hit=%v degraded=%v, want miss+degraded", hit, degraded)
+	}
+
+	opt2 := ro.toOptions(nl, 0)
+	opt2.Workers = 1
+	report, hit, degraded, err := s.analyze(context.Background(), "sync", nl, opt2, fp, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || degraded {
+		t.Fatalf("resumed analyze: hit=%v degraded=%v, want miss+complete", hit, degraded)
+	}
+	var js netlistre.JSONReport
+	if err := json.Unmarshal(report, &js); err != nil {
+		t.Fatal(err)
+	}
+	prov := make(map[string]string, len(js.Trace))
+	for _, st := range js.Trace {
+		prov[st.Name] = st.Provenance
+		if st.Status != "" {
+			t.Errorf("resumed run stage %s status = %q, want OK", st.Name, st.Status)
+		}
+	}
+	for _, name := range []string{"bitslice", "support", "aggregate"} {
+		if prov[name] != "cached" {
+			t.Errorf("stage %s provenance = %q, want cached (resumed)", name, prov[name])
+		}
+	}
+	if prov["overlap"] != "" {
+		t.Errorf("stage overlap provenance = %q, want ran", prov["overlap"])
 	}
 }

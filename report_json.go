@@ -50,13 +50,18 @@ type JSONOverlap struct {
 }
 
 // JSONStage is one per-stage timing entry of the pipeline trace. Status
-// and Error appear only for stages that did not complete normally.
+// and Error appear only for stages that did not complete normally;
+// Provenance appears only when the stage did not execute its body in this
+// run ("cached": replayed from the stage store, "skipped": the run was
+// already over), so cold complete runs are byte-identical to earlier
+// releases.
 type JSONStage struct {
 	Name       string  `json:"name"`
 	StartMS    float64 `json:"start_ms"`
 	DurationMS float64 `json:"duration_ms"`
 	Modules    int     `json:"modules"`
 	Status     string  `json:"status,omitempty"`
+	Provenance string  `json:"provenance,omitempty"`
 	Error      string  `json:"error,omitempty"`
 }
 
@@ -112,6 +117,9 @@ func ToJSONReport(rep *Report) JSONReport {
 		if st.Status != StageOK {
 			js.Status = st.Status.String()
 			js.Error = firstLine(st.Err)
+		}
+		if st.Provenance != StageRan {
+			js.Provenance = st.Provenance.String()
 		}
 		out.Trace = append(out.Trace, js)
 	}
