@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-stagecache fuzz vet load-smoke resume-smoke ci
+.PHONY: build test test-short test-race bench bench-stagecache conformance fuzz vet load-smoke resume-smoke coverage ci
 
 build:
 	$(GO) build ./...
@@ -27,14 +27,35 @@ bench:
 bench-stagecache: build
 	BENCH_STAGECACHE_OUT=BENCH_stagecache.json $(GO) test -run TestStageCacheBench -count 1 -v .
 
-# Short fuzz sweep of the netlist parsers (seeds always run under
-# `make test`; this explores beyond them).
+# Ground-truth conformance matrix: every labeled article analyzed at two
+# worker counts, scored against the generator labels, pushed through the
+# metamorphic mutations, and gated on testdata/conformance_baseline.json.
+# Deterministic: two runs write identical BENCH_conformance.json.
+# Re-record the baseline after an intentional quality change with
+#   go run ./cmd/revcheck -bless
+conformance: build
+	$(GO) run ./cmd/revcheck
+
+# Short fuzz sweep of the netlist parsers and the JSON report decoder
+# (seeds always run under `make test`; this explores beyond them).
 fuzz:
 	$(GO) test ./internal/netlist -fuzz FuzzReadVerilog -fuzztime 30s
 	$(GO) test ./internal/netlist -fuzz FuzzReadBLIF -fuzztime 30s
+	$(GO) test . -run FuzzReadJSONReport -fuzz FuzzReadJSONReport -fuzztime 30s
 
 vet:
 	$(GO) vet ./...
+
+# Coverage: whole-repo total over the short suite, plus the conformance
+# oracle's own coverage, which is gated at 80% (the scorer is the part of
+# the harness that must not rot silently).
+coverage: build
+	$(GO) test -short -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -1
+	$(GO) test -coverprofile=coverage_oracle.out ./internal/oracle
+	@total=$$($(GO) tool cover -func=coverage_oracle.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "internal/oracle coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { if (t+0 < 80) { print "internal/oracle coverage below the 80% gate"; exit 1 } }'
 
 # Load-smokes the revand service under the race detector: ~50 concurrent
 # mixed requests (cache-hot repeats, cold uploads, async jobs, metrics
@@ -50,13 +71,16 @@ resume-smoke:
 	$(GO) test -race -run 'TestStageCacheWarmDeterminism|TestStageCacheResumeAfterStageTimeout' -count 1 .
 
 # Mirrors .github/workflows/ci.yml: full build + vet + tests, a short-mode
-# race pass, the revand load smoke, and a 30-second fuzz smoke of both
-# netlist parsers.
+# race pass, the revand load smoke, the conformance matrix, the coverage
+# gate, and 30-second fuzz smokes of the parsers and the report decoder.
 ci: build vet
 	$(GO) test ./...
 	$(GO) test -short -race ./...
 	$(GO) test -race -run 'TestLoadSmoke' -count 1 ./internal/server
 	$(GO) test -race -run 'TestRunServesAndDrainsOnSIGTERM' -count 1 ./cmd/revand
 	$(GO) test -race -run 'TestStageCacheWarmDeterminism|TestStageCacheResumeAfterStageTimeout' -count 1 .
+	$(MAKE) conformance
+	$(MAKE) coverage
 	$(GO) test ./internal/netlist -fuzz FuzzReadVerilog -fuzztime 30s
 	$(GO) test ./internal/netlist -fuzz FuzzReadBLIF -fuzztime 30s
+	$(GO) test . -run FuzzReadJSONReport -fuzz FuzzReadJSONReport -fuzztime 30s

@@ -3,6 +3,7 @@ package netlistre
 import (
 	"netlistre/internal/gen"
 	"netlistre/internal/netlist"
+	"netlistre/internal/oracle"
 )
 
 // This file exposes the synthetic test articles used by the paper-shaped
@@ -51,6 +52,36 @@ func OC8051Trojaned() *Netlist { return gen.OC8051Trojaned() }
 // raw physical netlist.
 func AddElectricalNoise(nl *Netlist, seed int64, prob float64) *Netlist {
 	return gen.AddElectricalNoise(nl, seed, prob)
+}
+
+// Labels is the ground-truth answer key recorded while a labeled article
+// builds: which gates belong to which designed component, the port words,
+// and the trojan suspect set. See ScoreReport.
+type Labels = gen.Labels
+
+// ConformanceOptions tunes the ground-truth matching thresholds; the zero
+// value selects the calibrated defaults.
+type ConformanceOptions = oracle.Options
+
+// ConformanceResult is the per-design scorecard ScoreReport produces.
+type ConformanceResult = oracle.Result
+
+// LabeledTestArticleNames lists the articles LabeledTestArticle accepts:
+// the Table 2 set plus the oc8051-trojan and evoter-trojan variants.
+func LabeledTestArticleNames() []string { return gen.LabeledArticleNames() }
+
+// LabeledTestArticle builds the named article together with its
+// ground-truth labels, for conformance scoring against an analysis report.
+func LabeledTestArticle(name string) (*Netlist, *Labels, error) {
+	return gen.LabeledArticle(name)
+}
+
+// ScoreReport scores an analysis report against an article's ground-truth
+// labels: per-class precision/recall/F1, word recovery, and (for trojaned
+// articles) suspect-set accuracy. The revcheck command runs this over the
+// whole article set and gates on the recorded baseline.
+func ScoreReport(rep *Report, lab *Labels, opt ConformanceOptions) *ConformanceResult {
+	return oracle.Score(rep, lab, opt)
 }
 
 // Nil is the invalid node ID.

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -27,12 +28,7 @@ func main() {
 	)
 	flag.Parse()
 	if *list {
-		for _, name := range netlistre.TestArticleNames() {
-			fmt.Printf("%-14s  %s\n", name, netlistre.TestArticleDescription(name))
-		}
-		fmt.Printf("%-14s  %s\n", "bigsoc", "seven-core SoC case study (Section V-C)")
-		fmt.Printf("%-14s  %s\n", "evoter-trojan", "eVoter with key-sequence backdoor")
-		fmt.Printf("%-14s  %s\n", "oc8051-trojan", "oc8051 with XOR kill switch")
+		listArticles(os.Stdout)
 		return
 	}
 	if *format != "verilog" && *format != "blif" {
@@ -46,8 +42,10 @@ func main() {
 		if *format == "blif" {
 			ext = ".blif"
 		}
-		names := append(netlistre.TestArticleNames(),
-			"bigsoc", "evoter-trojan", "oc8051-trojan")
+		names := netlistre.TestArticleNames()
+		for _, extra := range extraArticles {
+			names = append(names, extra[0])
+		}
 		for _, name := range names {
 			path := filepath.Join(*dir, name+ext)
 			if err := emit(name, path); err != nil {
@@ -62,6 +60,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gennet: -article or -all required")
 		os.Exit(1)
 	}
+	if !knownArticle(*article) {
+		fmt.Fprintf(os.Stderr, "gennet: unknown article %q; available articles:\n", *article)
+		listArticles(os.Stderr)
+		os.Exit(1)
+	}
 	if err := emit(*article, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "gennet:", err)
 		os.Exit(1)
@@ -69,6 +72,37 @@ func main() {
 }
 
 var emitFormat = "verilog"
+
+// extraArticles are the case-study netlists emitted alongside the Table 2
+// set; descriptions mirror their builders in the root package.
+var extraArticles = [][2]string{
+	{"bigsoc", "seven-core SoC case study (Section V-C)"},
+	{"evoter-trojan", "eVoter with key-sequence backdoor"},
+	{"oc8051-trojan", "oc8051 with XOR kill switch"},
+}
+
+func listArticles(w io.Writer) {
+	for _, name := range netlistre.TestArticleNames() {
+		fmt.Fprintf(w, "%-14s  %s\n", name, netlistre.TestArticleDescription(name))
+	}
+	for _, extra := range extraArticles {
+		fmt.Fprintf(w, "%-14s  %s\n", extra[0], extra[1])
+	}
+}
+
+func knownArticle(name string) bool {
+	for _, n := range netlistre.TestArticleNames() {
+		if n == name {
+			return true
+		}
+	}
+	for _, extra := range extraArticles {
+		if extra[0] == name {
+			return true
+		}
+	}
+	return false
+}
 
 func emit(name, path string) error {
 	var nl *netlistre.Netlist

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netlistre"
+)
+
+func TestKnownArticle(t *testing.T) {
+	for _, name := range netlistre.TestArticleNames() {
+		if !knownArticle(name) {
+			t.Errorf("knownArticle(%q) = false", name)
+		}
+	}
+	for _, name := range []string{"bigsoc", "evoter-trojan", "oc8051-trojan"} {
+		if !knownArticle(name) {
+			t.Errorf("knownArticle(%q) = false", name)
+		}
+	}
+	for _, name := range []string{"", "nope", "MIPS16", "usb "} {
+		if knownArticle(name) {
+			t.Errorf("knownArticle(%q) = true", name)
+		}
+	}
+}
+
+// TestListArticles: the list printed on -list (and on an unknown -article)
+// names every article knownArticle accepts.
+func TestListArticles(t *testing.T) {
+	var buf bytes.Buffer
+	listArticles(&buf)
+	out := buf.String()
+	names := netlistre.TestArticleNames()
+	names = append(names, "bigsoc", "evoter-trojan", "oc8051-trojan")
+	for _, name := range names {
+		if !strings.Contains(out, name) {
+			t.Errorf("article list is missing %q:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package netlistre
+
+// Ground-truth conformance smoke (the full matrix runs under
+// cmd/revcheck / `make conformance`): two articles scored against their
+// generator labels at two worker counts, plus the serialization
+// round-trip fingerprint check over every labeled article.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestConformanceSmoke scores usb and evoter at workers=1 and workers=4:
+// the scorecards must be identical across worker counts and at the seed
+// quality (both articles score perfectly at the seed).
+func TestConformanceSmoke(t *testing.T) {
+	for _, article := range []string{"usb", "evoter"} {
+		nl, lab, err := LabeledTestArticle(article)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var results []*ConformanceResult
+		for _, workerCount := range []int{1, 4} {
+			opt := Options{Workers: workerCount}
+			opt.Overlap.Sliceable = true
+			rep := Analyze(nl, opt)
+			results = append(results, ScoreReport(rep, lab, ConformanceOptions{}))
+		}
+		if !reflect.DeepEqual(results[0], results[1]) {
+			t.Errorf("%s: scorecard differs between workers=1 and workers=4:\n%+v\n%+v",
+				article, results[0], results[1])
+		}
+		res := results[0]
+		if res.MacroF1 < 1 {
+			t.Errorf("%s: macro F1 = %v, want 1 at the seed", article, res.MacroF1)
+		}
+		for _, c := range res.Classes {
+			if c.F1 < 1 {
+				t.Errorf("%s: class %s F1 = %v, want 1 at the seed (%+v)", article, c.Class, c.F1, c)
+			}
+		}
+		if res.Words.Recall < 1 {
+			t.Errorf("%s: word recall = %v, want 1 at the seed", article, res.Words.Recall)
+		}
+	}
+}
+
+// TestArticleSerializationFingerprints: every labeled article, written as
+// Verilog and as BLIF and read back, must hash to the same canonical
+// fingerprint from both formats — BLIF resolves nets in a different order
+// and lowers gates to covers, so agreement means both parsers reconstruct
+// the same structure.
+func TestArticleSerializationFingerprints(t *testing.T) {
+	for _, article := range LabeledTestArticleNames() {
+		nl, _, err := LabeledTestArticle(article)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vbuf, bbuf bytes.Buffer
+		if err := nl.WriteVerilog(&vbuf); err != nil {
+			t.Fatalf("%s: WriteVerilog: %v", article, err)
+		}
+		if err := nl.WriteBLIF(&bbuf); err != nil {
+			t.Fatalf("%s: WriteBLIF: %v", article, err)
+		}
+		fromV, err := ReadVerilog(&vbuf)
+		if err != nil {
+			t.Fatalf("%s: ReadVerilog: %v", article, err)
+		}
+		fromB, err := ReadBLIF(&bbuf)
+		if err != nil {
+			t.Fatalf("%s: ReadBLIF: %v", article, err)
+		}
+		if vfp, bfp := fromV.Fingerprint(), fromB.Fingerprint(); vfp != bfp {
+			t.Errorf("%s: verilog round-trip %s != blif round-trip %s", article, vfp[:16], bfp[:16])
+		}
+	}
+}

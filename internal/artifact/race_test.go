@@ -1,0 +1,82 @@
+package artifact
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStoreConcurrentMixedUse hammers one Store from many goroutines with
+// a small key space so hits, misses, single-flight joins, declined
+// publications, and LRU evictions all interleave. Run under -race this
+// checks the locking; the assertions check that every caller observes a
+// value consistent with its key and that the counters stay coherent.
+func TestStoreConcurrentMixedUse(t *testing.T) {
+	const (
+		goroutines = 16
+		iterations = 300
+		keySpace   = 12
+		storeMax   = 8 // below keySpace, so evictions happen under load
+	)
+	st := NewStore(storeMax)
+	var computes [keySpace]int64
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			ctx := context.Background()
+			for i := 0; i < iterations; i++ {
+				k := rng.Intn(keySpace)
+				key := Digest(fmt.Sprintf("key-%d", k))
+				if rng.Intn(4) == 0 {
+					if art, ok := st.Get(key); ok && art.Value.(int) != k {
+						t.Errorf("Get(%s) returned value %v", key, art.Value)
+					}
+					continue
+				}
+				decline := rng.Intn(8) == 0
+				art, _, err := st.Do(ctx, key, func() (*Artifact, bool) {
+					atomic.AddInt64(&computes[k], 1)
+					return &Artifact{Stage: "race", Digest: key, Value: k}, !decline
+				})
+				if err != nil {
+					t.Errorf("Do(%s): %v", key, err)
+					continue
+				}
+				if art.Value.(int) != k {
+					t.Errorf("Do(%s) returned value %v", key, art.Value)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	stats := st.Stats()
+	if stats.Hits+stats.Misses == 0 {
+		t.Fatal("no store traffic recorded")
+	}
+	var total int64
+	for k := range computes {
+		total += computes[k]
+	}
+	// Every miss leads a flight, and only flight leaders run compute.
+	if total != stats.Misses {
+		t.Errorf("compute ran %d times but store counted %d misses", total, stats.Misses)
+	}
+	if stats.Entries > storeMax {
+		t.Errorf("store holds %d entries, max is %d", stats.Entries, storeMax)
+	}
+	// The surviving entries must still map keys to their values.
+	for k := 0; k < keySpace; k++ {
+		key := Digest(fmt.Sprintf("key-%d", k))
+		if art, ok := st.Get(key); ok && art.Value.(int) != k {
+			t.Errorf("final Get(%s) returned value %v", key, art.Value)
+		}
+	}
+}

@@ -73,6 +73,8 @@ func Article(name string) (*netlist.Netlist, error) {
 // given signals plus a few state latches with random next-state functions.
 // This is the fraction of a real design the portfolio cannot identify.
 func controlNoise(nl *netlist.Netlist, rng *rand.Rand, signals []netlist.ID, nGates, nLatches int) []netlist.ID {
+	span := beginNoise(nl)
+	defer span.end()
 	pool := append([]netlist.ID(nil), signals...)
 	var latches []netlist.ID
 	for i := 0; i < nLatches; i++ {
@@ -115,8 +117,13 @@ func alu(nl *netlist.Netlist, a, b Word, mode netlist.ID, op Word) Word {
 
 // MIPS16 builds the 16-bit MIPS-like CPU: the paper's highest-coverage
 // article (93%), dominated by the register file and ALU datapath.
-func MIPS16() *netlist.Netlist {
+func MIPS16() *netlist.Netlist { nl, _ := LabeledMIPS16(); return nl }
+
+// LabeledMIPS16 builds MIPS16 along with its ground-truth labels.
+func LabeledMIPS16() (*netlist.Netlist, *Labels) {
 	nl := netlist.New("mips16")
+	lab := StartRecording(nl)
+	defer StopRecording(nl)
 	rng := rand.New(rand.NewSource(101))
 
 	const w = 16
@@ -155,15 +162,20 @@ func MIPS16() *netlist.Netlist {
 	// Irregular control: ~8% of the datapath gates.
 	ctl := append(append(Word{}, dec[:8]...), eq, pcEn, ld)
 	controlNoise(nl, rng, ctl, 150, 8)
-	return nl
+	return nl, lab
 }
 
 // RISCFPU builds the FPU-like article: wide register file, several
 // adders/subtractors, tandem shift registers, parity trees and many
 // registers (the paper reports 140 muxes, 37 adders/subtractors, 7 shift
 // registers, 10 parity trees and a 32x32 register file on its RISC FPU).
-func RISCFPU() *netlist.Netlist {
+func RISCFPU() *netlist.Netlist { nl, _ := LabeledRISCFPU(); return nl }
+
+// LabeledRISCFPU builds RISCFPU along with its ground-truth labels.
+func LabeledRISCFPU() (*netlist.Netlist, *Labels) {
 	nl := netlist.New("riscfpu")
+	lab := StartRecording(nl)
+	defer StopRecording(nl)
 	rng := rand.New(rand.NewSource(202))
 
 	const w = 16
@@ -218,13 +230,18 @@ func RISCFPU() *netlist.Netlist {
 
 	ctl := Word{shEn, shRst, we}
 	controlNoise(nl, rng, append(ctl, res[:4]...), 850, 24)
-	return nl
+	return nl, lab
 }
 
 // Router builds the NoC-router article: FIFOs with head/tail counters, a
 // crossbar of muxes and CRC parity trees, plus arbiter control.
-func Router() *netlist.Netlist {
+func Router() *netlist.Netlist { nl, _ := LabeledRouter(); return nl }
+
+// LabeledRouter builds Router along with its ground-truth labels.
+func LabeledRouter() (*netlist.Netlist, *Labels) {
 	nl := netlist.New("router")
+	lab := StartRecording(nl)
+	defer StopRecording(nl)
 	rng := rand.New(rand.NewSource(303))
 
 	const ports = 4
@@ -259,16 +276,21 @@ func Router() *netlist.Netlist {
 		ctl = append(ctl, outWords[p][0])
 	}
 	controlNoise(nl, rng, append(ctl, rst), 380, 16)
-	return nl
+	return nl, lab
 }
 
 // OC8051 builds the 8051-like microcontroller (see trojan.go for the
 // parameterized builder shared with the trojan-injected variant).
-func OC8051() *netlist.Netlist { return buildOC8051(false) }
+func OC8051() *netlist.Netlist { nl, _ := buildOC8051(false); return nl }
 
 // AEMB builds a small RISC core.
-func AEMB() *netlist.Netlist {
+func AEMB() *netlist.Netlist { nl, _ := LabeledAEMB(); return nl }
+
+// LabeledAEMB builds AEMB along with its ground-truth labels.
+func LabeledAEMB() (*netlist.Netlist, *Labels) {
 	nl := netlist.New("aemb")
+	lab := StartRecording(nl)
+	defer StopRecording(nl)
 	rng := rand.New(rand.NewSource(505))
 
 	waddr := InputWord(nl, "wa", 3)
@@ -291,12 +313,17 @@ func AEMB() *netlist.Netlist {
 	MarkOutputs(nl, "wb", wb)
 
 	controlNoise(nl, rng, Word{we, pcEn, sel, sum[0], sum[7]}, 260, 12)
-	return nl
+	return nl, lab
 }
 
 // MSP430 builds a 16-bit MCU datapath.
-func MSP430() *netlist.Netlist {
+func MSP430() *netlist.Netlist { nl, _ := LabeledMSP430(); return nl }
+
+// LabeledMSP430 builds MSP430 along with its ground-truth labels.
+func LabeledMSP430() (*netlist.Netlist, *Labels) {
 	nl := netlist.New("msp430")
+	lab := StartRecording(nl)
+	defer StopRecording(nl)
 	rng := rand.New(rand.NewSource(606))
 
 	const w = 16
@@ -330,13 +357,18 @@ func MSP430() *netlist.Netlist {
 	MarkOutputs(nl, "st", st)
 
 	controlNoise(nl, rng, Word{mode, ten, wen, uen, res[0], res[15]}, 420, 18)
-	return nl
+	return nl, lab
 }
 
 // USB builds the serial-interface article: shift-register heavy with CRC
 // trees and a bit-stuffing counter, diluted by protocol control logic.
-func USB() *netlist.Netlist {
+func USB() *netlist.Netlist { nl, _ := LabeledUSB(); return nl }
+
+// LabeledUSB builds USB along with its ground-truth labels.
+func LabeledUSB() (*netlist.Netlist, *Labels) {
 	nl := netlist.New("usb")
+	lab := StartRecording(nl)
+	defer StopRecording(nl)
 	rng := rand.New(rand.NewSource(707))
 
 	rst := nl.AddInput("rst")
@@ -365,9 +397,9 @@ func USB() *netlist.Netlist {
 	MarkOutputs(nl, "ep", read)
 
 	controlNoise(nl, rng, Word{rxen, txen, rxd, rxsr[0], txsr[0], we}, 400, 18)
-	return nl
+	return nl, lab
 }
 
 // EVoter builds the voting-machine article (see trojan.go for the
 // parameterized builder shared with the trojan-injected variant).
-func EVoter() *netlist.Netlist { return buildEVoter(false) }
+func EVoter() *netlist.Netlist { nl, _ := buildEVoter(false); return nl }

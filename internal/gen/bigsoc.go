@@ -97,6 +97,15 @@ func importCore(dst *netlist.Netlist, src *netlist.Netlist, prefix string, rst n
 // emulating electrically-motivated cells in a physical netlist. Semantics
 // are preserved exactly.
 func AddElectricalNoise(nl *netlist.Netlist, seed int64, prob float64) *netlist.Netlist {
+	out, _ := AddElectricalNoiseMapped(nl, seed, prob)
+	return out
+}
+
+// AddElectricalNoiseMapped is AddElectricalNoise returning also the
+// old-to-new node mapping, so ground-truth labels (and any other
+// per-node metadata) can follow the rebuild. Inserted noise cells appear
+// in no map entry.
+func AddElectricalNoiseMapped(nl *netlist.Netlist, seed int64, prob float64) (*netlist.Netlist, map[netlist.ID]netlist.ID) {
 	rng := rand.New(rand.NewSource(seed))
 	out := netlist.New(nl.Name)
 	m := make(map[netlist.ID]netlist.ID, nl.Len())
@@ -148,5 +157,5 @@ func AddElectricalNoise(nl *netlist.Netlist, seed int64, prob float64) *netlist.
 	for _, p := range nl.Outputs() {
 		out.MarkOutput(p.Name, m[p.Driver])
 	}
-	return out
+	return out, m
 }

@@ -43,6 +43,7 @@ func RippleAdder(nl *netlist.Netlist, a, b Word, cin netlist.ID) (Word, netlist.
 	if len(a) != len(b) {
 		panic("gen: adder operand width mismatch")
 	}
+	span := beginComponent(nl)
 	carry := cin
 	if carry == netlist.Nil {
 		carry = nl.AddConst(false)
@@ -51,6 +52,7 @@ func RippleAdder(nl *netlist.Netlist, a, b Word, cin netlist.ID) (Word, netlist.
 	for i := range a {
 		sum[i], carry = FullAdder(nl, a[i], b[i], carry)
 	}
+	span.end(ClassAdder, len(a), map[string]Word{"a": a, "b": b, "sum": sum})
 	return sum, carry
 }
 
@@ -61,6 +63,7 @@ func RippleSubtractor(nl *netlist.Netlist, a, b Word) (Word, netlist.ID) {
 	if len(a) != len(b) {
 		panic("gen: subtractor operand width mismatch")
 	}
+	span := beginComponent(nl)
 	borrow := netlist.ID(nl.AddConst(false))
 	diff := make(Word, len(a))
 	for i := range a {
@@ -71,17 +74,23 @@ func RippleSubtractor(nl *netlist.Netlist, a, b Word) (Word, netlist.ID) {
 			nl.AddGate(netlist.And, b[i], borrow),
 			nl.AddGate(netlist.And, borrow, na))
 	}
+	span.end(ClassSubtractor, len(a), map[string]Word{"a": a, "b": b, "diff": diff})
 	return diff, borrow
 }
 
 // AddSub builds a shared add/subtract unit: out = a + b when mode=0 and
 // a - b (two's complement) when mode=1.
 func AddSub(nl *netlist.Netlist, a, b Word, mode netlist.ID) (Word, netlist.ID) {
+	span := beginComponent(nl)
 	bx := make(Word, len(b))
 	for i := range b {
 		bx[i] = nl.AddGate(netlist.Xor, b[i], mode)
 	}
-	return RippleAdder(nl, a, bx, mode)
+	sum, cout := RippleAdder(nl, a, bx, mode)
+	// The b operand word is recorded as bx: the raw b never reaches the
+	// adder, so bx is the operand a word-recovery pass can actually see.
+	span.end(ClassAdder, len(a), map[string]Word{"a": a, "b": bx, "sum": sum})
+	return sum, cout
 }
 
 // Mux2 builds a 1-bit 2:1 mux: sel ? d1 : d0.
@@ -97,6 +106,7 @@ func Mux2Word(nl *netlist.Netlist, sel netlist.ID, d0, d1 Word) Word {
 	if len(d0) != len(d1) {
 		panic("gen: mux operand width mismatch")
 	}
+	span := beginComponent(nl)
 	out := make(Word, len(d0))
 	ns := nl.AddGate(netlist.Not, sel)
 	for i := range d0 {
@@ -104,6 +114,7 @@ func Mux2Word(nl *netlist.Netlist, sel netlist.ID, d0, d1 Word) Word {
 			nl.AddGate(netlist.And, sel, d1[i]),
 			nl.AddGate(netlist.And, ns, d0[i]))
 	}
+	span.end(ClassMux, len(d0), map[string]Word{"out": out})
 	return out
 }
 
@@ -112,6 +123,7 @@ func MuxTree(nl *netlist.Netlist, sel Word, data []Word) Word {
 	if len(data) != 1<<uint(len(sel)) {
 		panic(fmt.Sprintf("gen: mux tree needs %d inputs, got %d", 1<<uint(len(sel)), len(data)))
 	}
+	span := beginComponent(nl)
 	layer := data
 	for s := 0; s < len(sel); s++ {
 		nextLayer := make([]Word, len(layer)/2)
@@ -120,6 +132,7 @@ func MuxTree(nl *netlist.Netlist, sel Word, data []Word) Word {
 		}
 		layer = nextLayer
 	}
+	span.end(ClassMux, len(data[0]), map[string]Word{"out": layer[0]})
 	return layer[0]
 }
 
@@ -127,6 +140,7 @@ func MuxTree(nl *netlist.Netlist, sel Word, data []Word) Word {
 // high iff sel == k.
 func Decoder(nl *netlist.Netlist, sel Word) Word {
 	n := len(sel)
+	span := beginComponent(nl)
 	inv := make(Word, n)
 	for i, s := range sel {
 		inv[i] = nl.AddGate(netlist.Not, s)
@@ -147,6 +161,7 @@ func Decoder(nl *netlist.Netlist, sel Word) Word {
 			out[k] = nl.AddGate(netlist.And, lits...)
 		}
 	}
+	span.end(ClassDecoder, n, nil)
 	return out
 }
 
@@ -155,6 +170,7 @@ func ParityTree(nl *netlist.Netlist, w Word) netlist.ID {
 	if len(w) == 0 {
 		panic("gen: empty parity tree")
 	}
+	span := beginComponent(nl)
 	layer := append(Word(nil), w...)
 	for len(layer) > 1 {
 		var nextLayer Word
@@ -166,6 +182,7 @@ func ParityTree(nl *netlist.Netlist, w Word) netlist.ID {
 		}
 		layer = nextLayer
 	}
+	span.end(ClassParityTree, len(w), nil)
 	return layer[0]
 }
 
@@ -200,6 +217,7 @@ func EqualConst(nl *netlist.Netlist, w Word, k uint64) netlist.ID {
 // PopCount builds a population counter over w, returning the count word.
 func PopCount(nl *netlist.Netlist, w Word) Word {
 	// Reduce by chaining small adders over (count-so-far, next bit).
+	span := beginComponent(nl)
 	zero := netlist.ID(nl.AddConst(false))
 	count := Word{nl.AddGate(netlist.Buf, w[0])}
 	for i := 1; i < len(w); i++ {
@@ -215,6 +233,7 @@ func PopCount(nl *netlist.Netlist, w Word) Word {
 			count = append(count, cout)
 		}
 	}
+	span.end(ClassPopCount, len(w), map[string]Word{"count": count})
 	return count
 }
 
@@ -223,6 +242,7 @@ func PopCount(nl *netlist.Netlist, w Word) Word {
 // the counter is enabled and all lower-order bits are 1 (up) or 0 (down).
 // It returns the latch word (LSB first).
 func Counter(nl *netlist.Netlist, width int, en, rst netlist.ID, down bool) Word {
+	span := beginComponent(nl)
 	q := make(Word, width)
 	for i := range q {
 		q[i] = nl.AddLatch(nl.AddConst(false)) // D patched below
@@ -256,6 +276,7 @@ func Counter(nl *netlist.Netlist, width int, en, rst netlist.ID, down bool) Word
 		toggled := nl.AddGate(netlist.Xor, q[i], lower)
 		nl.SetLatchD(q[i], nl.AddGate(netlist.And, nrst, toggled))
 	}
+	span.end(ClassCounter, width, map[string]Word{"q": q})
 	return q
 }
 
@@ -264,6 +285,7 @@ func Counter(nl *netlist.Netlist, width int, en, rst netlist.ID, down bool) Word
 // bit i loads bit i-1 when enabled, holds otherwise; bit 0 loads serialIn.
 // It returns the latch word in shift order.
 func ShiftRegister(nl *netlist.Netlist, width int, en, rst, serialIn netlist.ID) Word {
+	span := beginComponent(nl)
 	q := make(Word, width)
 	for i := range q {
 		q[i] = nl.AddLatch(nl.AddConst(false))
@@ -277,12 +299,14 @@ func ShiftRegister(nl *netlist.Netlist, width int, en, rst, serialIn netlist.ID)
 		sel := Mux2(nl, en, q[i], prev)
 		nl.SetLatchD(q[i], nl.AddGate(netlist.And, nrst, sel))
 	}
+	span.end(ClassShiftRegister, width, map[string]Word{"q": q})
 	return q
 }
 
 // Register builds a word-wide register with a write-enable: each bit holds
 // unless we is set, in which case it loads d. It returns the latch word.
 func Register(nl *netlist.Netlist, d Word, we netlist.ID) Word {
+	span := beginComponent(nl)
 	q := make(Word, len(d))
 	for i := range q {
 		q[i] = nl.AddLatch(nl.AddConst(false))
@@ -293,6 +317,7 @@ func Register(nl *netlist.Netlist, d Word, we netlist.ID) Word {
 			nl.AddGate(netlist.And, we, d[i]),
 			nl.AddGate(netlist.And, nwe, q[i])))
 	}
+	span.end(ClassRegister, len(d), map[string]Word{"q": q})
 	return q
 }
 
@@ -305,6 +330,7 @@ func MultibitRegister(nl *netlist.Netlist, sources []Word, conds []netlist.ID) W
 		panic("gen: MultibitRegister needs one condition per source")
 	}
 	width := len(sources[0])
+	span := beginComponent(nl)
 	q := make(Word, width)
 	for i := range q {
 		q[i] = nl.AddLatch(nl.AddConst(false))
@@ -316,6 +342,7 @@ func MultibitRegister(nl *netlist.Netlist, sources []Word, conds []netlist.ID) W
 	for i := range q {
 		nl.SetLatchD(q[i], cur[i])
 	}
+	span.end(ClassRegister, width, map[string]Word{"q": q})
 	return q
 }
 
@@ -328,6 +355,7 @@ func RegisterFile(nl *netlist.Netlist, words, width int, waddr Word, wdata Word,
 	if words != 1<<uint(len(waddr)) || words != 1<<uint(len(raddr)) {
 		panic("gen: register file address width mismatch")
 	}
+	span := beginComponent(nl)
 	dec := Decoder(nl, waddr)
 	cells = make([]Word, words)
 	for w := 0; w < words; w++ {
@@ -344,6 +372,7 @@ func RegisterFile(nl *netlist.Netlist, words, width int, waddr Word, wdata Word,
 		}
 	}
 	read = MuxTree(nl, raddr, cells)
+	span.end(ClassRAM, width, map[string]Word{"read": read})
 	return read, cells
 }
 

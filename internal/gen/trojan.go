@@ -21,22 +21,24 @@ import (
 )
 
 // OC8051Trojaned builds the oc8051 article with the XOR kill switch.
-func OC8051Trojaned() *netlist.Netlist { return buildOC8051(true) }
+func OC8051Trojaned() *netlist.Netlist { nl, _ := buildOC8051(true); return nl }
 
 // EVoterTrojaned builds the eVoter article with the key-sequence backdoor.
-func EVoterTrojaned() *netlist.Netlist { return buildEVoter(true) }
+func EVoterTrojaned() *netlist.Netlist { nl, _ := buildEVoter(true); return nl }
 
 // buildOC8051 builds the 8051-like microcontroller: the 8-bit ALU
 // (add/sub/rotate/negate selected by side inputs — the paper's QBF
 // example), accumulator, five timers, a small RAM and a heavy share of
 // control logic. With trojan set, the XOR kill switch is inserted between
 // the ALU and the accumulator.
-func buildOC8051(trojan bool) *netlist.Netlist {
+func buildOC8051(trojan bool) (*netlist.Netlist, *Labels) {
 	name := "oc8051"
 	if trojan {
 		name = "oc8051-trojan"
 	}
 	nl := netlist.New(name)
+	lab := StartRecording(nl)
+	defer StopRecording(nl)
 	rng := rand.New(rand.NewSource(404))
 
 	// ALU with side inputs: op word selects among add, sub, rot, neg.
@@ -56,6 +58,7 @@ func buildOC8051(trojan bool) *netlist.Netlist {
 
 	accSrc := aluOut
 	if trojan {
+		tj := beginTrojan(nl)
 		// Trigger: an XOR instruction is one with alusel == 3 committed to
 		// the accumulator.
 		xorEv := nl.AddGate(netlist.And, EqualConst(nl, sel, 3), ldAlu)
@@ -75,6 +78,7 @@ func buildOC8051(trojan bool) *netlist.Netlist {
 			gated[i] = nl.AddGate(netlist.And, aluOut[i], nkill)
 		}
 		accSrc = gated
+		tj.end()
 	}
 
 	// Accumulator: multibit register loading the ALU result or the bus.
@@ -106,7 +110,7 @@ func buildOC8051(trojan bool) *netlist.Netlist {
 	// Heavy irregular control (8051s are control-dominated).
 	ctl := append(append(Word{}, dec[:10]...), acc[0], acc[7], we)
 	controlNoise(nl, rng, ctl, 900, 30)
-	return nl
+	return nl, lab
 }
 
 // evoterSecret is the backdoor key sequence (seven keypad codes).
@@ -117,12 +121,14 @@ var evoterSecret = []uint64{3, 7, 1, 12, 5, 9, 14}
 // vote counters incremented by key+confirm, a display mux and a
 // control-heavy state machine. With trojan set, the key-sequence backdoor
 // is inserted in front of the key decoder.
-func buildEVoter(trojan bool) *netlist.Netlist {
+func buildEVoter(trojan bool) (*netlist.Netlist, *Labels) {
 	name := "evoter"
 	if trojan {
 		name = "evoter-trojan"
 	}
 	nl := netlist.New(name)
+	lab := StartRecording(nl)
+	defer StopRecording(nl)
 	rng := rand.New(rand.NewSource(808))
 
 	key := InputWord(nl, "key", 4)
@@ -131,6 +137,7 @@ func buildEVoter(trojan bool) *netlist.Netlist {
 
 	effKey := key
 	if trojan {
+		tj := beginTrojan(nl)
 		// Sequence detector: a 3-bit progress register advances when the
 		// pressed key matches the next secret code, and clears otherwise.
 		progress := make(Word, 3)
@@ -151,7 +158,11 @@ func buildEVoter(trojan bool) *netlist.Netlist {
 		one[0] = nl.AddConst(true)
 		one[1] = nl.AddConst(false)
 		one[2] = one[1]
+		// A constant +1 on a 3-bit FSM state is not an architectural adder;
+		// don't hold the detectors to finding one.
+		u := beginUnlabeled(nl)
 		inc, _ := RippleAdder(nl, progress, one, netlist.Nil)
+		u.end()
 		mismatch := nl.AddGate(netlist.And, nl.AddGate(netlist.Not, match), confirm)
 		nextP := Mux2Word(nl, step, progress, inc)
 		nextP = Mux2Word(nl, mismatch, nextP, Word{one[1], one[1], one[1]})
@@ -171,6 +182,7 @@ func buildEVoter(trojan bool) *netlist.Netlist {
 
 		// Override: once active, every vote goes to the stored candidate.
 		effKey = Mux2Word(nl, active, key, stored)
+		tj.end()
 	}
 
 	dec := Decoder(nl, effKey)
@@ -200,5 +212,5 @@ func buildEVoter(trojan bool) *netlist.Netlist {
 	// Control-heavy state machine.
 	ctl := append(append(Word{}, dec[4:10]...), confirm, rst)
 	controlNoise(nl, rng, ctl, 300, 16)
-	return nl
+	return nl, lab
 }

@@ -323,12 +323,23 @@ func ReadBLIF(r io.Reader) (*Netlist, error) {
 	return n, nil
 }
 
-// buildCoverGate converts a BLIF cover into gates: OR of cube ANDs (or the
-// complement for output-0 covers).
+// buildCoverGate converts a BLIF cover into gates. Covers in the canonical
+// shapes WriteBLIF emits (single all-1 cube, sum of single-literal cubes,
+// full parity tables, ...) are recognized and rebuilt as the matching gate
+// kind, so a BLIF round trip preserves the netlist structure — and its
+// Fingerprint — instead of lowering Nand/Nor/Xor/Xnor to AND/OR/NOT
+// networks. Anything else falls back to OR-of-cube-ANDs (complemented for
+// output-0 covers).
 func buildCoverGate(n *Netlist, cubes []string, outVal byte, fan []ID) (ID, error) {
 	if len(cubes) == 0 {
 		// Empty cover: constant 0 (or 1 for output-0 covers).
 		return n.AddConst(outVal == '0'), nil
+	}
+	if kind, ok := recognizeCover(cubes, len(fan)); ok {
+		if outVal == '0' {
+			kind = complementKind[kind]
+		}
+		return n.AddGate(kind, fan...), nil
 	}
 	var terms []ID
 	for _, cube := range cubes {
@@ -370,4 +381,109 @@ func buildCoverGate(n *Netlist, cubes []string, outVal byte, fan []ID) (ID, erro
 		sum = n.AddGate(Not, sum)
 	}
 	return sum, nil
+}
+
+// complementKind maps each recognizable gate kind to its complement, used
+// when a canonical cover lists the output-0 plane.
+var complementKind = map[Kind]Kind{
+	Buf: Not, Not: Buf,
+	And: Nand, Nand: And,
+	Or: Nor, Nor: Or,
+	Xor: Xnor, Xnor: Xor,
+}
+
+// recognizeCover reports the gate kind a cover computes (for an output-1
+// plane) when the cube set matches one of the canonical shapes WriteBLIF
+// emits. Recognition is function-exact: it only fires when the cover is
+// semantically identical to the returned kind over all k inputs.
+func recognizeCover(cubes []string, k int) (Kind, bool) {
+	if k == 0 {
+		return 0, false
+	}
+	if k == 1 {
+		if len(cubes) == 1 {
+			switch cubes[0] {
+			case "1":
+				return Buf, true
+			case "0":
+				return Not, true
+			}
+		}
+		return 0, false
+	}
+	if len(cubes) == 1 {
+		switch cubes[0] {
+		case strings.Repeat("1", k):
+			return And, true
+		case strings.Repeat("0", k):
+			return Nor, true
+		}
+		return 0, false
+	}
+	// Sum of k single-literal cubes, one per input position: OR (positive
+	// literals) or NAND (negative literals, by De Morgan).
+	if len(cubes) == k {
+		single := func(lit byte) bool {
+			seen := make([]bool, k)
+			for _, c := range cubes {
+				pos := -1
+				for i := 0; i < k; i++ {
+					switch c[i] {
+					case lit:
+						if pos >= 0 {
+							return false
+						}
+						pos = i
+					case '-':
+					default:
+						return false
+					}
+				}
+				if pos < 0 || seen[pos] {
+					return false
+				}
+				seen[pos] = true
+			}
+			return true
+		}
+		if single('1') {
+			return Or, true
+		}
+		if single('0') {
+			return Nand, true
+		}
+	}
+	// Exhaustive parity table: 2^(k-1) distinct fully-specified rows of
+	// uniform parity enumerate exactly the odd (XOR) or even (XNOR)
+	// minterms.
+	if k <= 16 && len(cubes) == 1<<uint(k-1) {
+		parity := -1
+		seen := make(map[string]bool, len(cubes))
+		for _, c := range cubes {
+			ones := 0
+			for i := 0; i < k; i++ {
+				switch c[i] {
+				case '1':
+					ones++
+				case '0':
+				default:
+					return 0, false
+				}
+			}
+			if seen[c] {
+				return 0, false
+			}
+			seen[c] = true
+			if p := ones & 1; parity == -1 {
+				parity = p
+			} else if parity != p {
+				return 0, false
+			}
+		}
+		if parity == 1 {
+			return Xor, true
+		}
+		return Xnor, true
+	}
+	return 0, false
 }

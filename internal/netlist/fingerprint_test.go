@@ -96,6 +96,62 @@ func TestFingerprintVerilogBLIF(t *testing.T) {
 	}
 }
 
+// TestFingerprintAllKindsVerilogBLIF extends the cross-format check to every
+// gate kind plus an aliased output name. BLIF lowers Nand/Nor/Xor/Xnor to
+// cover tables and both formats express the output alias differently, so
+// this only holds because ReadBLIF recognizes the canonical covers
+// WriteBLIF emits and ReadVerilog materializes alias assigns as Buf nodes.
+func TestFingerprintAllKindsVerilogBLIF(t *testing.T) {
+	n := New("kinds")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	w1 := n.AddNamedGate("w_and", And, a, b)
+	w2 := n.AddNamedGate("w_nand", Nand, a, b, c)
+	w3 := n.AddNamedGate("w_or", Or, w1, w2)
+	w4 := n.AddNamedGate("w_nor", Nor, a, c)
+	w5 := n.AddNamedGate("w_xor", Xor, w3, w4, b)
+	w6 := n.AddNamedGate("w_xnor", Xnor, w5, a)
+	w7 := n.AddNamedGate("w_not", Not, w6)
+	w8 := n.AddNamedGate("w_buf", Buf, w7)
+	q := n.AddNamedLatch("q", w8)
+	n.SetLatchD(q, w5)
+	n.MarkOutput("y", w8) // alias: output name differs from driver name
+	n.MarkOutput("q", q)
+
+	var v, bl bytes.Buffer
+	if err := n.WriteVerilog(&v); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WriteBLIF(&bl); err != nil {
+		t.Fatal(err)
+	}
+	fromV, err := ReadVerilog(&v)
+	if err != nil {
+		t.Fatalf("ReadVerilog: %v", err)
+	}
+	fromB, err := ReadBLIF(&bl)
+	if err != nil {
+		t.Fatalf("ReadBLIF: %v", err)
+	}
+	if fv, fb := fromV.Fingerprint(), fromB.Fingerprint(); fv != fb {
+		t.Errorf("cross-format fingerprints differ:\nverilog: %s\nblif:    %s", fv, fb)
+	}
+	// The BLIF round trip must preserve gate kinds, not lower them.
+	want := map[Kind]int{And: 1, Nand: 1, Or: 1, Nor: 1, Xor: 1, Xnor: 1, Not: 1, Buf: 2, Latch: 1}
+	got := map[Kind]int{}
+	for _, node := range fromB.nodes {
+		if node.Kind != Input {
+			got[node.Kind]++
+		}
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("BLIF round trip: kind %v count = %d, want %d (all: %v)", k, got[k], w, got)
+		}
+	}
+}
+
 func TestFingerprintDistinguishes(t *testing.T) {
 	base := buildRefCircuit().Fingerprint()
 

@@ -357,12 +357,17 @@ func buildFromParse(name string, inputs, outputs, wires []string,
 				ids[net] = id
 				return id, nil
 			default:
+				// Net alias: materialize a named Buf so the alias keeps its
+				// own node, mirroring how ReadBLIF rebuilds the `1 1` alias
+				// covers WriteBLIF emits. Both round trips then produce the
+				// same structure (and the same Fingerprint).
 				src, err := resolve(rhs, trail)
 				if err != nil {
 					return Nil, err
 				}
-				ids[net] = src
-				return src, nil
+				id := n.AddNamedGate(net, Buf, src)
+				ids[net] = id
+				return id, nil
 			}
 		}
 		gi, ok := driver[net]

