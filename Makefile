@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-stagecache conformance fuzz vet load-smoke resume-smoke coverage ci
+.PHONY: build test test-short test-race bench bench-stagecache bench-match conformance fuzz vet load-smoke resume-smoke coverage ci
 
 build:
 	$(GO) build ./...
@@ -36,12 +36,20 @@ bench-stagecache: build
 conformance: build
 	$(GO) run ./cmd/revcheck
 
+# Cut-classification microbenchmark: replays BigSoC's shrunk cut-function
+# stream through the old per-entry permutation search and the new memoized
+# canonical-index classifier, asserts the >= 3x speedup and the ratio gate
+# against testdata/bench_match_baseline.json, and writes BENCH_match.json.
+bench-match: build
+	BENCH_MATCH_OUT=BENCH_match.json $(GO) test -run TestMatchBench -count 1 -v .
+
 # Short fuzz sweep of the netlist parsers and the JSON report decoder
 # (seeds always run under `make test`; this explores beyond them).
 fuzz:
 	$(GO) test ./internal/netlist -fuzz FuzzReadVerilog -fuzztime 30s
 	$(GO) test ./internal/netlist -fuzz FuzzReadBLIF -fuzztime 30s
 	$(GO) test . -run FuzzReadJSONReport -fuzz FuzzReadJSONReport -fuzztime 30s
+	$(GO) test ./internal/truth -fuzz FuzzCanon -fuzztime 30s
 
 vet:
 	$(GO) vet ./...
@@ -71,8 +79,9 @@ resume-smoke:
 	$(GO) test -race -run 'TestStageCacheWarmDeterminism|TestStageCacheResumeAfterStageTimeout' -count 1 .
 
 # Mirrors .github/workflows/ci.yml: full build + vet + tests, a short-mode
-# race pass, the revand load smoke, the conformance matrix, the coverage
-# gate, and 30-second fuzz smokes of the parsers and the report decoder.
+# race pass, the revand load smoke, the conformance matrix, the matching
+# microbenchmark, the coverage gate, and 30-second fuzz smokes of the
+# parsers, the report decoder, and the canonicalizer.
 ci: build vet
 	$(GO) test ./...
 	$(GO) test -short -race ./...
@@ -80,7 +89,9 @@ ci: build vet
 	$(GO) test -race -run 'TestRunServesAndDrainsOnSIGTERM' -count 1 ./cmd/revand
 	$(GO) test -race -run 'TestStageCacheWarmDeterminism|TestStageCacheResumeAfterStageTimeout' -count 1 .
 	$(MAKE) conformance
+	$(MAKE) bench-match
 	$(MAKE) coverage
 	$(GO) test ./internal/netlist -fuzz FuzzReadVerilog -fuzztime 30s
 	$(GO) test ./internal/netlist -fuzz FuzzReadBLIF -fuzztime 30s
 	$(GO) test . -run FuzzReadJSONReport -fuzz FuzzReadJSONReport -fuzztime 30s
+	$(GO) test ./internal/truth -fuzz FuzzCanon -fuzztime 30s

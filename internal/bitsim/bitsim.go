@@ -1,0 +1,201 @@
+// Package bitsim implements 64-lane bit-parallel three-valued simulation:
+// one machine word per signal simulates 64 independent input patterns at
+// once. Signals are dual-rail encoded — a value word and an unknown mask —
+// so the Kleene {0, 1, X} algebra costs a handful of word operations per
+// gate regardless of how many patterns are in flight.
+//
+// The engine is the word-parallel counterpart of internal/sim's five-valued
+// scalar simulator and is used where the portfolio needs bulk semantic
+// evidence cheaply: refuting candidate module matches before the QBF solver
+// runs (internal/modmatch), refuting decoder/popcount candidates before
+// BDDs are built (internal/support), and cross-checking cut functions
+// against direct cone evaluation. The scalar simulator remains the
+// reference for symbolic (D/D̄) reasoning; a D-valued run maps onto two
+// correlated bitsim runs (D=0 and D=1), and the property tests in this
+// package pin the two engines against each other under that encoding.
+package bitsim
+
+import (
+	"netlistre/internal/netlist"
+	"netlistre/internal/truth"
+)
+
+// Lanes is the number of input patterns one Vector carries.
+const Lanes = 64
+
+// Vector is 64 lanes of a three-valued signal. Lane i is unknown (X) when
+// bit i of Unk is set, otherwise it carries bit i of Val. The invariant
+// Val & Unk == 0 holds for every Vector the engine produces.
+type Vector struct {
+	Val uint64
+	Unk uint64
+}
+
+// Known returns a fully-known vector with the given lane values.
+func Known(val uint64) Vector { return Vector{Val: val} }
+
+// Unknown returns the all-X vector.
+func Unknown() Vector { return Vector{Unk: ^uint64(0)} }
+
+// Get returns lane i as (value, known).
+func (v Vector) Get(i int) (bool, bool) {
+	return v.Val>>uint(i)&1 == 1, v.Unk>>uint(i)&1 == 0
+}
+
+// Not complements the known lanes.
+func (v Vector) Not() Vector {
+	return Vector{Val: ^v.Val &^ v.Unk, Unk: v.Unk}
+}
+
+// And is the 64-lane Kleene conjunction: a known 0 on either side forces a
+// known 0 regardless of the other side being X.
+func (a Vector) And(b Vector) Vector {
+	known0 := (^a.Val &^ a.Unk) | (^b.Val &^ b.Unk)
+	unk := (a.Unk | b.Unk) &^ known0
+	return Vector{Val: a.Val & b.Val, Unk: unk}
+}
+
+// Or is the 64-lane Kleene disjunction.
+func (a Vector) Or(b Vector) Vector {
+	known1 := a.Val | b.Val
+	unk := (a.Unk | b.Unk) &^ known1
+	return Vector{Val: known1, Unk: unk}
+}
+
+// Xor is the 64-lane Kleene exclusive-or: any X poisons the lane.
+func (a Vector) Xor(b Vector) Vector {
+	unk := a.Unk | b.Unk
+	return Vector{Val: (a.Val ^ b.Val) &^ unk, Unk: unk}
+}
+
+// EvalGate evaluates one gate over vectors, mirroring sim.EvalGate.
+func EvalGate(kind netlist.Kind, in []Vector) Vector {
+	switch kind {
+	case netlist.Const0:
+		return Known(0)
+	case netlist.Const1:
+		return Known(^uint64(0))
+	case netlist.Not:
+		return in[0].Not()
+	case netlist.Buf:
+		return in[0]
+	case netlist.And, netlist.Nand:
+		acc := Known(^uint64(0))
+		for _, v := range in {
+			acc = acc.And(v)
+		}
+		if kind == netlist.Nand {
+			acc = acc.Not()
+		}
+		return acc
+	case netlist.Or, netlist.Nor:
+		acc := Known(0)
+		for _, v := range in {
+			acc = acc.Or(v)
+		}
+		if kind == netlist.Nor {
+			acc = acc.Not()
+		}
+		return acc
+	case netlist.Xor, netlist.Xnor:
+		acc := Known(0)
+		for _, v := range in {
+			acc = acc.Xor(v)
+		}
+		if kind == netlist.Xnor {
+			acc = acc.Not()
+		}
+		return acc
+	}
+	panic("bitsim: EvalGate on " + kind.String())
+}
+
+// Run evaluates the combinational logic of nl with the signals in assign
+// forced to the given vectors. Like sim.Run, assignments may target ANY
+// node: an assigned internal node is cut loose from its own logic and
+// treated as a free input. Unassigned boundary signals are all-X. The
+// returned slice is indexed by node ID.
+func Run(nl *netlist.Netlist, assign map[netlist.ID]Vector) []Vector {
+	vals := make([]Vector, nl.Len())
+	var buf []Vector
+	for _, id := range nl.TopoOrder() {
+		if v, ok := assign[id]; ok {
+			vals[id] = v
+			continue
+		}
+		node := nl.Node(id)
+		switch {
+		case node.Kind.IsConeInput():
+			vals[id] = Unknown()
+		default:
+			buf = buf[:0]
+			for _, f := range node.Fanin {
+				buf = append(buf, vals[f])
+			}
+			vals[id] = EvalGate(node.Kind, buf)
+		}
+	}
+	return vals
+}
+
+// RunCone evaluates only the transitive fan-in cones of roots, stopping at
+// assigned nodes and cone inputs, and returns the values of the visited
+// nodes. It avoids the whole-netlist sweep of Run when the caller needs a
+// few outputs of a large design — the shape of the candidate-filtering
+// loops in modmatch and support.
+func RunCone(nl *netlist.Netlist, roots []netlist.ID, assign map[netlist.ID]Vector) map[netlist.ID]Vector {
+	vals := make(map[netlist.ID]Vector, 4*len(roots))
+	var eval func(id netlist.ID) Vector
+	buf := make([]Vector, 0, 8)
+	eval = func(id netlist.ID) Vector {
+		if v, ok := vals[id]; ok {
+			return v
+		}
+		var v Vector
+		if av, ok := assign[id]; ok {
+			v = av
+		} else if node := nl.Node(id); node.Kind.IsConeInput() {
+			v = Unknown()
+		} else {
+			// Resolve fanins first (recursively), then fold the gate.
+			for _, f := range node.Fanin {
+				eval(f)
+			}
+			buf = buf[:0]
+			for _, f := range node.Fanin {
+				buf = append(buf, vals[f])
+			}
+			v = EvalGate(node.Kind, buf)
+		}
+		vals[id] = v
+		return v
+	}
+	for _, r := range roots {
+		eval(r)
+	}
+	return vals
+}
+
+// TableOf computes the truth table of root as a function of the given
+// leaves by a single bit-parallel run: leaf i carries the projection
+// pattern of variable i, so all 2^len(leaves) input rows evaluate in one
+// word pass. It returns ok=false when root's value depends on signals
+// other than the leaves (some row stayed X). len(leaves) must be at most
+// truth.MaxVars.
+func TableOf(nl *netlist.Netlist, root netlist.ID, leaves []netlist.ID) (truth.Table, bool) {
+	n := len(leaves)
+	if n > truth.MaxVars {
+		panic("bitsim: TableOf beyond truth.MaxVars")
+	}
+	assign := make(map[netlist.ID]Vector, n)
+	for i, l := range leaves {
+		assign[l] = Known(truth.Var(i, truth.MaxVars).Bits)
+	}
+	vals := RunCone(nl, []netlist.ID{root}, assign)
+	v := vals[root]
+	mask := truth.Mask(n)
+	if v.Unk&mask != 0 {
+		return truth.Table{}, false
+	}
+	return truth.Table{Bits: v.Val & mask, N: n}, true
+}

@@ -5,10 +5,20 @@
 // the library permutation-independently. A match records which cut leaf
 // plays which formal argument (e.g. which leaf is a mux select), which the
 // aggregation algorithms rely on.
+//
+// Matching runs on the canonical-index fast path (truth.Index): one
+// canonicalization plus one hash probe per distinct cut function, with a
+// per-worker memo so repeated functions — ubiquitous in bit-sliced
+// datapaths — classify with a single map hit. The original per-entry
+// permutation search is retained behind Options.SlowMatch as the
+// differential-testing oracle; both paths produce byte-identical Results.
 package bitslice
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"netlistre/internal/cuts"
 	"netlistre/internal/netlist"
@@ -45,6 +55,92 @@ type Options struct {
 	// KeepUnknown enables collecting unknown-function equivalence classes
 	// (more memory; only needed when candidate generation is wanted).
 	KeepUnknown bool
+	// SlowMatch disables the canonical index and searches for a
+	// permutation per library entry, as the original implementation did.
+	// It exists as the oracle for differential tests; results are
+	// identical either way.
+	SlowMatch bool
+	// Workers caps the matching parallelism. 0 uses GOMAXPROCS; 1 runs
+	// serially. The Result is deterministic and independent of Workers.
+	Workers int
+}
+
+// cutMatch is one classified (class, argument-permutation) pair for a cut
+// function; classification depends only on the shrunk table, so these are
+// memoized per worker.
+type cutMatch struct {
+	entry truth.Entry
+	perm  []int
+}
+
+// classification is the memoized matching outcome of one shrunk table.
+type classification struct {
+	matches []cutMatch
+	// unknownKey is the canonical-table key for unmatched functions of
+	// arity >= 3 (only populated when unknown collection is on).
+	unknownKey string
+}
+
+// classifier matches shrunk cut functions, memoizing by table. Each worker
+// owns one, so no locking is needed on the hot path.
+type classifier struct {
+	ix          *truth.Index // nil in SlowMatch mode
+	byArity     map[int][]truth.Entry
+	keepUnknown bool
+	memo        map[truth.Table]classification
+}
+
+func (cl *classifier) classify(shrunk truth.Table) classification {
+	if c, ok := cl.memo[shrunk]; ok {
+		return c
+	}
+	var c classification
+	if cl.ix != nil {
+		var hits []truth.Hit
+		var canon truth.Table
+		if cl.keepUnknown && shrunk.N >= 3 {
+			// One Canon() serves both the index probe and, if nothing
+			// matches, the unknown-class key below.
+			hits, canon, _ = cl.ix.LookupCanon(shrunk)
+		} else {
+			hits = cl.ix.Lookup(shrunk)
+		}
+		for _, h := range hits {
+			perm := h.Perm
+			if !h.Unique {
+				// Symmetric entries admit several valid permutations;
+				// reproduce MatchAgainst's choice so downstream argument
+				// orderings (and golden reports) are bit-identical.
+				p, ok := shrunk.MatchAgainst(h.Entry.Table)
+				if !ok {
+					panic("bitslice: index hit that MatchAgainst rejects")
+				}
+				perm = p
+			}
+			c.matches = append(c.matches, cutMatch{entry: h.Entry, perm: perm})
+		}
+		if len(c.matches) == 0 && cl.keepUnknown && shrunk.N >= 3 {
+			c.unknownKey = canon.String()
+		}
+	} else {
+		for _, entry := range cl.byArity[shrunk.N] {
+			if perm, ok := shrunk.MatchAgainst(entry.Table); ok {
+				c.matches = append(c.matches, cutMatch{entry: entry, perm: perm})
+			}
+		}
+		if len(c.matches) == 0 && cl.keepUnknown && shrunk.N >= 3 {
+			canon, _ := shrunk.Canon()
+			c.unknownKey = canon.String()
+		}
+	}
+	cl.memo[shrunk] = c
+	return c
+}
+
+// unknownRec is one unknown-class representative found at a node.
+type unknownRec struct {
+	key string
+	m   *Match
 }
 
 // Find runs cut enumeration and Boolean matching over the whole netlist.
@@ -53,7 +149,17 @@ func Find(nl *netlist.Netlist, opt Options) *Result {
 	if lib == nil {
 		lib = truth.Library()
 	}
-	// Index the library by arity for cheap pre-filtering.
+	var ix *truth.Index
+	if !opt.SlowMatch {
+		if opt.Library == nil {
+			ix = truth.DefaultIndex()
+		} else {
+			ix = truth.NewIndex(lib)
+		}
+	}
+	// Arity buckets, library order preserved: the slow path scans these,
+	// and index hits surface in the same order, so the two paths emit
+	// matches identically.
 	byArity := make(map[int][]truth.Entry)
 	for _, e := range lib {
 		byArity[e.Table.N] = append(byArity[e.Table.N], e)
@@ -68,71 +174,131 @@ func Find(nl *netlist.Netlist, opt Options) *Result {
 		res.UnknownClasses = make(map[string][]*Match)
 	}
 
-	// Deterministic iteration over nodes. The enumeration interrupt also
-	// covers the matching loop: a budgeted caller gets the matches found
-	// so far instead of a stall on a huge library.
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nl.Len()/chunk+1 {
+		workers = nl.Len()/chunk + 1
+	}
+
+	// Workers claim 64-node chunks and fill per-node result slots; the
+	// merge below walks nodes in ID order, so ByClass/ByRoot/UnknownClasses
+	// contents and ordering are independent of scheduling. The enumeration
+	// interrupt also covers matching: a budgeted caller gets the matches
+	// found so far instead of a stall on a huge netlist.
+	perNode := make([][]*Match, nl.Len())
+	var perUnknown [][]unknownRec
+	if opt.KeepUnknown {
+		perUnknown = make([][]unknownRec, nl.Len())
+	}
+	var next, stopped atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := &classifier{
+				ix:          ix,
+				byArity:     byArity,
+				keepUnknown: opt.KeepUnknown,
+				memo:        make(map[truth.Table]classification),
+			}
+			for {
+				lo := netlist.ID(next.Add(chunk) - chunk)
+				if int(lo) >= nl.Len() || stopped.Load() != 0 {
+					return
+				}
+				if opt.Cuts.Interrupt != nil && opt.Cuts.Interrupt() {
+					stopped.Store(1)
+					return
+				}
+				hi := lo + chunk
+				if int(hi) > nl.Len() {
+					hi = netlist.ID(nl.Len())
+				}
+				for id := lo; id < hi; id++ {
+					matchNode(nl, id, cutSets[id], cl, perNode, perUnknown)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
 	for id := netlist.ID(0); int(id) < nl.Len(); id++ {
-		if id&63 == 0 && opt.Cuts.Interrupt != nil && opt.Cuts.Interrupt() {
-			break
+		for _, m := range perNode[id] {
+			res.add(m)
 		}
-		if !nl.Kind(id).IsGate() {
-			continue
-		}
-		seenClass := make(map[truth.Class]bool)
-		var seenUnknown map[string]bool
-		if opt.KeepUnknown {
-			seenUnknown = make(map[string]bool)
-		}
-		for _, c := range cutSets[id] {
-			if len(c.Leaves) == 1 && c.Leaves[0] == id {
-				continue // trivial cut matches nothing interesting
-			}
-			shrunk, orig := c.Table.Shrink()
-			if shrunk.N == 0 {
-				continue // constant function
-			}
-			leaves := make([]netlist.ID, shrunk.N)
-			for j, oi := range orig {
-				leaves[j] = c.Leaves[oi]
-			}
-			matched := false
-			for _, entry := range byArity[shrunk.N] {
-				perm, ok := shrunk.MatchAgainst(entry.Table)
-				if !ok {
-					continue
-				}
-				matched = true
-				if seenClass[entry.Class] {
-					continue // keep one match per (root, class)
-				}
-				seenClass[entry.Class] = true
-				args := make([]netlist.ID, len(perm))
-				for j, v := range perm {
-					args[j] = leaves[v]
-				}
-				res.add(&Match{
-					Root:  id,
-					Class: entry.Class,
-					Args:  args,
-					Cone:  coneWithin(nl, id, leaves),
-				})
-			}
-			if !matched && opt.KeepUnknown && shrunk.N >= 3 {
-				canon, _ := shrunk.Canon()
-				key := canon.String()
-				if !seenUnknown[key] {
-					seenUnknown[key] = true
-					res.UnknownClasses[key] = append(res.UnknownClasses[key], &Match{
-						Root:  id,
-						Class: truth.ClassUnknown,
-						Args:  leaves,
-						Cone:  coneWithin(nl, id, leaves),
-					})
-				}
+		if perUnknown != nil {
+			for _, u := range perUnknown[id] {
+				res.UnknownClasses[u.key] = append(res.UnknownClasses[u.key], u.m)
 			}
 		}
 	}
 	return res
+}
+
+// chunk is the number of consecutive node IDs a worker claims at a time;
+// it doubles as the interrupt polling granularity (one check per chunk,
+// matching the historical every-64-nodes cadence).
+const chunk = 64
+
+// matchNode classifies every non-trivial cut of one gate, keeping one match
+// per (root, class) and one unknown representative per canonical function.
+func matchNode(nl *netlist.Netlist, id netlist.ID, cs []cuts.Cut,
+	cl *classifier, perNode [][]*Match, perUnknown [][]unknownRec) {
+	if !nl.Kind(id).IsGate() {
+		return
+	}
+	seenClass := make(map[truth.Class]bool)
+	var seenUnknown map[string]bool
+	if perUnknown != nil {
+		seenUnknown = make(map[string]bool)
+	}
+	for _, c := range cs {
+		if len(c.Leaves) == 1 && c.Leaves[0] == id {
+			continue // trivial cut matches nothing interesting
+		}
+		shrunk, orig := c.Table.Shrink()
+		if shrunk.N == 0 {
+			continue // constant function
+		}
+		leaves := make([]netlist.ID, shrunk.N)
+		for j, oi := range orig {
+			leaves[j] = c.Leaves[oi]
+		}
+		cls := cl.classify(shrunk)
+		for _, cm := range cls.matches {
+			if seenClass[cm.entry.Class] {
+				continue // keep one match per (root, class)
+			}
+			seenClass[cm.entry.Class] = true
+			args := make([]netlist.ID, len(cm.perm))
+			for j, v := range cm.perm {
+				args[j] = leaves[v]
+			}
+			perNode[id] = append(perNode[id], &Match{
+				Root:  id,
+				Class: cm.entry.Class,
+				Args:  args,
+				Cone:  coneWithin(nl, id, leaves),
+			})
+		}
+		if len(cls.matches) == 0 && seenUnknown != nil && shrunk.N >= 3 {
+			if !seenUnknown[cls.unknownKey] {
+				seenUnknown[cls.unknownKey] = true
+				perUnknown[id] = append(perUnknown[id], unknownRec{
+					key: cls.unknownKey,
+					m: &Match{
+						Root:  id,
+						Class: truth.ClassUnknown,
+						Args:  leaves,
+						Cone:  coneWithin(nl, id, leaves),
+					},
+				})
+			}
+		}
+	}
 }
 
 func (r *Result) add(m *Match) {

@@ -1,0 +1,146 @@
+package bitslice
+
+// Differential tests pinning the canonical-index fast path of Find against
+// the original per-entry search (Options.SlowMatch) over every labeled
+// generated article, and pinning the parallel scan against the serial one.
+// The Result must be byte-identical — same classes, same argument order,
+// same cones, same unknown-class keys — because downstream aggregation,
+// golden reports and the conformance baseline all depend on the exact
+// argument correspondences.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"netlistre/internal/gen"
+	"netlistre/internal/netlist"
+	"netlistre/internal/truth"
+)
+
+// matchString renders a match deterministically for comparison.
+func matchString(m *Match) string {
+	return fmt.Sprintf("root=%d class=%v args=%v cone=%v", m.Root, m.Class, m.Args, m.Cone)
+}
+
+// resultDiff compares two Results exactly (contents and ordering) and
+// reports the first discrepancy, or "" when identical.
+func resultDiff(a, b *Result) string {
+	if len(a.ByClass) != len(b.ByClass) {
+		return fmt.Sprintf("ByClass size %d vs %d", len(a.ByClass), len(b.ByClass))
+	}
+	for cls, ms := range a.ByClass {
+		bs := b.ByClass[cls]
+		if len(ms) != len(bs) {
+			return fmt.Sprintf("class %v: %d vs %d matches", cls, len(ms), len(bs))
+		}
+		for i := range ms {
+			if matchString(ms[i]) != matchString(bs[i]) {
+				return fmt.Sprintf("class %v match %d: %s vs %s", cls, i, matchString(ms[i]), matchString(bs[i]))
+			}
+		}
+	}
+	if len(a.ByRoot) != len(b.ByRoot) {
+		return fmt.Sprintf("ByRoot size %d vs %d", len(a.ByRoot), len(b.ByRoot))
+	}
+	for root, ms := range a.ByRoot {
+		bs := b.ByRoot[root]
+		if len(ms) != len(bs) {
+			return fmt.Sprintf("root %d: %d vs %d matches", root, len(ms), len(bs))
+		}
+		for i := range ms {
+			if matchString(ms[i]) != matchString(bs[i]) {
+				return fmt.Sprintf("root %d match %d: %s vs %s", root, i, matchString(ms[i]), matchString(bs[i]))
+			}
+		}
+	}
+	if (a.UnknownClasses == nil) != (b.UnknownClasses == nil) {
+		return "UnknownClasses nil-ness differs"
+	}
+	if len(a.UnknownClasses) != len(b.UnknownClasses) {
+		return fmt.Sprintf("UnknownClasses size %d vs %d", len(a.UnknownClasses), len(b.UnknownClasses))
+	}
+	var keys []string
+	for k := range a.UnknownClasses {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ms, bs := a.UnknownClasses[k], b.UnknownClasses[k]
+		if len(ms) != len(bs) {
+			return fmt.Sprintf("unknown %q: %d vs %d", k, len(ms), len(bs))
+		}
+		for i := range ms {
+			if matchString(ms[i]) != matchString(bs[i]) {
+				return fmt.Sprintf("unknown %q match %d: %s vs %s", k, i, matchString(ms[i]), matchString(bs[i]))
+			}
+		}
+	}
+	return ""
+}
+
+// articles loads every labeled generated design once per test.
+func articles(t *testing.T) map[string]*netlist.Netlist {
+	t.Helper()
+	out := make(map[string]*netlist.Netlist)
+	for _, name := range gen.LabeledArticleNames() {
+		nl, _, err := gen.LabeledArticle(name)
+		if err != nil {
+			t.Fatalf("article %s: %v", name, err)
+		}
+		out[name] = nl
+	}
+	return out
+}
+
+// TestFindIndexMatchesSlowPath: over every labeled article, the canonical
+// index produces exactly the Result of the per-entry MatchAgainst search —
+// the property the ISSUE gates the fast path on.
+func TestFindIndexMatchesSlowPath(t *testing.T) {
+	for name, nl := range articles(t) {
+		for _, keepUnknown := range []bool{false, true} {
+			fast := Find(nl, Options{KeepUnknown: keepUnknown, Workers: 1})
+			slow := Find(nl, Options{KeepUnknown: keepUnknown, Workers: 1, SlowMatch: true})
+			if d := resultDiff(fast, slow); d != "" {
+				t.Errorf("%s (KeepUnknown=%v): fast vs slow: %s", name, keepUnknown, d)
+			}
+		}
+	}
+}
+
+// TestFindWorkersDeterministic: the parallel scan must reproduce the serial
+// Result exactly, independent of worker count.
+func TestFindWorkersDeterministic(t *testing.T) {
+	for name, nl := range articles(t) {
+		serial := Find(nl, Options{KeepUnknown: true, Workers: 1})
+		for _, workers := range []int{0, 2, 4} {
+			par := Find(nl, Options{KeepUnknown: true, Workers: workers})
+			if d := resultDiff(serial, par); d != "" {
+				t.Errorf("%s: Workers=1 vs Workers=%d: %s", name, workers, d)
+			}
+		}
+	}
+}
+
+// TestFindParallelRace drives the parallel path hard on the largest
+// article so `go test -race` covers the worker/memo machinery.
+func TestFindParallelRace(t *testing.T) {
+	nl := gen.BigSoC()
+	res := Find(nl, Options{KeepUnknown: true, Workers: 8})
+	if len(res.ByClass) == 0 {
+		t.Fatal("BigSoC produced no matches")
+	}
+}
+
+// TestFindCustomLibraryIndex: a caller-supplied library takes the
+// NewIndex path (not DefaultIndex); differential against the oracle.
+func TestFindCustomLibraryIndex(t *testing.T) {
+	lib := truth.Library()[:6]
+	for name, nl := range articles(t) {
+		fast := Find(nl, Options{Library: lib, Workers: 1})
+		slow := Find(nl, Options{Library: lib, Workers: 1, SlowMatch: true})
+		if d := resultDiff(fast, slow); d != "" {
+			t.Errorf("%s: custom library fast vs slow: %s", name, d)
+		}
+	}
+}

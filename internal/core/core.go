@@ -379,6 +379,12 @@ func AnalyzeContext(ctx context.Context, nl *netlist.Netlist, opt Options) *Repo
 	if opt.ModMatch.Workers <= 0 {
 		opt.ModMatch.Workers = workers
 	}
+	// Bitslice matching parallelism is a budget knob, not a semantic one:
+	// Find's Result is deterministic regardless of Workers (and SlowMatch),
+	// so neither appears in the stage digest below.
+	if opt.Bitslice.Workers <= 0 {
+		opt.Bitslice.Workers = workers
+	}
 
 	opt.Bitslice.KeepUnknown = opt.KeepCandidates
 	if len(opt.ExtraLibrary) > 0 {

@@ -7,6 +7,7 @@
 package cuts
 
 import (
+	"math/bits"
 	"sort"
 
 	"netlistre/internal/netlist"
@@ -97,19 +98,55 @@ func enumerateGate(n *netlist.Netlist, id netlist.ID, res map[netlist.ID][]Cut, 
 		return append(out, Cut{Leaves: []netlist.ID{id}, Table: truth.Var(0, 1)})
 	}
 
+	// For each fanin pair product, first collect feasible merged leaf sets
+	// (into one slab, not one allocation per pair), prune and truncate on
+	// leaf sets alone, and only then compute tables for the survivors: for
+	// a fixed root and fanin prefix, the cut function is determined by the
+	// leaf set, so duplicates and dominated cuts can be discarded before
+	// paying for table expansion. Per-set signature words make both the
+	// feasibility test (popcount is a lower bound on the distinct-leaf
+	// count) and the dominance test (subset implies signature subset)
+	// mostly one word operation.
+	var pending []pendingCut
+	var sa, sb []uint64
 	for fi := 1; fi < len(fanin); fi++ {
 		next := res[fanin[fi]]
-		merged := make([]Cut, 0, len(partial)*len(next)/2)
+		sa, sb = sa[:0], sb[:0]
 		for _, a := range partial {
-			for _, b := range next {
-				leaves := unionLeaves(a.Leaves, b.Leaves, opt.K)
-				if len(leaves) > opt.K {
+			sa = append(sa, leafSig(a.Leaves))
+		}
+		for _, b := range next {
+			sb = append(sb, leafSig(b.Leaves))
+		}
+		slab := make([]netlist.ID, 0, len(partial)*len(next)*(opt.K+1))
+		pending = pending[:0]
+		for ai, a := range partial {
+			for bi, b := range next {
+				sig := sa[ai] | sb[bi]
+				if bits.OnesCount64(sig) > opt.K {
+					continue // provably more than K distinct leaves
+				}
+				start := len(slab)
+				after, ok := unionLeavesInto(slab, a.Leaves, b.Leaves, opt.K)
+				if !ok {
 					continue
 				}
-				merged = append(merged, combine2(op, a, b, leaves))
+				slab = after
+				pending = append(pending, pendingCut{
+					leaves: slab[start:len(slab):len(slab)],
+					sig:    sig,
+					a:      ai, b: bi,
+				})
 			}
 		}
-		partial = prune(merged, opt.MaxCuts)
+		kept := prunePending(pending, opt.MaxCuts)
+		merged := make([]Cut, len(kept))
+		for i, p := range kept {
+			leaves := make([]netlist.ID, len(p.leaves))
+			copy(leaves, p.leaves)
+			merged[i] = combine2(op, partial[p.a], next[p.b], leaves)
+		}
+		partial = merged
 	}
 	if invert {
 		for i := range partial {
@@ -150,16 +187,19 @@ func foldOp(kind netlist.Kind) (binOp, bool) {
 // combine2 merges two cuts under a binary operation on the merged leaf set.
 func combine2(op binOp, a, b Cut, leaves []netlist.ID) Cut {
 	n := len(leaves)
-	pos := make(map[netlist.ID]int, n)
-	for i, l := range leaves {
-		pos[l] = i
-	}
+	// Both leaf lists are sorted subsets of the (sorted) merged set, so a
+	// single linear scan recovers each leaf's variable position — this is
+	// the hottest allocation site of cut enumeration, so no map here.
 	expand := func(c Cut) truth.Table {
-		m := make([]int, len(c.Leaves))
+		var m [truth.MaxVars]int
+		i := 0
 		for j, l := range c.Leaves {
-			m[j] = pos[l]
+			for leaves[i] != l {
+				i++
+			}
+			m[j] = i
 		}
-		return c.Table.Expand(m, n)
+		return c.Table.Expand(m[:len(c.Leaves)], n)
 	}
 	ta, tb := expand(a), expand(b)
 	var t truth.Table
@@ -174,49 +214,93 @@ func combine2(op binOp, a, b Cut, leaves []netlist.ID) Cut {
 	return Cut{Leaves: leaves, Table: t}
 }
 
-// unionLeaves merges two sorted leaf sets, returning a slice longer than k+1
-// at most (callers prune on length).
-func unionLeaves(a, b []netlist.ID, k int) []netlist.ID {
-	out := make([]netlist.ID, 0, len(a)+len(b))
+// pendingCut is a feasible merged leaf set whose table has not been
+// computed yet; a and b index the parent cuts it merges, and sig is
+// leafSig(leaves).
+type pendingCut struct {
+	leaves []netlist.ID
+	sig    uint64
+	a, b   int
+}
+
+// leafSig hashes a leaf set into a 64-bit signature: bit (id mod 64) per
+// leaf. Signatures underapproximate set relations soundly: popcount(sig)
+// never exceeds the set size, and A ⊆ B implies sig(A) &^ sig(B) == 0.
+func leafSig(ls []netlist.ID) uint64 {
+	var s uint64
+	for _, l := range ls {
+		s |= 1 << (uint(l) & 63)
+	}
+	return s
+}
+
+// unionLeavesInto merges two sorted leaf sets, appending to dst. It
+// reports false (with dst unchanged in length) when the union exceeds k
+// leaves.
+func unionLeavesInto(dst []netlist.ID, a, b []netlist.ID, k int) ([]netlist.ID, bool) {
+	start := len(dst)
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] < b[j]:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 		case a[i] > b[j]:
-			out = append(out, b[j])
+			dst = append(dst, b[j])
 			j++
 		default:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		}
-		if len(out) > k+1 {
-			return out // already infeasible; stop merging
+		if len(dst)-start > k {
+			return dst[:start], false
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	if len(dst)-start+len(a)-i+len(b)-j > k {
+		return dst[:start], false
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst, true
 }
 
 // prune removes duplicate and dominated cuts (a cut is dominated when its
 // leaf set is a strict superset of another cut's) and truncates to maxCuts,
 // preferring cuts with fewer leaves.
 func prune(cs []Cut, maxCuts int) []Cut {
-	sort.Slice(cs, func(i, j int) bool {
-		if len(cs[i].Leaves) != len(cs[j].Leaves) {
-			return len(cs[i].Leaves) < len(cs[j].Leaves)
+	ps := make([]pendingCut, len(cs))
+	for i, c := range cs {
+		ps[i] = pendingCut{leaves: c.Leaves, sig: leafSig(c.Leaves), a: i}
+	}
+	kept := prunePending(ps, maxCuts)
+	out := make([]Cut, len(kept))
+	for i, p := range kept {
+		out[i] = cs[p.a]
+	}
+	return out
+}
+
+// prunePending is the leaf-set core of prune: it sorts by (leaf count, leaf
+// order), removes duplicates and dominated sets, and truncates to maxCuts.
+// The dominance scan tests signatures first, so most non-subset pairs cost
+// one word operation.
+func prunePending(ps []pendingCut, maxCuts int) []pendingCut {
+	sort.Slice(ps, func(i, j int) bool {
+		if len(ps[i].leaves) != len(ps[j].leaves) {
+			return len(ps[i].leaves) < len(ps[j].leaves)
 		}
-		return lessLeaves(cs[i].Leaves, cs[j].Leaves)
+		return lessLeaves(ps[i].leaves, ps[j].leaves)
 	})
-	var kept []Cut
-	for _, c := range cs {
+	var kept []pendingCut
+	for _, c := range ps {
 		dominated := false
 		for _, k := range kept {
-			if len(k.Leaves) <= len(c.Leaves) && isSubset(k.Leaves, c.Leaves) {
-				if len(k.Leaves) < len(c.Leaves) || equalLeaves(k.Leaves, c.Leaves) {
+			if k.sig&^c.sig != 0 || len(k.leaves) > len(c.leaves) {
+				continue // cannot be a subset
+			}
+			if isSubset(k.leaves, c.leaves) {
+				if len(k.leaves) < len(c.leaves) || equalLeaves(k.leaves, c.leaves) {
 					dominated = true
 					break
 				}

@@ -14,13 +14,16 @@ package modmatch
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
 
+	"netlistre/internal/bitsim"
 	"netlistre/internal/module"
 	"netlistre/internal/netlist"
 	"netlistre/internal/qbf"
+	"netlistre/internal/truth"
 	"netlistre/internal/words"
 )
 
@@ -40,6 +43,12 @@ type Options struct {
 	// caller's scheduler sets this so that the stage respects the shared
 	// analysis-wide worker budget.
 	Workers int
+	// DisablePrefilter turns off the bit-parallel simulation prefilter
+	// that refutes non-matching reference operations before the QBF
+	// solver runs. The prefilter is sound (it only skips instances whose
+	// ∃Y∀X question is provably false), so this knob exists purely for
+	// differential testing and measurement.
+	DisablePrefilter bool
 }
 
 func (o *Options) defaults() {
@@ -414,6 +423,54 @@ func extractRegion(nl *netlist.Netlist, cand Candidate) (*netlist.Netlist, map[n
 	return sub, m
 }
 
+// simRefuteRounds bounds the random input batches simRefute tries before
+// handing the instance to the QBF solver.
+const simRefuteRounds = 8
+
+// simRefute decides ∃Y ∀X . outs(X,Y) == refOuts(X) negatively by
+// bit-parallel simulation when it can: the 2^|Y| side-input assignments are
+// spread across the 64 lanes of one word (lane L carries Y = L's bits, and
+// an independent random X draw), so one RunCone tests every side-input
+// setting at once. A lane mismatch refutes its Y assignment; when every
+// assignment has been refuted, the QBF instance is provably UNSAT and the
+// solver call is skipped. A true result is always sound — each Y has a
+// concrete X witnessing outs != refOuts — and unknown lanes (reachable
+// stray inputs outside X and Y) never count as mismatches.
+func simRefute(region *netlist.Netlist, outs, refOuts, forall, exists []netlist.ID, rng *rand.Rand) bool {
+	nY := len(exists)
+	if nY > truth.MaxVars {
+		return false // side-input space does not fit the lanes
+	}
+	lanes := 1 << uint(nY)
+	full := truth.Mask(nY)
+	assign := make(map[netlist.ID]bitsim.Vector, nY+len(forall))
+	for i, y := range exists {
+		assign[y] = bitsim.Known(truth.Var(i, truth.MaxVars).Bits)
+	}
+	roots := make([]netlist.ID, 0, len(outs)+len(refOuts))
+	roots = append(roots, outs...)
+	roots = append(roots, refOuts...)
+	var refuted uint64
+	for round := 0; round < simRefuteRounds && refuted != full; round++ {
+		for _, x := range forall {
+			assign[x] = bitsim.Known(rng.Uint64())
+		}
+		vals := bitsim.RunCone(region, roots, assign)
+		var diff uint64
+		for i := range outs {
+			a, b := vals[outs[i]], vals[refOuts[i]]
+			diff |= (a.Val ^ b.Val) &^ (a.Unk | b.Unk)
+		}
+		// Lanes repeat the Y assignments with period 2^nY; fold so a
+		// mismatch anywhere refutes the lane's assignment.
+		for sh := lanes; sh < bitsim.Lanes; sh *= 2 {
+			diff |= diff >> uint(sh)
+		}
+		refuted |= diff & full
+	}
+	return refuted == full
+}
+
 // matchCandidate tries every library operation (and both operand orders for
 // the asymmetric ones) against the candidate. Matching happens on the
 // extracted region netlist, so the QBF instances stay small and the
@@ -434,6 +491,9 @@ func matchCandidate(ctx context.Context, nl *netlist.Netlist, cand Candidate, op
 	for i, b := range cand.Out.Bits {
 		outs[i] = rmap[b]
 	}
+	// Deterministically seeded per candidate; the prefilter's outcome only
+	// gates provably-false QBF instances, so the seed never changes results.
+	rng := rand.New(rand.NewSource(0x5eed<<20 ^ int64(len(cand.Gates))<<8 ^ int64(cand.Out.Bits[0])))
 
 	for _, ref := range referenceLibrary(opt) {
 		if ctx != nil && ctx.Err() != nil {
@@ -460,6 +520,9 @@ func matchCandidate(ctx context.Context, nl *netlist.Netlist, cand Candidate, op
 				}
 			}
 			refOuts := ref.build(region, a, b)
+			if !opt.DisablePrefilter && simRefute(region, outs, refOuts, forall, exists, rng) {
+				continue // provably no side-input setting works
+			}
 			res := qbf.SolveForallEqualWord(ctx, region, outs, refOuts, forall, exists, 0)
 			if !res.Found {
 				continue

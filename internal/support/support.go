@@ -9,11 +9,13 @@ package support
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
 
 	"netlistre/internal/bdd"
+	"netlistre/internal/bitsim"
 	"netlistre/internal/module"
 	"netlistre/internal/netlist"
 )
@@ -36,6 +38,12 @@ type Options struct {
 	// when it returns true, Analyze stops and returns the modules
 	// verified so far.
 	Interrupt func() bool
+	// DisablePrefilter turns off the bit-parallel simulation prefilter
+	// that refutes candidate classes before their BDDs are built. The
+	// prefilter is sound — it skips a class only when every check
+	// verifyClass could run is witnessed to fail — so this knob exists
+	// purely for differential testing and measurement.
+	DisablePrefilter bool
 }
 
 func (o *Options) defaults() {
@@ -158,6 +166,9 @@ func verifyClass(nl *netlist.Netlist, c Class, opt Options) *module.Module {
 	if len(cone.Nodes) > opt.MaxConeGates {
 		return nil
 	}
+	if !opt.DisablePrefilter && simRefuteClass(nl, c, opt) {
+		return nil // every possible check witnessed to fail; skip the BDDs
+	}
 
 	mgr := bdd.New(0)
 	bld := bdd.NewBuilder(mgr, nl)
@@ -240,6 +251,102 @@ func verifyClass(nl *netlist.Netlist, c Class, opt Options) *module.Module {
 		}
 	}
 	return nil
+}
+
+// simRefuteRounds bounds the random 64-pattern batches simRefuteClass
+// tries before handing the class to the BDD checks.
+const simRefuteRounds = 8
+
+// simRefuteClass decides by bit-parallel simulation that a candidate class
+// cannot verify, running random 64-lane batches over the class support.
+// It reports true only when every outcome of verifyClass is witnessed to
+// be impossible:
+//
+//   - every output took both values (so none is functionally constant and
+//     the live output set the BDD pass would compute equals c.Outputs);
+//   - no output can equal the support parity, killing the population-
+//     counter match (whose count-bit-0 anchor is the parity function);
+//   - every output group has, in both polarities, a lane where two group
+//     members are simultaneously active, killing the one-hot checks (and
+//     with them the decoder and demux outcomes).
+//
+// Each witness is a concrete input assignment, so a true result is sound:
+// verifyClass would have returned nil. No witness means the class goes to
+// the BDDs as before.
+func simRefuteClass(nl *netlist.Netlist, c Class, opt Options) bool {
+	nOut := len(c.Outputs)
+	groups := outputGroups(nl, c.Outputs, opt)
+	needParity := len(c.Support) >= 3
+	seen0 := make([]bool, nOut)
+	seen1 := make([]bool, nOut)
+	parityRefuted := make([]bool, nOut)
+	groupAlive := make([][2]bool, len(groups))
+	for gi := range groupAlive {
+		groupAlive[gi] = [2]bool{true, true}
+	}
+	outVal := make([]uint64, nOut)
+	assign := make(map[netlist.ID]bitsim.Vector, len(c.Support))
+	rng := rand.New(rand.NewSource(0xdec0de ^ int64(c.Outputs[0])<<16 ^ int64(len(c.Support))))
+	for round := 0; round < simRefuteRounds; round++ {
+		var parity uint64
+		for _, s := range c.Support {
+			v := rng.Uint64()
+			assign[s] = bitsim.Known(v)
+			parity ^= v
+		}
+		vals := bitsim.RunCone(nl, c.Outputs, assign)
+		for i, o := range c.Outputs {
+			v := vals[o]
+			if v.Unk != 0 {
+				return false // cone read something outside Support; let the BDDs decide
+			}
+			outVal[i] = v.Val
+			if v.Val != 0 {
+				seen1[i] = true
+			}
+			if v.Val != ^uint64(0) {
+				seen0[i] = true
+			}
+			if v.Val != parity {
+				parityRefuted[i] = true
+			}
+		}
+		for gi, g := range groups {
+			for pol := 0; pol < 2; pol++ {
+				if !groupAlive[gi][pol] {
+					continue
+				}
+				// seenTwo collects lanes where a second group member is
+				// active: a one-hot violation witnessed in one word pass.
+				var seenOne, seenTwo uint64
+				for _, idx := range g {
+					v := outVal[idx]
+					if pol == 1 {
+						v = ^v
+					}
+					seenTwo |= seenOne & v
+					seenOne |= v
+				}
+				if seenTwo != 0 {
+					groupAlive[gi][pol] = false
+				}
+			}
+		}
+		refuted := true
+		for i := 0; i < nOut && refuted; i++ {
+			refuted = seen0[i] && seen1[i] && (!needParity || parityRefuted[i])
+		}
+		for gi := range groups {
+			if groupAlive[gi][0] || groupAlive[gi][1] {
+				refuted = false
+				break
+			}
+		}
+		if refuted {
+			return true
+		}
+	}
+	return false
 }
 
 // outputGroups returns candidate output subsets (as indices) for the

@@ -1,5 +1,7 @@
 package truth
 
+import "sync"
+
 // This file defines the bitslice function library used by the cut-based
 // matching algorithm (Section II-A). Each entry is a small Boolean function
 // that appears as the replicated 1-bit slice of a common multibit datapath
@@ -156,6 +158,23 @@ func Library() []Entry {
 			return bit(r, sel)
 		}),
 	}
+}
+
+var defaultIndex struct {
+	once sync.Once
+	ix   *Index
+}
+
+// DefaultIndex returns the canonical-form index of Library(), built once
+// per process. The default library lists both output polarities of every
+// slice explicitly, so permutation closure (NewIndex) matches exactly what
+// MatchAgainst accepts; no polarity closure is needed. The index is
+// immutable and safe for concurrent use.
+func DefaultIndex() *Index {
+	defaultIndex.once.Do(func() {
+		defaultIndex.ix = NewIndex(Library())
+	})
+	return defaultIndex.ix
 }
 
 // SelectArgs returns, for classes that have select/control arguments, the

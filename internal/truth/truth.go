@@ -5,7 +5,21 @@
 // A table over n variables is stored in the low 2^n bits of a uint64: bit r
 // holds f(x) for the input row r, where bit i of r is the value of variable
 // i. Six variables is exactly the paper's cut-enumeration limit, so a single
-// machine word always suffices.
+// machine word always suffices, and every table operation — including input
+// permutation, which is implemented as a short sequence of masked bit-pair
+// swaps rather than a row-by-row loop — is a handful of word operations.
+//
+// Matching a cut function against the library takes one of two paths. The
+// slow path, MatchAgainst, searches for an input permutation per library
+// entry and remains the reference oracle for tests. The fast path is the
+// canonical-form Index: every library entry's Canon() form is precomputed
+// into a hash table once (NewIndex, with optional output-polarity closure
+// for libraries that do not already contain both polarities), after which
+// classifying a cut costs one Canon() plus one map probe, and the leaf→
+// argument correspondence is recovered from the stored permutations. Both
+// paths provably accept exactly the same functions: Canon() is invariant
+// under input permutation, so canon(f) == canon(g) iff MatchAgainst would
+// find a permutation between f and g.
 package truth
 
 import (
@@ -160,10 +174,77 @@ func identity(n int) []int {
 
 // Permute returns g with g(x_0..x_{n-1}) = t(x_{p[0]}, ..., x_{p[n-1]}):
 // input j of t is driven by variable p[j] of the result.
+//
+// When p is a true permutation of 0..N-1 (the only case the matching
+// algorithms produce) the result is computed with at most N-1 masked
+// bit-pair swaps — O(N) word operations instead of the O(2^N · N) row loop,
+// which is what makes Canon() and the canonical-form Index cheap. Degenerate
+// maps fall back to the row loop for legacy behavior.
 func (t Table) Permute(p []int) Table {
 	if len(p) != t.N {
 		panic("truth: permutation length mismatch")
 	}
+	if !isPermutation(p, t.N) {
+		return t.permuteSlow(p)
+	}
+	return Table{Bits: permuteBits(t.Bits&Mask(t.N), p), N: t.N}
+}
+
+// isPermutation reports whether p is a bijection on 0..n-1.
+func isPermutation(p []int, n int) bool {
+	var seen uint8
+	for _, v := range p {
+		if v < 0 || v >= n || seen>>uint(v)&1 == 1 {
+			return false
+		}
+		seen |= 1 << uint(v)
+	}
+	return true
+}
+
+// swapRowBits exchanges row bits a and b of a truth table: the returned word
+// w satisfies w[r] = bits[r with bits a and b swapped]. It is the word-level
+// primitive behind the fast Permute: rows with bit a=1, b=0 trade places
+// with their partners at +((1<<b)-(1<<a)) in one masked delta swap.
+func swapRowBits(bits uint64, a, b int) uint64 {
+	if a == b {
+		return bits
+	}
+	if a > b {
+		a, b = b, a
+	}
+	m := varPattern[a] &^ varPattern[b]
+	s := uint(1)<<uint(b) - uint(1)<<uint(a)
+	d := (bits ^ bits>>s) & m
+	return bits ^ d ^ d<<s
+}
+
+// permuteBits applies the row permutation of Permute(p) to bits. It tracks
+// the permutation q realized so far (starting from the identity); exchanging
+// q's entries at positions j and k corresponds exactly to swapRowBits on the
+// row bits q[j], q[k], so p is reached with at most len(p)-1 transpositions.
+func permuteBits(bits uint64, p []int) uint64 {
+	var q, pos [MaxVars]int
+	n := len(p)
+	for i := 0; i < n; i++ {
+		q[i], pos[i] = i, i
+	}
+	for j := 0; j < n; j++ {
+		v := p[j]
+		if q[j] == v {
+			continue
+		}
+		k := pos[v]
+		bits = swapRowBits(bits, q[j], q[k])
+		q[j], q[k] = q[k], q[j]
+		pos[q[j]], pos[q[k]] = j, k
+	}
+	return bits
+}
+
+// permuteSlow is the reference row-by-row implementation, kept for
+// degenerate (non-bijective) maps.
+func (t Table) permuteSlow(p []int) Table {
 	out := Table{N: t.N}
 	for r := uint(0); r < 1<<uint(t.N); r++ {
 		var tr uint
@@ -183,6 +264,11 @@ func (t Table) Permute(p []int) Table {
 // and equals t(x_{m[0]}, ..., x_{m[len(m)-1]}). len(m) must equal t.N and
 // every m[j] must be < n. It is used to bring cut functions over different
 // leaf sets into a common space.
+//
+// For injective maps (every cut merge produces one) the expansion is
+// word-parallel: the table is replicated onto the vacuous top variables with
+// shifted ORs and then permuted into place, O(n) word operations in total.
+// This is the inner loop of cut enumeration.
 func (t Table) Expand(m []int, n int) Table {
 	if len(m) != t.N {
 		panic("truth: Expand map length mismatch")
@@ -190,6 +276,36 @@ func (t Table) Expand(m []int, n int) Table {
 	if n > MaxVars {
 		panic("truth: Expand beyond MaxVars")
 	}
+	var seen uint8
+	for _, v := range m {
+		if v < 0 || v >= n || seen>>uint(v)&1 == 1 {
+			return t.expandSlow(m, n) // non-injective or out-of-range map
+		}
+		seen |= 1 << uint(v)
+	}
+	// Replicate onto vacuous variables t.N..n-1, then send variable j of t
+	// to position m[j]; the vacuous variables fill the remaining slots in
+	// ascending order (their placement is irrelevant — the function does
+	// not depend on them).
+	bits := t.Bits & Mask(t.N)
+	for i := t.N; i < n; i++ {
+		bits |= bits << (1 << uint(i))
+	}
+	var p [MaxVars]int
+	copy(p[:], m)
+	next := t.N
+	for v := 0; v < n; v++ {
+		if seen>>uint(v)&1 == 0 {
+			p[next] = v
+			next++
+		}
+	}
+	return Table{Bits: permuteBits(bits, p[:n]), N: n}
+}
+
+// expandSlow is the reference row-by-row implementation, kept for
+// degenerate maps.
+func (t Table) expandSlow(m []int, n int) Table {
 	out := Table{N: n}
 	for r := uint(0); r < 1<<uint(n); r++ {
 		var tr uint
@@ -252,14 +368,17 @@ func (t Table) Canon() (Table, []int) {
 	// order[j].sig (the j-th smallest). Since signatures are determined by
 	// the function itself, every permutation-equivalent table induces the
 	// same slot requirements, and the candidate sets below coincide.
-	best := Table{Bits: ^uint64(0), N: n}
+	// best starts unset rather than at a ^0 sentinel: the all-ones table of
+	// MaxVars variables has Bits == ^0, and a sentinel comparison would
+	// never accept it, returning a nil permutation.
+	best := Table{N: n}
 	var bestPerm []int
 	perm := make([]int, n) // perm[v] = result slot assigned to variable v
 	var rec func(k int)
 	rec = func(k int) {
 		if k == n {
 			cand := t.Permute(perm)
-			if cand.Bits < best.Bits {
+			if bestPerm == nil || cand.Bits < best.Bits {
 				best = cand
 				bestPerm = append(bestPerm[:0], perm...)
 			}
