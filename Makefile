@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-stagecache bench-match conformance fuzz vet load-smoke resume-smoke coverage ci
+.PHONY: build test test-short test-race bench bench-stagecache bench-match conformance fuzz vet load-smoke resume-smoke chaos-smoke coverage ci
 
 build:
 	$(GO) build ./...
@@ -78,16 +78,27 @@ load-smoke:
 resume-smoke:
 	$(GO) test -race -run 'TestStageCacheWarmDeterminism|TestStageCacheResumeAfterStageTimeout' -count 1 .
 
+# Fleet chaos smoke: a coordinator plus three peer workers under the race
+# detector, with seeded fault injection on ~30% of fleet requests
+# (refused connections, 5xx, latency, truncated bodies) and one peer
+# killed mid-job. Asserts the merged report is byte-identical to a
+# healthy single-process run, the dead-fleet path falls back locally to
+# the same bytes, and no goroutines leak.
+chaos-smoke:
+	$(GO) test -race -run 'TestFleetChaosSmoke|TestFleetAllPeersDownFallsBackLocal' -count 1 ./internal/server
+
 # Mirrors .github/workflows/ci.yml: full build + vet + tests, a short-mode
-# race pass, the revand load smoke, the conformance matrix, the matching
-# microbenchmark, the coverage gate, and 30-second fuzz smokes of the
-# parsers, the report decoder, and the canonicalizer.
+# race pass, the revand load smoke, the fleet chaos smoke, the
+# conformance matrix, the matching microbenchmark, the coverage gate, and
+# 30-second fuzz smokes of the parsers, the report decoder, and the
+# canonicalizer.
 ci: build vet
 	$(GO) test ./...
 	$(GO) test -short -race ./...
 	$(GO) test -race -run 'TestLoadSmoke' -count 1 ./internal/server
 	$(GO) test -race -run 'TestRunServesAndDrainsOnSIGTERM' -count 1 ./cmd/revand
 	$(GO) test -race -run 'TestStageCacheWarmDeterminism|TestStageCacheResumeAfterStageTimeout' -count 1 .
+	$(MAKE) chaos-smoke
 	$(MAKE) conformance
 	$(MAKE) bench-match
 	$(MAKE) coverage

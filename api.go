@@ -117,6 +117,10 @@ type Netlist = netlist.Netlist
 // ID identifies a netlist node.
 type ID = netlist.ID
 
+// NilID is the invalid node ID, returned by lookups that find nothing
+// (e.g. Netlist.FindByName).
+const NilID = netlist.Nil
+
 // Kind enumerates netlist primitives (And, Or, Not, Latch, ...).
 type Kind = netlist.Kind
 

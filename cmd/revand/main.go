@@ -8,6 +8,13 @@
 //	revand -addr :8080
 //	revand -addr :8080 -workers 4 -queue 128 -cache 512 -timeout 2m
 //	revand -addr :8080 -stage-cache 2048   # larger stage artifact store
+//	revand -addr :8080 -fleet -peers http://10.0.0.7:8080,http://10.0.0.8:8080
+//
+// With -fleet, netlists of at least -fleet-min elements are reset-tree
+// partitioned and the partitions dispatched as jobs to the -peers workers
+// (with retries, hedging, and circuit breakers); the merged report is
+// byte-identical to a single-process run, and a dead fleet degrades to
+// local execution. See the README "Fleet mode" section.
 //
 // SIGINT/SIGTERM starts a graceful shutdown: the listener stops accepting
 // requests, queued and running jobs drain (bounded by -drain-timeout,
@@ -29,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +62,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		syncLimit    = fs.Int("sync-limit", 20000, "max netlist elements on POST /v1/analyze; larger designs must use /v1/jobs (negative disables)")
 		maxBody      = fs.Int64("max-body", 32<<20, "max request body bytes")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for queued jobs before canceling them")
+		readTimeout  = fs.Duration("read-timeout", 2*time.Minute, "max time to read a full request (0 disables; headers are always bounded separately)")
+		fleetMode    = fs.Bool("fleet", false, "enable fleet coordinator mode: large netlists are partitioned and dispatched to -peers")
+		peerList     = fs.String("peers", "", "comma-separated peer revand base URLs (e.g. http://10.0.0.7:8080,http://10.0.0.8:8080)")
+		fleetMin     = fs.Int("fleet-min", 2000, "smallest netlist (gates+latches) the fleet path partitions; smaller requests stay single-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,6 +73,16 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 
 	if *workers < 0 || *queueDepth < 1 {
 		fmt.Fprintln(stderr, "revand: -workers must be >= 0 and -queue >= 1")
+		return 2
+	}
+	var peers []string
+	for _, p := range strings.Split(*peerList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
+	if len(peers) > 0 && !*fleetMode {
+		fmt.Fprintln(stderr, "revand: -peers requires -fleet")
 		return 2
 	}
 	cfg := server.Config{
@@ -71,13 +93,22 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		MaxRequestBytes:   *maxBody,
 		DefaultTimeout:    *timeout,
 		MaxSyncElements:   *syncLimit,
+		Fleet:             *fleetMode,
+		Peers:             peers,
+		FleetMinElements:  *fleetMin,
 	}
 
 	logger := log.New(stdout, "revand: ", log.LstdFlags)
 	srv := server.New(cfg)
+	// ReadTimeout bounds slow-loris request bodies; WriteTimeout is left
+	// unset deliberately — synchronous /v1/analyze responses legitimately
+	// take minutes on large designs, and cutting the write would turn a
+	// finished analysis into a client-visible failure.
 	httpSrv := &http.Server{
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -87,6 +118,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 	logger.Printf("serving on %s (queue depth %d, cache %d entries, stage cache %d entries)",
 		ln.Addr(), *queueDepth, *cacheEntries, *stageCache)
+	if *fleetMode {
+		logger.Printf("fleet mode: %d peers, min %d elements", len(peers), *fleetMin)
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

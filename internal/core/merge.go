@@ -1,0 +1,102 @@
+package core
+
+// Partition-report merging: the entry point a fleet coordinator (or any
+// partitioned analysis) uses to combine per-partition resolved module
+// sets into one Report for the parent netlist. The merge mirrors the
+// scheduler's canonical-order guarantee at the next level up: partials
+// are concatenated in the caller's (deterministic) partition order and
+// pushed through the same overlap resolution the single-process pipeline
+// uses, so the merged report depends only on the partition contents —
+// never on which worker computed each partial, in what order they
+// arrived, or how many retries, hedges, or local fallbacks it took to
+// obtain them.
+
+import (
+	"context"
+	"time"
+
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+	"netlistre/internal/overlap"
+)
+
+// Partial is one partition's contribution to a merged report. Modules
+// must already be remapped into the parent netlist's ID space.
+type Partial struct {
+	// Name identifies the partition (the anchoring reset input's name).
+	Name string
+	// Modules is the partition's resolved module set, in the partition
+	// report's canonical order.
+	Modules []*module.Module
+	// Degraded marks a partial obtained from an incomplete partition
+	// analysis; it propagates to the merged report's Degraded flag.
+	Degraded bool
+	// Duration is the wall clock spent obtaining the partial (dispatch
+	// plus analysis); recorded in the merged report's trace.
+	Duration time.Duration
+}
+
+// MergePartitioned builds the parent netlist's Report from per-partition
+// partials: the module lists are concatenated in partial order (the
+// canonical pre-resolution set), overlap resolution selects the final
+// non-overlapping subset — resolving both intra-partition leftovers and
+// modules claimed by multiple partitions through shared (multi-owned)
+// gates — and coverage is accounted against the whole parent. Only
+// opt.Overlap is consulted. The merged trace carries one entry per
+// partition plus one for the merge itself, so fleet runs remain
+// observable stage by stage.
+func MergePartitioned(ctx context.Context, nl *netlist.Netlist, opt Options, parts []Partial) *Report {
+	start := time.Now()
+	rep := &Report{Netlist: nl}
+	stats := nl.Stats()
+	rep.TotalElements = stats.Gates + stats.Latches
+
+	var all []*module.Module
+	var offset time.Duration
+	for _, p := range parts {
+		all = append(all, p.Modules...)
+		t := StageTiming{
+			Name:     "part:" + p.Name,
+			Start:    offset,
+			Duration: p.Duration,
+			Modules:  len(p.Modules),
+		}
+		if p.Degraded {
+			t.Status = StageFailed
+			t.Err = "partition analysis degraded"
+			rep.Degraded = true
+		}
+		rep.Trace = append(rep.Trace, t)
+		offset += p.Duration
+	}
+
+	rep.All = all
+	rep.CoverageBefore = module.CoverageCount(all)
+	rep.CountsBefore = module.CountByType(all)
+	rep.CountsAfter = map[module.Type]int{}
+
+	mergeStart := time.Now()
+	o := opt.Overlap
+	o.Interrupt = interruptOf(ctx)
+	res, err := overlap.Resolve(all, o)
+	if err == nil {
+		rep.Resolved = res.Selected
+		rep.CoverageAfter = res.Coverage
+		rep.OverlapOptimal = res.Optimal
+		rep.CountsAfter = module.CountByType(res.Selected)
+	} else {
+		rep.OverlapErr = err
+	}
+	rep.Trace = append(rep.Trace, StageTiming{
+		Name:     "merge",
+		Start:    offset,
+		Duration: time.Since(mergeStart),
+		Modules:  len(rep.Resolved),
+	})
+
+	if ctx != nil && ctx.Err() != nil {
+		rep.Degraded = true
+	}
+	rep.Runtime = time.Since(start)
+	return rep
+}

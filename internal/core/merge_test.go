@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"netlistre/internal/module"
+	"netlistre/internal/netlist"
+)
+
+// mergeFixture builds a small parent netlist plus two partials whose
+// module sets overlap on one shared gate, exercising cross-partition
+// overlap resolution.
+func mergeFixture() (*netlist.Netlist, []Partial) {
+	nl := netlist.New("parent")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	var gates []netlist.ID
+	prev := a
+	for i := 0; i < 8; i++ {
+		prev = nl.AddGate(netlist.Xor, prev, b)
+		gates = append(gates, prev)
+	}
+	nl.MarkOutput("o", prev)
+
+	// Partition A claims gates 0-4 as an adder; partition B claims gates
+	// 4-7 as a mux. Gate 4 is multi-owned, so overlap resolution must drop
+	// or trim one of them.
+	mA := module.New(module.Adder, 4, gates[0:5])
+	mB := module.New(module.Mux, 2, gates[4:8])
+	return nl, []Partial{
+		{Name: "rst_a", Modules: []*module.Module{mA}, Duration: 10 * time.Millisecond},
+		{Name: "rst_b", Modules: []*module.Module{mB}, Duration: 20 * time.Millisecond},
+	}
+}
+
+func TestMergePartitionedCombinesAndResolves(t *testing.T) {
+	nl, parts := mergeFixture()
+	rep := MergePartitioned(context.Background(), nl, Options{}, parts)
+
+	if rep.Degraded {
+		t.Error("merge of healthy partials must not be degraded")
+	}
+	if len(rep.All) != 2 {
+		t.Fatalf("All has %d modules, want the 2 concatenated partials", len(rep.All))
+	}
+	if rep.All[0] != parts[0].Modules[0] || rep.All[1] != parts[1].Modules[0] {
+		t.Error("All must preserve partial order (canonical-order contract)")
+	}
+	if id, ok := module.Disjoint(rep.Resolved); !ok {
+		t.Errorf("resolved modules still overlap on element %d", id)
+	}
+	if len(rep.Resolved) == 0 {
+		t.Error("overlap resolution selected nothing")
+	}
+	if rep.CoverageAfter > rep.CoverageBefore {
+		t.Errorf("coverage grew across resolution: %d -> %d", rep.CoverageBefore, rep.CoverageAfter)
+	}
+	if rep.TotalElements != nl.Stats().Gates+nl.Stats().Latches {
+		t.Errorf("TotalElements = %d, want the parent's element count", rep.TotalElements)
+	}
+
+	// Trace: one entry per partition, then the merge, with stacked starts.
+	wantTrace := []string{"part:rst_a", "part:rst_b", "merge"}
+	if len(rep.Trace) != len(wantTrace) {
+		t.Fatalf("trace has %d entries, want %d", len(rep.Trace), len(wantTrace))
+	}
+	for i, name := range wantTrace {
+		if rep.Trace[i].Name != name {
+			t.Errorf("trace[%d] = %s, want %s", i, rep.Trace[i].Name, name)
+		}
+	}
+	if rep.Trace[1].Start != parts[0].Duration {
+		t.Errorf("part:rst_b starts at %v, want stacked after %v", rep.Trace[1].Start, parts[0].Duration)
+	}
+}
+
+func TestMergePartitionedIsDeterministic(t *testing.T) {
+	nl, parts := mergeFixture()
+	a := MergePartitioned(context.Background(), nl, Options{}, parts)
+	b := MergePartitioned(context.Background(), nl, Options{}, parts)
+	if len(a.Resolved) != len(b.Resolved) {
+		t.Fatalf("runs resolved %d vs %d modules", len(a.Resolved), len(b.Resolved))
+	}
+	for i := range a.Resolved {
+		if a.Resolved[i] != b.Resolved[i] {
+			t.Errorf("resolved[%d] differs between identical merges", i)
+		}
+	}
+	if a.CoverageAfter != b.CoverageAfter {
+		t.Errorf("coverage differs: %d vs %d", a.CoverageAfter, b.CoverageAfter)
+	}
+}
+
+func TestMergePartitionedDegradedPropagates(t *testing.T) {
+	nl, parts := mergeFixture()
+	parts[1].Degraded = true
+	rep := MergePartitioned(context.Background(), nl, Options{}, parts)
+	if !rep.Degraded {
+		t.Error("a degraded partial must mark the merged report degraded")
+	}
+	st := rep.Trace[1]
+	if st.Status != StageFailed || st.Err == "" {
+		t.Errorf("degraded partial's trace entry = %+v, want a failed stage with an error", st)
+	}
+	// The healthy partial's entry stays clean.
+	if rep.Trace[0].Status == StageFailed {
+		t.Error("healthy partial's trace entry marked failed")
+	}
+}
+
+func TestMergePartitionedCanceledContext(t *testing.T) {
+	nl, parts := mergeFixture()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := MergePartitioned(ctx, nl, Options{}, parts)
+	if !rep.Degraded {
+		t.Error("merge under a canceled context must be degraded")
+	}
+}

@@ -1,0 +1,214 @@
+// Package chaos provides a fault-injecting http.RoundTripper for testing
+// fleet mode against an unreliable network. Faults are drawn from a
+// seeded source, so a chaos run is reproducible: the same seed injects
+// the same fault sequence. Supported faults:
+//
+//   - refused connections (the request never reaches the peer)
+//   - added latency (bounded, respecting the request context)
+//   - synthesized 5xx responses (the peer is never consulted)
+//   - truncated response bodies (the peer answers, the client reads a cut
+//     stream and fails to decode it)
+//   - mid-job peer death: Kill(host) makes every later request to that
+//     host fail, regardless of probabilities — the wrapped server can be
+//     shut down alongside to complete the illusion
+//
+// The transport never mutates a request body it forwards, so an injected
+// fault can make an attempt fail but can never corrupt what a surviving
+// attempt computes — exactly the failure model fleet mode promises to
+// absorb.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config sets per-request fault probabilities. Probabilities are checked
+// in order (refuse, delay, 5xx, truncate); at most one fault fires per
+// request. The zero value injects nothing.
+type Config struct {
+	// Seed seeds the fault source (0 selects a fixed default).
+	Seed int64
+	// RefuseProb is the probability of failing a request with a
+	// connection-refused error.
+	RefuseProb float64
+	// DelayProb is the probability of delaying a request by up to
+	// MaxDelay before forwarding it.
+	DelayProb float64
+	// MaxDelay bounds injected latency (default 50ms).
+	MaxDelay time.Duration
+	// ErrorProb is the probability of answering 503 without forwarding.
+	ErrorProb float64
+	// TruncateProb is the probability of forwarding the request but
+	// cutting the response body in half.
+	TruncateProb float64
+}
+
+// Transport is the fault-injecting RoundTripper. Wrap it around a real
+// transport and install it as an http.Client's Transport.
+type Transport struct {
+	// Next is the wrapped transport (nil selects http.DefaultTransport).
+	Next http.RoundTripper
+
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	dead   map[string]bool
+	counts Counts
+}
+
+// Counts tallies injected faults for test assertions.
+type Counts struct {
+	Requests  int64 // requests seen (including faulted ones)
+	Refused   int64
+	Delayed   int64
+	Errored   int64
+	Truncated int64
+	DeadHost  int64 // requests rejected because their host was Killed
+}
+
+// Total returns the number of injected faults (excluding delays, which
+// slow an attempt but do not fail it).
+func (c Counts) Total() int64 { return c.Refused + c.Errored + c.Truncated + c.DeadHost }
+
+// New builds a fault-injecting transport over next.
+func New(next http.RoundTripper, cfg Config) *Transport {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 50 * time.Millisecond
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Transport{
+		Next: next,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+		dead: make(map[string]bool),
+	}
+}
+
+// Kill marks a host (as in req.URL.Host, "addr:port") permanently dead:
+// every subsequent request to it fails with a connection error. Combine
+// with shutting the real server down to simulate a peer dying mid-job.
+func (t *Transport) Kill(host string) {
+	t.mu.Lock()
+	t.dead[host] = true
+	t.mu.Unlock()
+}
+
+// Counts returns a snapshot of the fault tallies.
+func (t *Transport) Counts() Counts {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts
+}
+
+// fault is the decision drawn for one request.
+type fault int
+
+const (
+	faultNone fault = iota
+	faultRefuse
+	faultDelay
+	faultError
+	faultTruncate
+	faultDead
+)
+
+// draw picks the request's fault under the lock, so the fault sequence
+// depends only on the seed and the request order.
+func (t *Transport) draw(host string) (fault, time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.counts.Requests++
+	if t.dead[host] {
+		t.counts.DeadHost++
+		return faultDead, 0
+	}
+	roll := t.rng.Float64()
+	switch {
+	case roll < t.cfg.RefuseProb:
+		t.counts.Refused++
+		return faultRefuse, 0
+	case roll < t.cfg.RefuseProb+t.cfg.DelayProb:
+		t.counts.Delayed++
+		delay := time.Duration(t.rng.Int63n(int64(t.cfg.MaxDelay)) + 1)
+		return faultDelay, delay
+	case roll < t.cfg.RefuseProb+t.cfg.DelayProb+t.cfg.ErrorProb:
+		t.counts.Errored++
+		return faultError, 0
+	case roll < t.cfg.RefuseProb+t.cfg.DelayProb+t.cfg.ErrorProb+t.cfg.TruncateProb:
+		t.counts.Truncated++
+		return faultTruncate, 0
+	}
+	return faultNone, 0
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	next := t.Next
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	f, delay := t.draw(req.URL.Host)
+	switch f {
+	case faultDead:
+		return nil, fmt.Errorf("chaos: connect %s: host is dead", req.URL.Host)
+	case faultRefuse:
+		return nil, fmt.Errorf("chaos: connect %s: connection refused", req.URL.Host)
+	case faultDelay:
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return next.RoundTrip(req)
+	case faultError:
+		body := `{"error":"chaos: injected server error"}`
+		return &http.Response{
+			StatusCode:    http.StatusServiceUnavailable,
+			Status:        "503 Service Unavailable",
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case faultTruncate:
+		resp, err := next.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		return truncateBody(resp), nil
+	}
+	return next.RoundTrip(req)
+}
+
+// truncateBody reads the response and returns it with the body cut in
+// half, so the client sees a well-formed status line but a stream that
+// ends mid-payload.
+func truncateBody(resp *http.Response) *http.Response {
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		// The body already failed on its own; pass the failure through.
+		resp.Body = io.NopCloser(strings.NewReader(""))
+		return resp
+	}
+	cut := b[:len(b)/2]
+	resp.Body = io.NopCloser(strings.NewReader(string(cut)))
+	resp.ContentLength = int64(len(cut))
+	resp.Header.Del("Content-Length")
+	return resp
+}

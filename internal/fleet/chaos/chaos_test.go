@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// drive sends n GET requests through the transport against srv and
+// returns the outcome signature: one letter per request (ok, refused,
+// 5xx, truncated, dead).
+func drive(t *testing.T, tr *Transport, srv *httptest.Server, n int) string {
+	t.Helper()
+	client := &http.Client{Transport: tr}
+	var sig strings.Builder
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(srv.URL + "/payload")
+		if err != nil {
+			switch {
+			case strings.Contains(err.Error(), "host is dead"):
+				sig.WriteByte('d')
+			case strings.Contains(err.Error(), "connection refused"):
+				sig.WriteByte('r')
+			default:
+				t.Fatalf("request %d: unexpected error %v", i, err)
+			}
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			sig.WriteByte('e')
+		case rerr != nil || len(body) < 32:
+			sig.WriteByte('t') // truncated: full payload is 32 bytes
+		default:
+			sig.WriteByte('o')
+		}
+	}
+	return sig.String()
+}
+
+func payloadServer() *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, strings.Repeat("x", 32))
+	}))
+}
+
+func TestSeededFaultSequenceIsReproducible(t *testing.T) {
+	srv := payloadServer()
+	defer srv.Close()
+	cfg := Config{Seed: 99, RefuseProb: 0.2, ErrorProb: 0.2, TruncateProb: 0.2}
+
+	a := drive(t, New(nil, cfg), srv, 50)
+	b := drive(t, New(nil, cfg), srv, 50)
+	if a != b {
+		t.Fatalf("same seed produced different fault sequences:\n%s\n%s", a, b)
+	}
+	if !strings.ContainsAny(a, "ret") || !strings.Contains(a, "o") {
+		t.Fatalf("sequence %s should mix faults and successes", a)
+	}
+
+	cfg.Seed = 100
+	c := drive(t, New(nil, cfg), srv, 50)
+	if a == c {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestEachFaultKindObservable(t *testing.T) {
+	srv := payloadServer()
+	defer srv.Close()
+	tr := New(nil, Config{Seed: 7, RefuseProb: 0.15, DelayProb: 0.15, MaxDelay: time.Millisecond, ErrorProb: 0.15, TruncateProb: 0.15})
+	sig := drive(t, tr, srv, 200)
+
+	counts := tr.Counts()
+	if counts.Requests != 200 {
+		t.Errorf("Requests = %d, want 200", counts.Requests)
+	}
+	for _, c := range []struct {
+		name string
+		got  int64
+	}{
+		{"Refused", counts.Refused},
+		{"Delayed", counts.Delayed},
+		{"Errored", counts.Errored},
+		{"Truncated", counts.Truncated},
+	} {
+		if c.got == 0 {
+			t.Errorf("%s = 0 after 200 requests at 15%% each", c.name)
+		}
+	}
+	if counts.Total() != counts.Refused+counts.Errored+counts.Truncated {
+		t.Errorf("Total() = %d must exclude delays", counts.Total())
+	}
+	// The observed wire behavior must match the counters.
+	if int64(strings.Count(sig, "r")) != counts.Refused {
+		t.Errorf("observed %d refusals, counted %d", strings.Count(sig, "r"), counts.Refused)
+	}
+	if int64(strings.Count(sig, "e")) != counts.Errored {
+		t.Errorf("observed %d 503s, counted %d", strings.Count(sig, "e"), counts.Errored)
+	}
+	if int64(strings.Count(sig, "t")) != counts.Truncated {
+		t.Errorf("observed %d truncations, counted %d", strings.Count(sig, "t"), counts.Truncated)
+	}
+}
+
+func TestTruncateCutsBodyInHalf(t *testing.T) {
+	srv := payloadServer()
+	defer srv.Close()
+	tr := New(nil, Config{Seed: 1, TruncateProb: 1})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) != 16 {
+		t.Fatalf("truncated body is %d bytes, want 16 (half of 32)", len(body))
+	}
+}
+
+func TestKillMakesHostPermanentlyDead(t *testing.T) {
+	srv := payloadServer()
+	defer srv.Close()
+	tr := New(nil, Config{Seed: 1})
+	client := &http.Client{Transport: tr}
+
+	if _, err := client.Get(srv.URL); err != nil {
+		t.Fatalf("pre-kill request: %v", err)
+	}
+	tr.Kill(strings.TrimPrefix(srv.URL, "http://"))
+	for i := 0; i < 3; i++ {
+		if _, err := client.Get(srv.URL); err == nil || !strings.Contains(err.Error(), "host is dead") {
+			t.Fatalf("post-kill request %d: err = %v, want host-is-dead", i, err)
+		}
+	}
+	if c := tr.Counts(); c.DeadHost != 3 {
+		t.Errorf("DeadHost = %d, want 3", c.DeadHost)
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	srv := payloadServer()
+	defer srv.Close()
+	sig := drive(t, New(nil, Config{}), srv, 20)
+	if sig != strings.Repeat("o", 20) {
+		t.Fatalf("zero config produced faults: %s", sig)
+	}
+}

@@ -1,0 +1,381 @@
+package fleet
+
+// Dispatcher: runs tasks against the fleet with bounded parallelism,
+// retries with seeded-jitter exponential backoff, hedged re-dispatch of
+// slow attempts, and per-task local fallback.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Dispatcher executes Tasks against a Registry of peers.
+type Dispatcher struct {
+	reg    *Registry
+	client *http.Client
+	opt    Options
+	stats  counters
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewDispatcher builds a dispatcher. client is used for job submission
+// and polling (nil selects http.DefaultClient).
+func NewDispatcher(reg *Registry, client *http.Client, opt Options) *Dispatcher {
+	opt = opt.withDefaults()
+	if client == nil {
+		client = http.DefaultClient
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Dispatcher{
+		reg:    reg,
+		client: client,
+		opt:    opt,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Stats snapshots the dispatcher's counters.
+func (d *Dispatcher) Stats() Stats { return d.stats.snapshot() }
+
+// Run dispatches all tasks with Options.Parallel concurrency and returns
+// their results in task order. Run returns only when every task has
+// resolved (remotely or via local fallback) and every hedge goroutine has
+// exited; it never leaks goroutines past its return.
+func (d *Dispatcher) Run(ctx context.Context, tasks []Task) []Result {
+	results := make([]Result, len(tasks))
+	sem := make(chan struct{}, d.opt.Parallel)
+	var wg sync.WaitGroup
+	for i := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = d.runTask(ctx, tasks[i])
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// retryAfterError carries a server-suggested delay from a 503 response;
+// the retry backoff stretches to honor it.
+type retryAfterError struct {
+	err   error
+	delay time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// runTask walks one task through the dispatch state machine:
+// dispatch -> retry (backoff+jitter) -> hedge -> local fallback.
+func (d *Dispatcher) runTask(ctx context.Context, t Task) Result {
+	start := time.Now()
+	res := Result{Key: t.Key, Source: "local"}
+
+	var suggested time.Duration
+	for attempt := 0; attempt < d.opt.MaxAttempts && ctx.Err() == nil; attempt++ {
+		peer := d.reg.Pick(nil)
+		if peer == nil {
+			break // no eligible peer: straight to local fallback
+		}
+		if attempt > 0 {
+			d.stats.add(func(s *Stats) { s.Retries++ })
+			if !d.sleep(ctx, d.backoff(attempt, suggested)) {
+				break
+			}
+		}
+		report, src, hedged, err := d.attemptPair(ctx, peer, t.Body)
+		if hedged {
+			res.Hedged = true
+		}
+		if err == nil {
+			res.Report = report
+			res.Source = src
+			res.Attempts = attempt + 1
+			res.Duration = time.Since(start)
+			d.stats.add(func(s *Stats) { s.Remote++ })
+			return res
+		}
+		res.Attempts = attempt + 1
+		var ra *retryAfterError
+		if errors.As(err, &ra) {
+			suggested = ra.delay
+		} else {
+			suggested = 0
+		}
+	}
+
+	// Local fallback: the fleet could not produce the report, the
+	// coordinator computes it itself.
+	report, err := t.Local(ctx)
+	res.Report = report
+	res.Err = err
+	res.Duration = time.Since(start)
+	d.stats.add(func(s *Stats) { s.Local++ })
+	return res
+}
+
+// backoff computes the pre-attempt delay: exponential from BaseBackoff,
+// capped at MaxBackoff, minus up to 50% deterministic jitter, stretched
+// to any server-suggested Retry-After.
+func (d *Dispatcher) backoff(attempt int, suggested time.Duration) time.Duration {
+	delay := d.opt.BaseBackoff << (attempt - 1)
+	if delay > d.opt.MaxBackoff || delay <= 0 {
+		delay = d.opt.MaxBackoff
+	}
+	d.rngMu.Lock()
+	jitter := time.Duration(d.rng.Int63n(int64(delay)/2 + 1))
+	d.rngMu.Unlock()
+	delay -= jitter
+	if suggested > delay {
+		delay = suggested
+	}
+	return delay
+}
+
+// sleep waits for dur unless ctx ends first, reporting whether the full
+// wait elapsed.
+func (d *Dispatcher) sleep(ctx context.Context, dur time.Duration) bool {
+	if dur <= 0 {
+		return true
+	}
+	timer := time.NewTimer(dur)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// attemptPair runs one dispatch attempt against primary, hedging onto a
+// second peer after HedgeAfter if the primary is still running. The first
+// success wins; both goroutines are joined before returning so a slow
+// loser cannot outlive the call.
+func (d *Dispatcher) attemptPair(ctx context.Context, primary *Peer, body []byte) (report []byte, source string, hedged bool, err error) {
+	ctx, cancel := context.WithTimeout(ctx, d.opt.AttemptTimeout)
+	defer cancel()
+
+	outcomes := make(chan attemptOutcome, 2)
+	var wg sync.WaitGroup
+	launched := 1
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b, e := d.attempt(ctx, primary, body)
+		outcomes <- attemptOutcome{b, primary, e}
+	}()
+
+	var hedgeTimer <-chan time.Time
+	if d.opt.HedgeAfter > 0 {
+		timer := time.NewTimer(d.opt.HedgeAfter)
+		defer timer.Stop()
+		hedgeTimer = timer.C
+	}
+
+	var firstErr error
+	seen := 0
+	for seen < launched {
+		select {
+		case o := <-outcomes:
+			seen++
+			if o.err == nil {
+				// Winner: record breaker success, cancel the straggler, and
+				// wait for it so no goroutine outlives the attempt.
+				o.peer.Success()
+				cancel()
+				wg.Wait()
+				d.drainOutcomes(ctx, outcomes, launched-seen)
+				if hedged && o.peer != primary {
+					d.stats.add(func(s *Stats) { s.HedgeWins++ })
+				}
+				return o.report, o.peer.URL, hedged, nil
+			}
+			d.feedFailure(ctx, o.peer, o.err)
+			if firstErr == nil {
+				firstErr = o.err
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			second := d.reg.Pick(map[*Peer]bool{primary: true})
+			if second == nil {
+				continue
+			}
+			hedged = true
+			d.stats.add(func(s *Stats) { s.Hedges++ })
+			launched++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b, e := d.attempt(ctx, second, body)
+				outcomes <- attemptOutcome{b, second, e}
+			}()
+		}
+	}
+	wg.Wait()
+	return nil, "", hedged, firstErr
+}
+
+// attemptOutcome is one attempt goroutine's result.
+type attemptOutcome struct {
+	report []byte
+	peer   *Peer
+	err    error
+}
+
+// drainOutcomes consumes the losers' outcomes after a winner, feeding
+// their failures (if real, not winner-induced cancellation) to breakers.
+func (d *Dispatcher) drainOutcomes(ctx context.Context, outcomes chan attemptOutcome, n int) {
+	for i := 0; i < n; i++ {
+		o := <-outcomes
+		if o.err != nil {
+			d.feedFailure(ctx, o.peer, o.err)
+		}
+	}
+}
+
+// feedFailure records a failed attempt on a peer's breaker — unless the
+// failure is just our own cancellation of a losing hedge, which says
+// nothing about the peer's health.
+func (d *Dispatcher) feedFailure(ctx context.Context, p *Peer, err error) {
+	if errors.Is(err, context.Canceled) && ctx.Err() != nil && !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return
+	}
+	p.Failure()
+	d.stats.add(func(s *Stats) { s.Failures++ })
+}
+
+// attempt performs one full remote execution on a peer: submit the job,
+// poll it to a terminal state, return the report bytes. Only a "done"
+// job succeeds; "degraded" and "failed" are attempt failures (the local
+// fallback or another peer can still do better).
+func (d *Dispatcher) attempt(ctx context.Context, p *Peer, body []byte) ([]byte, error) {
+	id, err := d.submit(ctx, p, body)
+	if err != nil {
+		return nil, err
+	}
+	return d.poll(ctx, p, id)
+}
+
+// jobStatus is the subset of the /v1/jobs wire form the dispatcher needs.
+type jobStatus struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"`
+	Error  string          `json:"error"`
+	Report json.RawMessage `json:"report"`
+}
+
+func (d *Dispatcher) submit(ctx context.Context, p *Peer, body []byte) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		err := fmt.Errorf("fleet: %s: submit returned %s", p.URL, resp.Status)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				return "", &retryAfterError{err: err, delay: time.Duration(secs) * time.Second}
+			}
+		}
+		return "", err
+	}
+	var st jobStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return "", fmt.Errorf("fleet: %s: decoding submit response: %w", p.URL, err)
+	}
+	if st.ID == "" {
+		return "", fmt.Errorf("fleet: %s: submit response carries no job ID", p.URL)
+	}
+	return st.ID, nil
+}
+
+// maxPollFailures bounds consecutive status-poll failures before the
+// attempt is abandoned. Polls are idempotent reads: a long-running job is
+// polled hundreds of times, so on a lossy network (the chaos model
+// injects failures per request) a single dropped poll must not discard
+// an otherwise healthy in-flight job. Eight consecutive failures, on the
+// other hand, is a dead peer with overwhelming probability, and the
+// attempt moves on to retry, hedge, or local fallback.
+const maxPollFailures = 8
+
+func (d *Dispatcher) poll(ctx context.Context, p *Peer, id string) ([]byte, error) {
+	ticker := time.NewTicker(d.opt.PollInterval)
+	defer ticker.Stop()
+	consecutive := 0
+	for {
+		st, err := d.getJob(ctx, p, id)
+		switch {
+		case err != nil && ctx.Err() != nil:
+			return nil, ctx.Err()
+		case err != nil:
+			consecutive++
+			if consecutive >= maxPollFailures {
+				return nil, fmt.Errorf("fleet: %s: job %s lost after %d consecutive poll failures: %w",
+					p.URL, id, consecutive, err)
+			}
+		default:
+			consecutive = 0
+			switch st.Status {
+			case "done":
+				if len(st.Report) == 0 {
+					return nil, fmt.Errorf("fleet: %s: job %s done without a report", p.URL, id)
+				}
+				return st.Report, nil
+			case "degraded", "failed":
+				return nil, fmt.Errorf("fleet: %s: job %s ended %s: %s", p.URL, id, st.Status, st.Error)
+			}
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (d *Dispatcher) getJob(ctx context.Context, p *Peer, id string) (*jobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: %s: job %s status returned %s", p.URL, id, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %s: reading job %s status: %w", p.URL, id, err)
+	}
+	var st jobStatus
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, fmt.Errorf("fleet: %s: decoding job %s status: %w", p.URL, id, err)
+	}
+	return &st, nil
+}

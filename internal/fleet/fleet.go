@@ -1,0 +1,174 @@
+// Package fleet implements the coordinator side of revand's fault-tolerant
+// fleet mode: dispatching partition analysis jobs to peer revand workers
+// over the /v1/jobs API and degrading gracefully when peers are slow,
+// flaky, or dead.
+//
+// The dispatch state machine per task is
+//
+//	probe -> dispatch -> retry (backoff+jitter) -> hedge -> local fallback
+//
+// A task is first offered to a healthy peer (round-robin over the
+// registry, gated by per-peer circuit breakers). A failed attempt —
+// connection error, 5xx, truncated or malformed response, remote job
+// ending degraded or failed, or the per-attempt timeout — feeds the
+// peer's breaker and the task retries on the next eligible peer after an
+// exponential backoff with deterministic seeded jitter. An attempt that
+// is merely slow is hedged: after Options.HedgeAfter the task is
+// re-dispatched to a different peer and the first successful result wins.
+// When every remote attempt is exhausted (or no peer is eligible at all)
+// the task runs on the coordinator itself via its Local closure, so a
+// fully dead fleet degrades to single-process behavior instead of failing
+// the job.
+//
+// None of this machinery can change the analysis result: peers are
+// deterministic (reports are worker-count invariant), so which executor
+// computes a partition — and after how many retries — affects only
+// latency and the Stats counters, never the bytes a task resolves to.
+// That is the invariant the chaos tests (internal/fleet/chaos) pin down.
+package fleet
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Options tunes the dispatcher. The zero value of any field selects the
+// default noted on it.
+type Options struct {
+	// MaxAttempts bounds remote dispatch attempts per task before the
+	// task falls back to local execution (default 3). A hedged pair
+	// counts as one attempt.
+	MaxAttempts int
+	// BaseBackoff is the delay before the second attempt; it doubles per
+	// attempt up to MaxBackoff, with up to 50% deterministic jitter
+	// subtracted (defaults 50ms and 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// AttemptTimeout bounds one remote attempt end to end: job
+	// submission, polling, and report download (default 60s).
+	AttemptTimeout time.Duration
+	// HedgeAfter re-dispatches a still-running attempt to a second peer
+	// after this long; the first success wins (default 10s; negative
+	// disables hedging).
+	HedgeAfter time.Duration
+	// PollInterval is the GET /v1/jobs/{id} polling period (default 50ms).
+	PollInterval time.Duration
+	// Parallel bounds concurrently dispatched tasks (default 4).
+	Parallel int
+	// Seed seeds the jitter source. The default (0) selects a fixed seed
+	// so retry schedules are reproducible; the jitter exists to spread
+	// retries across peers, not to be unpredictable.
+	Seed int64
+	// FailureThreshold consecutive failures open a peer's circuit
+	// breaker (default 3).
+	FailureThreshold int
+	// BreakerCooldown is how long an open breaker rejects a peer before
+	// allowing one half-open trial attempt (default 2s).
+	BreakerCooldown time.Duration
+	// ProbeInterval is the background health-probe period started by
+	// Registry.StartProbing (default 1s).
+	ProbeInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.AttemptTimeout <= 0 {
+		o.AttemptTimeout = 60 * time.Second
+	}
+	if o.HedgeAfter == 0 {
+		o.HedgeAfter = 10 * time.Second
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 50 * time.Millisecond
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = 4
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	return o
+}
+
+// Task is one unit of dispatch: a POST /v1/jobs body plus the local
+// fallback that computes the same bytes on the coordinator.
+type Task struct {
+	// Key names the task in results and logs (the partition name).
+	Key string
+	// Body is the JSON request body for POST /v1/jobs on a peer.
+	Body []byte
+	// Local computes the task's report locally. It is called when remote
+	// attempts are exhausted or no peer is eligible; it must return the
+	// same bytes (up to wall-clock fields) a healthy peer would.
+	Local func(ctx context.Context) ([]byte, error)
+}
+
+// Result is one task's outcome.
+type Result struct {
+	// Key echoes the task key.
+	Key string
+	// Report is the JSON report bytes (nil when Err is set).
+	Report []byte
+	// Source is the URL of the peer that produced the report, or "local".
+	Source string
+	// Attempts counts remote dispatch attempts made (0 when the task went
+	// straight to local fallback).
+	Attempts int
+	// Hedged reports whether a hedge attempt was launched.
+	Hedged bool
+	// Duration is the end-to-end time from dispatch to result.
+	Duration time.Duration
+	// Err is non-nil only when the local fallback itself failed (remote
+	// failures alone never fail a task).
+	Err error
+}
+
+// Stats is a point-in-time snapshot of dispatcher counters.
+type Stats struct {
+	// Remote counts tasks resolved by a peer; Local counts tasks resolved
+	// by the coordinator's fallback.
+	Remote int64
+	Local  int64
+	// Retries counts remote attempts beyond each task's first.
+	Retries int64
+	// Hedges counts hedge attempts launched; HedgeWins counts hedges
+	// whose result was used.
+	Hedges    int64
+	HedgeWins int64
+	// Failures counts failed remote attempts (including lost hedges'
+	// failures).
+	Failures int64
+}
+
+// counters aggregates Stats under a lock.
+type counters struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func (c *counters) add(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.s)
+	c.mu.Unlock()
+}
+
+func (c *counters) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}

@@ -1,0 +1,328 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastOptions keeps dispatch tests snappy.
+func fastOptions() Options {
+	return Options{
+		MaxAttempts:      3,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       5 * time.Millisecond,
+		AttemptTimeout:   5 * time.Second,
+		HedgeAfter:       -1, // no hedging unless a test asks for it
+		PollInterval:     2 * time.Millisecond,
+		Parallel:         4,
+		FailureThreshold: 3,
+		BreakerCooldown:  20 * time.Millisecond,
+		Seed:             7,
+	}
+}
+
+// fakeWorker is a minimal /v1/jobs peer: submissions are accepted (or
+// rejected by failSubmits), and every job completes instantly with the
+// worker's fixed report.
+type fakeWorker struct {
+	report      string
+	failSubmits int64 // fail this many submissions with 500 before accepting
+	submitDelay time.Duration
+
+	submits int64
+	polls   int64
+}
+
+func (f *fakeWorker) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&f.submits, 1)
+		if f.submitDelay > 0 {
+			select {
+			case <-time.After(f.submitDelay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if atomic.AddInt64(&f.failSubmits, -1) >= 0 {
+			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"job-1","status":"queued"}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&f.polls, 1)
+		resp := map[string]interface{}{
+			"id":     r.PathValue("id"),
+			"status": "done",
+			"report": json.RawMessage(f.report),
+		}
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	return mux
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	p := &Peer{URL: "http://x", threshold: 2, cooldown: 50 * time.Millisecond}
+
+	if !p.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+	p.Failure()
+	if !p.Allow() {
+		t.Fatal("one failure below threshold must not open the breaker")
+	}
+	p.Failure() // second consecutive failure: opens
+	if p.State() != "open" {
+		t.Fatalf("state after threshold failures = %s, want open", p.State())
+	}
+	if p.Allow() {
+		t.Fatal("open breaker must reject before cooldown")
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	if !p.Allow() {
+		t.Fatal("cooled-down breaker must admit a half-open trial")
+	}
+	if p.Allow() {
+		t.Fatal("half-open breaker must admit only one trial at a time")
+	}
+	p.Failure() // failed trial: reopen immediately
+	if p.State() != "open" {
+		t.Fatalf("state after failed trial = %s, want open", p.State())
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	if !p.Allow() {
+		t.Fatal("second cooldown must admit another trial")
+	}
+	p.Success()
+	if p.State() != "closed" {
+		t.Fatalf("state after successful trial = %s, want closed", p.State())
+	}
+	if !p.Allow() || !p.Allow() {
+		t.Fatal("closed breaker must allow freely again")
+	}
+}
+
+func TestDispatchRemoteSuccess(t *testing.T) {
+	worker := &fakeWorker{report: `{"who":"peer"}`}
+	srv := httptest.NewServer(worker.handler())
+	defer srv.Close()
+
+	reg := NewRegistry([]string{srv.URL}, nil, fastOptions())
+	d := NewDispatcher(reg, nil, fastOptions())
+	res := d.Run(context.Background(), []Task{{
+		Key:   "p1",
+		Body:  []byte(`{}`),
+		Local: func(context.Context) ([]byte, error) { return []byte(`{"who":"local"}`), nil },
+	}})
+
+	if len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("Run: %+v", res)
+	}
+	if string(res[0].Report) != `{"who":"peer"}` {
+		t.Errorf("report = %s, want the peer's", res[0].Report)
+	}
+	if res[0].Source != srv.URL || res[0].Attempts != 1 {
+		t.Errorf("source=%s attempts=%d, want %s/1", res[0].Source, res[0].Attempts, srv.URL)
+	}
+	if st := d.Stats(); st.Remote != 1 || st.Local != 0 {
+		t.Errorf("stats = %+v, want one remote resolution", st)
+	}
+}
+
+func TestDispatchRetriesAcrossFailures(t *testing.T) {
+	worker := &fakeWorker{report: `{"ok":true}`, failSubmits: 2}
+	srv := httptest.NewServer(worker.handler())
+	defer srv.Close()
+
+	opt := fastOptions()
+	opt.FailureThreshold = 10 // keep the lone peer eligible through the failures
+	reg := NewRegistry([]string{srv.URL}, nil, opt)
+	d := NewDispatcher(reg, nil, opt)
+	res := d.Run(context.Background(), []Task{{
+		Key:   "p1",
+		Body:  []byte(`{}`),
+		Local: func(context.Context) ([]byte, error) { return []byte(`{"who":"local"}`), nil },
+	}})
+
+	if res[0].Err != nil || string(res[0].Report) != `{"ok":true}` {
+		t.Fatalf("result: %+v", res[0])
+	}
+	if res[0].Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (two failures, then success)", res[0].Attempts)
+	}
+	if st := d.Stats(); st.Retries != 2 || st.Failures != 2 || st.Remote != 1 {
+		t.Errorf("stats = %+v, want retries=2 failures=2 remote=1", st)
+	}
+}
+
+func TestDispatchLocalFallbackWhenFleetDead(t *testing.T) {
+	// A peer that is down for good: the URL points at a closed listener.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close()
+
+	reg := NewRegistry([]string{url}, nil, fastOptions())
+	d := NewDispatcher(reg, nil, fastOptions())
+	var localRuns int64
+	res := d.Run(context.Background(), []Task{{
+		Key:  "p1",
+		Body: []byte(`{}`),
+		Local: func(context.Context) ([]byte, error) {
+			atomic.AddInt64(&localRuns, 1)
+			return []byte(`{"who":"local"}`), nil
+		},
+	}})
+
+	if res[0].Err != nil || string(res[0].Report) != `{"who":"local"}` {
+		t.Fatalf("result: %+v", res[0])
+	}
+	if res[0].Source != "local" {
+		t.Errorf("source = %q, want local", res[0].Source)
+	}
+	if localRuns != 1 {
+		t.Errorf("local fallback ran %d times, want 1", localRuns)
+	}
+	if st := d.Stats(); st.Local != 1 || st.Remote != 0 {
+		t.Errorf("stats = %+v, want one local resolution", st)
+	}
+}
+
+func TestDispatchNoPeersGoesStraightLocal(t *testing.T) {
+	reg := NewRegistry(nil, nil, fastOptions())
+	d := NewDispatcher(reg, nil, fastOptions())
+	res := d.Run(context.Background(), []Task{{
+		Key:   "p1",
+		Body:  []byte(`{}`),
+		Local: func(context.Context) ([]byte, error) { return []byte(`{}`), nil },
+	}})
+	if res[0].Err != nil || res[0].Source != "local" || res[0].Attempts != 0 {
+		t.Fatalf("result: %+v, want an immediate local resolution", res[0])
+	}
+}
+
+func TestHedgeWinsOverStuckPeer(t *testing.T) {
+	// The primary accepts the job but never finishes it (status stays
+	// queued); the hedge peer answers instantly.
+	stuckMux := http.NewServeMux()
+	stuckMux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"job-stuck","status":"queued"}`)
+	})
+	stuckMux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"id":"job-stuck","status":"running"}`)
+	})
+	stuck := httptest.NewServer(stuckMux)
+	defer stuck.Close()
+	fast := httptest.NewServer((&fakeWorker{report: `{"who":"hedge"}`}).handler())
+	defer fast.Close()
+
+	opt := fastOptions()
+	opt.HedgeAfter = 20 * time.Millisecond
+	opt.AttemptTimeout = 5 * time.Second
+	reg := NewRegistry([]string{stuck.URL, fast.URL}, nil, opt)
+	d := NewDispatcher(reg, nil, opt)
+	res := d.Run(context.Background(), []Task{{
+		Key:   "p1",
+		Body:  []byte(`{}`),
+		Local: func(context.Context) ([]byte, error) { return []byte(`{"who":"local"}`), nil },
+	}})
+
+	if res[0].Err != nil || string(res[0].Report) != `{"who":"hedge"}` {
+		t.Fatalf("result: %+v, want the hedge peer's report", res[0])
+	}
+	if !res[0].Hedged || res[0].Source != fast.URL {
+		t.Errorf("hedged=%v source=%s, want hedged win from %s", res[0].Hedged, res[0].Source, fast.URL)
+	}
+	if st := d.Stats(); st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Errorf("stats = %+v, want hedges=1 hedgeWins=1", st)
+	}
+}
+
+func TestRegistryProbeRecoversBreaker(t *testing.T) {
+	var healthy atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			http.Error(w, `{"status":"down"}`, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	opt := fastOptions()
+	opt.FailureThreshold = 1
+	reg := NewRegistry([]string{srv.URL}, nil, opt)
+
+	if n := reg.Probe(context.Background()); n != 0 {
+		t.Fatalf("probe of sick peer: healthy=%d, want 0", n)
+	}
+	if p := reg.Pick(nil); p != nil {
+		t.Fatal("tripped breaker must remove the peer from rotation")
+	}
+
+	healthy.Store(true)
+	time.Sleep(opt.BreakerCooldown + 10*time.Millisecond)
+	if n := reg.Probe(context.Background()); n != 1 {
+		t.Fatalf("probe of recovered peer: healthy=%d, want 1", n)
+	}
+	if p := reg.Pick(nil); p == nil {
+		t.Fatal("recovered peer must return to rotation")
+	}
+}
+
+func TestRunBoundsParallelismAndJoins(t *testing.T) {
+	// No peers: every task runs its Local closure. Track concurrency.
+	opt := fastOptions()
+	opt.Parallel = 2
+	reg := NewRegistry(nil, nil, opt)
+	d := NewDispatcher(reg, nil, opt)
+
+	var mu sync.Mutex
+	cur, peak := 0, 0
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			Key:  fmt.Sprintf("p%d", i),
+			Body: []byte(`{}`),
+			Local: func(context.Context) ([]byte, error) {
+				mu.Lock()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				time.Sleep(5 * time.Millisecond)
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				return []byte(fmt.Sprintf(`{"i":%d}`, i)), nil
+			},
+		}
+	}
+	res := d.Run(context.Background(), tasks)
+	for i, r := range res {
+		if r.Err != nil || string(r.Report) != fmt.Sprintf(`{"i":%d}`, i) {
+			t.Fatalf("task %d: %+v (results must keep task order)", i, r)
+		}
+	}
+	if peak > 2 {
+		t.Errorf("peak concurrency %d exceeds Parallel=2", peak)
+	}
+}

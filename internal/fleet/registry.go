@@ -1,0 +1,249 @@
+package fleet
+
+// Peer registry: tracks worker health with per-peer circuit breakers and
+// optional background /healthz probing. The registry is the dispatcher's
+// only view of the fleet — a peer the breaker rejects simply stops being
+// offered work until its cooldown expires.
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState uint8
+
+const (
+	breakerClosed   breakerState = iota // healthy: all requests allowed
+	breakerOpen                         // tripped: requests rejected until cooldown
+	breakerHalfOpen                     // cooling down: one trial request allowed
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// Peer is one worker endpoint plus its breaker state. All state is
+// guarded by mu; Peers are shared between the dispatcher and the prober.
+type Peer struct {
+	// URL is the worker's base URL, e.g. "http://10.0.0.7:8080".
+	URL string
+
+	mu        sync.Mutex
+	state     breakerState
+	failures  int  // consecutive failures while closed
+	inTrial   bool // a half-open trial request is in flight
+	openUntil time.Time
+	threshold int
+	cooldown  time.Duration
+}
+
+// Allow reports whether the peer may receive a request now. In the open
+// state it flips to half-open once the cooldown expires, admitting
+// exactly one trial request; further callers are rejected until that
+// trial reports Success or Failure.
+func (p *Peer) Allow() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch p.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Now().Before(p.openUntil) {
+			return false
+		}
+		p.state = breakerHalfOpen
+		p.inTrial = true
+		return true
+	default: // half-open
+		if p.inTrial {
+			return false
+		}
+		p.inTrial = true
+		return true
+	}
+}
+
+// Success records a completed request: the breaker closes and the failure
+// streak resets.
+func (p *Peer) Success() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.state = breakerClosed
+	p.failures = 0
+	p.inTrial = false
+}
+
+// Failure records a failed request. A failed half-open trial reopens the
+// breaker immediately; in the closed state the breaker opens after
+// threshold consecutive failures.
+func (p *Peer) Failure() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.state == breakerHalfOpen {
+		p.open()
+		return
+	}
+	p.failures++
+	if p.failures >= p.threshold {
+		p.open()
+	}
+}
+
+// open transitions to the open state; callers hold mu.
+func (p *Peer) open() {
+	p.state = breakerOpen
+	p.failures = 0
+	p.inTrial = false
+	p.openUntil = time.Now().Add(p.cooldown)
+}
+
+// State returns the breaker state name for metrics.
+func (p *Peer) State() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state.String()
+}
+
+// Registry holds the fleet's peers and hands them out round-robin.
+type Registry struct {
+	peers  []*Peer
+	client *http.Client
+	opt    Options
+
+	mu   sync.Mutex
+	next int // round-robin cursor
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+}
+
+// NewRegistry builds a registry over the given base URLs. client is used
+// for health probes (nil selects http.DefaultClient); breaker tuning
+// comes from opt.
+func NewRegistry(urls []string, client *http.Client, opt Options) *Registry {
+	opt = opt.withDefaults()
+	if client == nil {
+		client = http.DefaultClient
+	}
+	r := &Registry{client: client, opt: opt}
+	for _, u := range urls {
+		r.peers = append(r.peers, &Peer{
+			URL:       u,
+			threshold: opt.FailureThreshold,
+			cooldown:  opt.BreakerCooldown,
+		})
+	}
+	return r
+}
+
+// Len returns the number of registered peers (healthy or not).
+func (r *Registry) Len() int { return len(r.peers) }
+
+// Pick returns the next breaker-admitted peer in round-robin order,
+// skipping any peer in avoid. It returns nil when no peer is eligible —
+// the dispatcher's cue to back off or fall back to local execution.
+func (r *Registry) Pick(avoid map[*Peer]bool) *Peer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < len(r.peers); i++ {
+		p := r.peers[(r.next+i)%len(r.peers)]
+		if avoid[p] || !p.Allow() {
+			continue
+		}
+		r.next = (r.next + i + 1) % len(r.peers)
+		return p
+	}
+	return nil
+}
+
+// Probe checks every peer's /healthz once, feeding the breakers: a 200
+// closes a peer's breaker (or completes its half-open trial), anything
+// else counts as a failure. It returns the number of healthy peers.
+func (r *Registry) Probe(ctx context.Context) int {
+	healthy := 0
+	for _, p := range r.peers {
+		if r.probeOne(ctx, p) {
+			healthy++
+		}
+	}
+	return healthy
+}
+
+func (r *Registry) probeOne(ctx context.Context, p *Peer) bool {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL+"/healthz", nil)
+	if err != nil {
+		p.Failure()
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		p.Failure()
+		return false
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		p.Failure()
+		return false
+	}
+	p.Success()
+	return true
+}
+
+// StartProbing launches a background goroutine probing all peers every
+// Options.ProbeInterval until StopProbing is called. Probing lets an
+// open breaker recover (and a dead peer be re-marked) even while no
+// dispatch traffic is flowing.
+func (r *Registry) StartProbing() {
+	if r.probeStop != nil {
+		return
+	}
+	r.probeStop = make(chan struct{})
+	r.probeDone = make(chan struct{})
+	go func() {
+		defer close(r.probeDone)
+		ticker := time.NewTicker(r.opt.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.probeStop:
+				return
+			case <-ticker.C:
+				r.Probe(context.Background())
+			}
+		}
+	}()
+}
+
+// StopProbing stops the background prober and waits for it to exit.
+func (r *Registry) StopProbing() {
+	if r.probeStop == nil {
+		return
+	}
+	close(r.probeStop)
+	<-r.probeDone
+	r.probeStop = nil
+	r.probeDone = nil
+}
+
+// PeerStates returns each peer's URL and breaker state, in registration
+// order, for metrics export.
+func (r *Registry) PeerStates() []struct{ URL, State string } {
+	out := make([]struct{ URL, State string }, len(r.peers))
+	for i, p := range r.peers {
+		out[i].URL = p.URL
+		out[i].State = p.State()
+	}
+	return out
+}

@@ -23,16 +23,25 @@ func BigSoCCoreNames() []string {
 // The returned netlist contains the raw form including electrical noise;
 // run simplify.Run to obtain the reduced form.
 func BigSoC() *netlist.Netlist {
-	nl := netlist.New("bigsoc")
+	return SoC("bigsoc", BigSoCCoreNames(), 4242, 0.22)
+}
+
+// SoC assembles an SoC from the named article cores, each behind a
+// rst_<core> reset input, joined by inter-core interconnect glue and
+// buried under electrical noise (noiseProb 0 skips the noise pass).
+// BigSoC is SoC over all seven cores; tests that need a realistically
+// structured but affordable multi-core design build a smaller one.
+func SoC(name string, cores []string, noiseSeed int64, noiseProb float64) *netlist.Netlist {
+	nl := netlist.New(name)
 
 	var coreOutputs []netlist.ID
-	for _, name := range BigSoCCoreNames() {
-		src, err := Article(name)
+	for _, core := range cores {
+		src, err := Article(core)
 		if err != nil {
 			panic(err)
 		}
-		rst := nl.AddInput("rst_" + name)
-		outs := importCore(nl, src, name+"_", rst)
+		rst := nl.AddInput("rst_" + core)
+		outs := importCore(nl, src, core+"_", rst)
 		coreOutputs = append(coreOutputs, outs...)
 	}
 
@@ -44,7 +53,10 @@ func BigSoC() *netlist.Netlist {
 		nl.MarkOutput(fmt.Sprintf("link%d", i/4), nl.AddGate(netlist.Or, x, y))
 	}
 
-	return AddElectricalNoise(nl, 4242, 0.22)
+	if noiseProb <= 0 {
+		return nl
+	}
+	return AddElectricalNoise(nl, noiseSeed, noiseProb)
 }
 
 // importCore copies every node of src into dst with prefixed names and

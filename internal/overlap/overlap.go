@@ -9,6 +9,7 @@ package overlap
 
 import (
 	"fmt"
+	"sort"
 
 	"netlistre/internal/ilp"
 	"netlistre/internal/module"
@@ -285,11 +286,21 @@ func newBuilder(mods []*module.Module, opt Options) *builder {
 			covering[g] = append(covering[g], i)
 		}
 	}
-	seenRows := make(map[string]bool)
+	// Constraint rows are added in sorted element order: map iteration
+	// order must not reach the solver. An exact solve is order-invariant,
+	// but a node-limited search stops at whatever incumbent the traversal
+	// found first, and the traversal follows problem layout — so row order
+	// is part of the byte-identical-reports contract.
+	shared := make([]netlist.ID, 0, len(covering))
 	for g, owners := range covering {
-		if len(owners) < 2 {
-			continue
+		if len(owners) >= 2 {
+			shared = append(shared, g)
 		}
+	}
+	sortIDs(shared)
+	seenRows := make(map[string]bool)
+	for _, g := range shared {
+		owners := covering[g]
 		vars := make(map[int]bool, len(owners))
 		for _, i := range owners {
 			vars[b.elemVar[i][g]] = true
@@ -348,6 +359,10 @@ func newBuilder(mods []*module.Module, opt Options) *builder {
 		b.problem.AddConstraint(terms, ilp.GE, int64(opt.CoverageTarget))
 	}
 	return b
+}
+
+func sortIDs(xs []netlist.ID) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
 }
 
 func sortTerms(terms []ilp.Term) {

@@ -1,0 +1,189 @@
+package partition
+
+// Fleet mode requires the partitioning pipeline to be deterministic under
+// representation changes of the parent netlist: topological reorder and
+// net renaming must leave the canonical wire form of every partition
+// fingerprint-identical, or peers (and the shared stage store) would see
+// the "same" partition as different work.
+
+import (
+	"testing"
+
+	"netlistre/internal/gen"
+	"netlistre/internal/netlist"
+	"netlistre/internal/oracle/mutate"
+)
+
+func mutationByName(t *testing.T, name string) mutate.Mutation {
+	t.Helper()
+	for _, m := range mutate.All() {
+		if m.Name == name {
+			return m
+		}
+	}
+	t.Fatalf("no mutation named %q", name)
+	return mutate.Mutation{}
+}
+
+// canonicalFingerprints partitions nl by the named resets and returns the
+// canonical-wire-form fingerprint of each extracted partition, keyed by
+// reset name. Canonicalization uses only the reset name, never parent IDs,
+// so the keys and values are comparable across representation changes.
+func canonicalFingerprints(t *testing.T, nl *netlist.Netlist, resetNames []string) map[string]string {
+	t.Helper()
+	var resets []netlist.ID
+	for _, name := range resetNames {
+		id := nl.FindByName(name)
+		if id == netlist.Nil {
+			t.Fatalf("reset %q not found", name)
+		}
+		resets = append(resets, id)
+	}
+	s := ByResets(nl, resets)
+	if len(s.Partitions) != len(resetNames) {
+		t.Fatalf("got %d partitions, want %d", len(s.Partitions), len(resetNames))
+	}
+	fps := make(map[string]string, len(s.Partitions))
+	for _, p := range s.Partitions {
+		sub, _ := Extract(nl, p)
+		Canonical(sub, "part:"+p.Name)
+		fps[p.Name] = sub.Fingerprint()
+	}
+	return fps
+}
+
+func TestCanonicalPartitionsSurviveReorderAndRename(t *testing.T) {
+	nl, _ := twoCoreDesign()
+	resetNames := []string{"rst1", "rst2"}
+	base := canonicalFingerprints(t, nl, resetNames)
+
+	for _, mname := range []string{"reorder", "rename"} {
+		m := mutationByName(t, mname)
+		for seed := int64(1); seed <= 3; seed++ {
+			mut, err := m.Apply(nl, &gen.Labels{}, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", mname, seed, err)
+			}
+			got := canonicalFingerprints(t, mut.Netlist, resetNames)
+			for name, fp := range base {
+				if got[name] != fp {
+					t.Errorf("%s seed %d: partition %q fingerprint %s, want %s",
+						mname, seed, name, got[name], fp)
+				}
+			}
+		}
+	}
+}
+
+func TestCanonicalIsLoadBearingUnderRename(t *testing.T) {
+	// Without Canonical, a renamed parent yields extracted partitions with
+	// different boundary-input names and therefore different fingerprints —
+	// the failure mode Canonical exists to prevent.
+	nl, resets := twoCoreDesign()
+	s := ByResets(nl, resets)
+	rawBase, _ := Extract(nl, s.Partitions[0])
+
+	m := mutationByName(t, "rename")
+	mut, err := m.Apply(nl, &gen.Labels{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutResets := []netlist.ID{mut.Netlist.FindByName("rst1"), mut.Netlist.FindByName("rst2")}
+	ms := ByResets(mut.Netlist, mutResets)
+	rawMut, _ := Extract(mut.Netlist, ms.Partitions[0])
+
+	if rawBase.Fingerprint() == rawMut.Fingerprint() {
+		t.Skip("rename did not alter this partition's raw serialization; nothing to show")
+	}
+	Canonical(rawBase, "p")
+	Canonical(rawMut, "p")
+	if rawBase.Fingerprint() != rawMut.Fingerprint() {
+		t.Errorf("canonical forms still differ: %s vs %s", rawBase.Fingerprint(), rawMut.Fingerprint())
+	}
+}
+
+func TestGuessResetsFindsPerCoreResets(t *testing.T) {
+	nl := gen.SoC("minisoc", []string{"usb", "router"}, 0, 0)
+	resets := GuessResets(nl, GuessOptions{})
+	if len(resets) == 0 {
+		t.Fatal("no resets guessed on a two-core SoC")
+	}
+	// Every core reset input reaches all of its core's latch cones, so the
+	// greedy cover should anchor on (at least) the two rst_* inputs.
+	names := make(map[string]bool, len(resets))
+	for _, id := range resets {
+		names[nl.NameOf(id)] = true
+	}
+	for _, want := range []string{"rst_usb", "rst_router"} {
+		if !names[want] {
+			t.Errorf("guessed anchors %v miss %s", keys(names), want)
+		}
+	}
+	// The anchored partitions must cover the overwhelming majority of
+	// latches: the glue between cores is combinational.
+	s := ByResets(nl, resets)
+	owned := 0
+	for _, p := range s.Partitions {
+		owned += len(p.Latches)
+	}
+	if total := nl.Stats().Latches; owned < total*9/10 {
+		t.Errorf("anchored partitions own %d of %d latches", owned, total)
+	}
+}
+
+func TestGuessResetsDeterministic(t *testing.T) {
+	nl := gen.SoC("minisoc", []string{"usb", "router"}, 11, 0.15)
+	base := GuessResets(nl, GuessOptions{})
+	baseNames := make([]string, len(base))
+	for i, id := range base {
+		baseNames[i] = nl.NameOf(id)
+	}
+
+	// Same netlist, repeated calls: identical answer.
+	for run := 0; run < 3; run++ {
+		again := GuessResets(nl, GuessOptions{})
+		if len(again) != len(base) {
+			t.Fatalf("run %d: %d anchors, want %d", run, len(again), len(base))
+		}
+		for i := range again {
+			if again[i] != base[i] {
+				t.Fatalf("run %d: anchor %d = %v, want %v", run, i, again[i], base[i])
+			}
+		}
+	}
+
+	// Reordered parent: same anchors by name.
+	m := mutationByName(t, "reorder")
+	mut, err := m.Apply(nl, &gen.Labels{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutResets := GuessResets(mut.Netlist, GuessOptions{})
+	if len(mutResets) != len(base) {
+		t.Fatalf("reordered parent: %d anchors, want %d", len(mutResets), len(base))
+	}
+	for i, id := range mutResets {
+		if got := mut.Netlist.NameOf(id); got != baseNames[i] {
+			t.Errorf("reordered anchor %d = %s, want %s", i, got, baseNames[i])
+		}
+	}
+}
+
+func TestGuessResetsRespectsBounds(t *testing.T) {
+	nl := gen.SoC("minisoc", []string{"usb", "router"}, 0, 0)
+	if got := GuessResets(nl, GuessOptions{MaxResets: 1}); len(got) != 1 {
+		t.Errorf("MaxResets=1 returned %d anchors", len(got))
+	}
+	// A MinLatches above every core's latch count leaves nothing.
+	if got := GuessResets(nl, GuessOptions{MinLatches: 1 << 20}); len(got) != 0 {
+		t.Errorf("impossible MinLatches still returned %d anchors", len(got))
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

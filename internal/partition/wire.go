@@ -1,0 +1,119 @@
+package partition
+
+// Fleet-mode support: automatic reset discovery and the canonical "wire
+// form" of an extracted partition. Fleet mode ships partitions to peer
+// workers as structural Verilog, and the stage store memoizes per-stage
+// results keyed by the netlist fingerprint, so the serialized partition
+// must depend only on the partition's structure — not on the parent's
+// node numbering or on synthesized names of unnamed boundary nodes.
+// Canonical strips every node name so the fingerprint (and therefore the
+// fleet-wide cache identity) of a partition survives topological
+// reordering and net renaming of the parent netlist.
+
+import (
+	"sort"
+
+	"netlistre/internal/netlist"
+)
+
+// GuessOptions tunes automatic reset discovery.
+type GuessOptions struct {
+	// MinLatches is the smallest number of latches an input must reach
+	// (through latch next-state cones) to anchor a partition, and the
+	// smallest number of *new* latches each accepted anchor must add
+	// (default 4).
+	MinLatches int
+	// MaxResets caps the number of anchors returned (default 32).
+	MaxResets int
+}
+
+func (o GuessOptions) withDefaults() GuessOptions {
+	if o.MinLatches <= 0 {
+		o.MinLatches = 4
+	}
+	if o.MaxResets <= 0 {
+		o.MaxResets = 32
+	}
+	return o
+}
+
+// GuessResets discovers partition anchors in a netlist with no declared
+// reset list: the per-core reset (or reset-like high-coverage control)
+// inputs of Section V-C.2's reset-tree analysis. An input qualifies when
+// it appears in the combinational next-state cone of at least MinLatches
+// latches; candidates are ranked by latch coverage (ties broken by name)
+// and accepted greedily while each adds at least MinLatches latches not
+// reached by an earlier anchor. The result is deterministic: it depends
+// only on the netlist's structure and names, never on map iteration or
+// node creation order beyond the IDs themselves.
+func GuessResets(nl *netlist.Netlist, opt GuessOptions) []netlist.ID {
+	opt = opt.withDefaults()
+
+	// latchesOf[input] = set of latches whose D cones read the input.
+	latchesOf := make(map[netlist.ID][]netlist.ID)
+	for _, l := range nl.Latches() {
+		cone := nl.ConeOf(nl.Fanin(l)[0])
+		for _, in := range cone.Inputs {
+			if nl.Node(in).Kind == netlist.Input {
+				latchesOf[in] = append(latchesOf[in], l)
+			}
+		}
+	}
+
+	type cand struct {
+		id      netlist.ID
+		latches []netlist.ID
+	}
+	var cands []cand
+	for in, ls := range latchesOf {
+		if len(ls) >= opt.MinLatches {
+			cands = append(cands, cand{in, ls})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if len(cands[i].latches) != len(cands[j].latches) {
+			return len(cands[i].latches) > len(cands[j].latches)
+		}
+		return nl.NameOf(cands[i].id) < nl.NameOf(cands[j].id)
+	})
+
+	covered := make(map[netlist.ID]bool)
+	var resets []netlist.ID
+	for _, c := range cands {
+		if len(resets) >= opt.MaxResets {
+			break
+		}
+		fresh := 0
+		for _, l := range c.latches {
+			if !covered[l] {
+				fresh++
+			}
+		}
+		if fresh < opt.MinLatches {
+			continue
+		}
+		for _, l := range c.latches {
+			covered[l] = true
+		}
+		resets = append(resets, c.id)
+	}
+	return resets
+}
+
+// Canonical rewrites an extracted partition in place into its canonical
+// wire form: the design name becomes name and every node name is cleared,
+// so WriteVerilog emits purely positional n<id> nets and the fingerprint
+// depends only on the partition's structure plus the given name. Two
+// extractions of the same logical partition from topologically reordered
+// or net-renamed parents are isomorphic, and with names stripped their
+// fingerprints are identical — which is what lets fleet workers share
+// stage-store entries for the same partition across equivalent parent
+// submissions.
+func Canonical(sub *netlist.Netlist, name string) {
+	sub.Name = name
+	for i := 0; i < sub.Len(); i++ {
+		if sub.Node(netlist.ID(i)).Name != "" {
+			sub.SetName(netlist.ID(i), "")
+		}
+	}
+}

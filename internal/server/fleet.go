@@ -1,0 +1,328 @@
+package server
+
+// Fleet mode: the coordinator path. An oversized netlist is split by
+// reset-tree partitioning, every partition is serialized to canonical
+// structural Verilog and dispatched as a /v1/jobs job to a peer revand
+// worker (with retries, hedging, and circuit breakers — see
+// internal/fleet), and the partial reports are merged back through
+// canonical-order overlap resolution into one report for the parent.
+//
+// Determinism is the load-bearing property. The merged report must be
+// byte-identical (up to wall-clock fields) to the same coordinator
+// running every partition locally, no matter which peers answered, in
+// what order, after how many retries, or whether the whole fleet was
+// dead. That holds because:
+//
+//   - the partition set is a pure function of the netlist and options
+//     (explicit resets or deterministic GuessResets);
+//   - each partition's wire form is canonical (partition.Canonical):
+//     names are stripped, so its text — and hence the peer's parse of it
+//     — depends only on the partition's structure;
+//   - the coordinator parses the same text itself, so its node-ID view
+//     of the partition matches every peer's, and the local fallback
+//     analyzes that very parse;
+//   - analysis is deterministic (worker-count-invariant reports), so
+//     remote and local bytes for a partition decode to the same module
+//     set; and
+//   - core.MergePartitioned concatenates partials in partition order and
+//     resolves overlaps with the same ILP as a local run.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"netlistre"
+	"netlistre/internal/core"
+	"netlistre/internal/fleet"
+	"netlistre/internal/netlist"
+	"netlistre/internal/partition"
+)
+
+// fleetEligible reports whether nl is large enough for the fleet path.
+// The element floor keeps small requests on the fast single-process path
+// regardless of fleet configuration.
+func (s *Server) fleetEligible(nl *netlistre.Netlist) bool {
+	if s.fleetDisp == nil {
+		return false
+	}
+	st := nl.Stats()
+	return st.Gates+st.Latches >= s.cfg.FleetMinElements
+}
+
+// fleetResets resolves the partition anchors: the request's explicit
+// reset names (validated at decode time) or automatic discovery.
+func fleetResets(nl *netlistre.Netlist, ro RequestOptions) []netlist.ID {
+	if len(ro.PartitionResets) > 0 {
+		ids := make([]netlist.ID, 0, len(ro.PartitionResets))
+		for _, name := range ro.PartitionResets {
+			if id := nl.FindByName(name); id != netlist.Nil {
+				ids = append(ids, id)
+			}
+		}
+		return ids
+	}
+	return partition.GuessResets(nl, partition.GuessOptions{})
+}
+
+// fleetTask is one partition prepared for dispatch: its canonical wire
+// text, the coordinator's own parse of that text, and the node-ID mapping
+// from the parse back into the parent netlist.
+type fleetTask struct {
+	name     string
+	verilog  string
+	wire     *netlistre.Netlist
+	toParent map[netlistre.ID]netlistre.ID
+	ro       RequestOptions
+}
+
+// forwardOptions projects the request options onto a partition job: only
+// the semantic knobs travel (they change what a report contains), never
+// the operational ones — workers and budgets are a peer's own business,
+// and a degraded remote report is rejected by the dispatcher anyway.
+func forwardOptions(ro RequestOptions) RequestOptions {
+	return RequestOptions{
+		SkipModMatch:    ro.SkipModMatch,
+		SkipWordProp:    ro.SkipWordProp,
+		KeepCandidates:  ro.KeepCandidates,
+		Objective:       ro.Objective,
+		CoverageTarget:  ro.CoverageTarget,
+		Sliceable:       ro.Sliceable,
+		IncludeElements: true,
+	}
+}
+
+// buildFleetTasks partitions nl at the given anchors and prepares each
+// non-empty partition for dispatch.
+func (s *Server) buildFleetTasks(nl *netlistre.Netlist, resets []netlist.ID, ro RequestOptions) ([]fleetTask, error) {
+	sum := partition.ByResets(nl, resets)
+	fro := forwardOptions(ro)
+	var tasks []fleetTask
+	for _, p := range sum.Partitions {
+		if len(p.Elements) == 0 {
+			continue
+		}
+		sub, m := partition.Extract(nl, p)
+		partition.Canonical(sub, nl.Name+"."+p.Name)
+		var buf bytes.Buffer
+		if err := sub.WriteVerilog(&buf); err != nil {
+			return nil, fmt.Errorf("serializing partition %s: %w", p.Name, err)
+		}
+		text := buf.String()
+		// Parse our own wire text: this is the exact netlist every peer
+		// will see, so module element IDs in a peer's report are node IDs
+		// of this parse.
+		wire, err := netlistre.ReadVerilog(strings.NewReader(text))
+		if err != nil {
+			return nil, fmt.Errorf("reparsing partition %s: %w", p.Name, err)
+		}
+		inv := make(map[netlistre.ID]netlistre.ID, len(m))
+		for parent, sid := range m {
+			inv[sid] = parent
+		}
+		toParent := make(map[netlistre.ID]netlistre.ID, wire.Len())
+		for i := 0; i < wire.Len(); i++ {
+			id := netlistre.ID(i)
+			k, ok := wireNodeID(wire.Node(id).Name)
+			if !ok {
+				continue
+			}
+			parent, ok := inv[netlistre.ID(k)]
+			if !ok {
+				continue // e.g. an unpatched latch-placeholder const
+			}
+			toParent[id] = parent
+		}
+		tasks = append(tasks, fleetTask{
+			name:     p.Name,
+			verilog:  text,
+			wire:     wire,
+			toParent: toParent,
+			ro:       fro,
+		})
+	}
+	return tasks, nil
+}
+
+// wireNodeID parses the canonical "n<id>" net name WriteVerilog emits for
+// an unnamed node, recovering the sub-netlist node ID.
+func wireNodeID(name string) (int, bool) {
+	if len(name) < 2 || name[0] != 'n' {
+		return 0, false
+	}
+	k, err := strconv.Atoi(name[1:])
+	if err != nil || k < 0 {
+		return 0, false
+	}
+	return k, true
+}
+
+// analyzePartitionLocal is the dispatch fallback: compute a partition's
+// report on the coordinator itself, through the same report cache and
+// stage store a dedicated request would use, rendered in the same wire
+// format a peer would return.
+func (s *Server) analyzePartitionLocal(ctx context.Context, wire *netlistre.Netlist, fro RequestOptions) ([]byte, error) {
+	fp := wire.Fingerprint()
+	key := fro.cacheKey(fp, 0)
+	if b, _, ok := s.cache.Get(key); ok {
+		return b, nil
+	}
+	opt := fro.toOptions(wire, 0)
+	if s.stages != nil {
+		opt.StageStore = s.stages
+		opt.Fingerprint = fp
+	}
+	rep := netlistre.AnalyzeContext(ctx, wire, opt)
+	s.metrics.AnalysisDone("fleet-local", rep.Trace)
+	var buf bytes.Buffer
+	if err := netlistre.WriteJSONReportElements(&buf, rep); err != nil {
+		return nil, err
+	}
+	if !rep.Degraded {
+		s.cache.Put(key, fp, buf.Bytes())
+	}
+	return buf.Bytes(), nil
+}
+
+// decodePartial decodes one partition report's bytes into its resolved
+// modules (in wire-netlist ID space) plus the degraded flag.
+func decodePartial(b []byte) ([]*netlistre.Module, bool, error) {
+	jrep, err := netlistre.ReadJSONReport(bytes.NewReader(b))
+	if err != nil {
+		return nil, false, err
+	}
+	mods, err := netlistre.ModulesFromJSONReport(jrep)
+	return mods, jrep.Degraded, err
+}
+
+// remapModules translates modules from a partition's wire-netlist ID
+// space into the parent's. IDs with no parent counterpart (nodes the
+// extraction synthesized) are dropped; the drop is deterministic because
+// every executor sees the same wire netlist.
+func remapModules(mods []*netlistre.Module, toParent map[netlistre.ID]netlistre.ID) []*netlistre.Module {
+	out := make([]*netlistre.Module, 0, len(mods))
+	for _, m := range mods {
+		nm := &netlistre.Module{Type: m.Type, Name: m.Name, Width: m.Width}
+		elems := make([]netlistre.ID, 0, len(m.Elements))
+		for _, e := range m.Elements {
+			if p, ok := toParent[e]; ok {
+				elems = append(elems, p)
+			}
+		}
+		nm.SetElements(elems)
+		for _, slice := range m.Slices {
+			mapped := make([]netlistre.ID, 0, len(slice))
+			for _, e := range slice {
+				if p, ok := toParent[e]; ok {
+					mapped = append(mapped, p)
+				}
+			}
+			if len(mapped) > 0 {
+				nm.Slices = append(nm.Slices, mapped)
+			}
+		}
+		var portNames []string
+		for name := range m.Ports {
+			portNames = append(portNames, name)
+		}
+		sort.Strings(portNames)
+		for _, name := range portNames {
+			ids := m.Ports[name]
+			mapped := make([]netlistre.ID, 0, len(ids))
+			for _, e := range ids {
+				if p, ok := toParent[e]; ok {
+					mapped = append(mapped, p)
+				}
+			}
+			if len(mapped) > 0 {
+				nm.SetPort(name, mapped)
+			}
+		}
+		for k, v := range m.Attr {
+			nm.SetAttr(k, v)
+		}
+		out = append(out, nm)
+	}
+	return out
+}
+
+// analyzeFleet attempts the fleet path for one analysis. handled=false
+// (with a nil error) means the netlist did not split into at least two
+// partitions and the caller should run the plain single-process path.
+func (s *Server) analyzeFleet(ctx context.Context, source string, nl *netlistre.Netlist, opt netlistre.Options, fingerprint, key string, ro RequestOptions) (report []byte, degraded, handled bool, err error) {
+	resets := fleetResets(nl, ro)
+	if len(resets) < 2 {
+		return nil, false, false, nil
+	}
+	tasks, err := s.buildFleetTasks(nl, resets, ro)
+	if err != nil || len(tasks) < 2 {
+		// A netlist that cannot be split (or serialized) is not a fleet
+		// failure; the plain path still produces a full report.
+		return nil, false, false, nil
+	}
+
+	ft := make([]fleet.Task, len(tasks))
+	for i := range tasks {
+		t := tasks[i]
+		body, merr := json.Marshal(AnalyzeRequest{Verilog: t.verilog, Options: t.ro})
+		if merr != nil {
+			return nil, false, false, nil
+		}
+		ft[i] = fleet.Task{
+			Key:  t.name,
+			Body: body,
+			Local: func(ctx context.Context) ([]byte, error) {
+				return s.analyzePartitionLocal(ctx, t.wire, t.ro)
+			},
+		}
+	}
+
+	results := s.fleetDisp.Run(ctx, ft)
+	partials := make([]core.Partial, len(results))
+	for i, res := range results {
+		t := tasks[i]
+		if res.Err != nil {
+			return nil, false, true, fmt.Errorf("fleet: partition %s: %w", t.name, res.Err)
+		}
+		mods, deg, derr := decodePartial(res.Report)
+		if derr != nil && res.Source != "local" {
+			// The peer's report is unusable (e.g. an older wire format
+			// without element IDs); recompute the partition locally.
+			var b []byte
+			b, err = ft[i].Local(ctx)
+			if err != nil {
+				return nil, false, true, fmt.Errorf("fleet: partition %s: %w", t.name, err)
+			}
+			mods, deg, derr = decodePartial(b)
+		}
+		if derr != nil {
+			return nil, false, true, fmt.Errorf("fleet: partition %s: %w", t.name, derr)
+		}
+		partials[i] = core.Partial{
+			Name:     t.name,
+			Modules:  remapModules(mods, t.toParent),
+			Degraded: deg,
+			Duration: res.Duration,
+		}
+	}
+
+	rep := core.MergePartitioned(ctx, nl, opt, partials)
+	s.metrics.AnalysisDone(source+"-fleet", rep.Trace)
+	var buf bytes.Buffer
+	if ro.IncludeElements {
+		err = netlistre.WriteJSONReportElements(&buf, rep)
+	} else {
+		err = netlistre.WriteJSONReport(&buf, rep)
+	}
+	if err != nil {
+		return nil, false, true, err
+	}
+	if !rep.Degraded {
+		s.cache.Put(key, fingerprint, buf.Bytes())
+	}
+	return buf.Bytes(), rep.Degraded, true, nil
+}

@@ -1,0 +1,362 @@
+package server
+
+// Fleet-mode acceptance: a coordinator dispatching partitions to peer
+// workers over a hostile network must produce byte-identical reports to
+// the same coordinator running every partition locally — the
+// determinism contract internal/server/fleet.go documents — and a fully
+// dead fleet must degrade to local execution, not to failure.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"netlistre/internal/fleet"
+	"netlistre/internal/fleet/chaos"
+	"netlistre/internal/gen"
+)
+
+// miniSoCVerilog builds a three-core SoC small enough for -race testing
+// but structurally faithful to BigSoC: per-core resets, interconnect
+// glue, electrical noise.
+func miniSoCVerilog(t *testing.T) (verilog string, resets []string) {
+	t.Helper()
+	cores := []string{"usb", "router", "msp430"}
+	nl := gen.SoC("minisoc", cores, 7, 0.1)
+	var buf bytes.Buffer
+	if err := nl.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cores {
+		resets = append(resets, "rst_"+c)
+	}
+	return buf.String(), resets
+}
+
+// fastFleetOptions keeps retries and hedging quick enough for tests while
+// leaving attempt budgets generous: an analysis under -race is slow, and
+// a timeout would masquerade as a chaos fault.
+func fastFleetOptions() fleet.Options {
+	return fleet.Options{
+		MaxAttempts:      4,
+		BaseBackoff:      5 * time.Millisecond,
+		MaxBackoff:       50 * time.Millisecond,
+		AttemptTimeout:   2 * time.Minute,
+		HedgeAfter:       -1, // hedging is covered by the fleet unit tests
+		PollInterval:     50 * time.Millisecond,
+		Parallel:         4,
+		FailureThreshold: 3,
+		BreakerCooldown:  100 * time.Millisecond,
+		ProbeInterval:    time.Hour, // probe explicitly, not on a timer
+		Seed:             11,
+	}
+}
+
+// runFleetJob submits the request as a job and waits for its terminal
+// status.
+func runFleetJob(t *testing.T, baseURL string, req AnalyzeRequest) JobStatus {
+	t.Helper()
+	resp := postJSON(t, baseURL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	var st JobStatus
+	if err := json.Unmarshal(readBody(t, resp), &st); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Minute)
+	for time.Now().Before(deadline) {
+		r, err := http.Get(baseURL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(readBody(t, r), &st); err != nil {
+			t.Fatal(err)
+		}
+		switch st.Status {
+		case JobDone, JobDegraded, JobFailed:
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish (last status %s)", st.ID, st.Status)
+	return st
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base+slack, reporting the shortfall on timeout.
+func waitGoroutines(t *testing.T, base, slack int) {
+	t.Helper()
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Errorf("goroutines leaked: %d now vs %d at start (+%d allowed)\n%s", n, base, slack, buf)
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+		http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	}
+}
+
+// TestFleetChaosSmoke is the chaos acceptance test (and the make
+// chaos-smoke target): a coordinator drives three peer workers through a
+// transport injecting ~30% failures — refused connections, latency, 5xx,
+// truncated bodies — and one peer is killed outright mid-job. The merged
+// report must match the all-local baseline byte for byte after wall-clock
+// normalization, and shutting everything down must leak no goroutines.
+func TestFleetChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos smoke is the long fleet test")
+	}
+	baseGoroutines := runtime.NumGoroutine()
+
+	verilog, resets := miniSoCVerilog(t)
+	req := AnalyzeRequest{
+		Verilog: verilog,
+		Options: RequestOptions{PartitionResets: resets},
+	}
+
+	// Peers: three plain workers.
+	var peerURLs []string
+	var peers []*httptest.Server
+	var peerSrvs []*Server
+	for i := 0; i < 3; i++ {
+		ps := New(Config{})
+		hs := httptest.NewServer(ps)
+		peers = append(peers, hs)
+		peerSrvs = append(peerSrvs, ps)
+		peerURLs = append(peerURLs, hs.URL)
+	}
+
+	// ~30% of requests fail outright (refuse + 5xx + truncate), more are
+	// delayed. Seeded: the run is reproducible.
+	chaosT := chaos.New(nil, chaos.Config{
+		Seed:         4242,
+		RefuseProb:   0.10,
+		DelayProb:    0.10,
+		MaxDelay:     20 * time.Millisecond,
+		ErrorProb:    0.10,
+		TruncateProb: 0.10,
+	})
+
+	coord := New(Config{
+		Fleet:            true,
+		Peers:            peerURLs,
+		FleetMinElements: 1,
+		FleetTransport:   chaosT,
+		FleetOptions:     fastFleetOptions(),
+	})
+	coordTS := httptest.NewServer(coord)
+
+	// Kill peer 2 shortly after dispatch begins: every later request to it
+	// fails at the transport, exactly as if the process died mid-job.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(150 * time.Millisecond)
+		chaosT.Kill(strings.TrimPrefix(peerURLs[2], "http://"))
+	}()
+
+	st := runFleetJob(t, coordTS.URL, req)
+	<-killed
+	if st.Status != JobDone {
+		t.Fatalf("fleet job finished %s (%s), want done", st.Status, st.Error)
+	}
+	if c := chaosT.Counts(); c.Total() == 0 {
+		t.Errorf("chaos injected no faults (%+v); the run proved nothing", c)
+	} else {
+		t.Logf("chaos: %+v", c)
+	}
+	stats := coord.fleetDisp.Stats()
+	t.Logf("fleet stats: %+v", stats)
+	if stats.Remote == 0 {
+		t.Error("no partition was resolved remotely; the fleet path was not exercised")
+	}
+
+	// Baseline: an identically configured coordinator with no peers runs
+	// every partition through the local fallback.
+	baseline := New(Config{
+		Fleet:            true,
+		FleetMinElements: 1,
+		FleetOptions:     fastFleetOptions(),
+	})
+	baselineTS := httptest.NewServer(baseline)
+	bst := runFleetJob(t, baselineTS.URL, req)
+	if bst.Status != JobDone {
+		t.Fatalf("baseline job finished %s (%s)", bst.Status, bst.Error)
+	}
+	if normalizeTimings(st.Report) != normalizeTimings(bst.Report) {
+		t.Errorf("fleet report differs from all-local baseline:\n--- fleet ---\n%s\n--- local ---\n%s",
+			st.Report, bst.Report)
+	}
+
+	// The coordinator's metrics must expose the fleet counters.
+	mresp, err := http.Get(coordTS.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(readBody(t, mresp))
+	for _, want := range []string{"revand_fleet_partitions_total", "revand_fleet_peer_breaker"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+
+	// Tear everything down and verify nothing leaked: dispatch goroutines
+	// joined, probe loops stopped, peer queues drained.
+	coordTS.Close()
+	baselineTS.Close()
+	for _, hs := range peers {
+		hs.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.Shutdown(ctx); err != nil {
+		t.Errorf("coordinator shutdown: %v", err)
+	}
+	if err := baseline.Shutdown(ctx); err != nil {
+		t.Errorf("baseline shutdown: %v", err)
+	}
+	for i, ps := range peerSrvs {
+		if err := ps.Shutdown(ctx); err != nil {
+			t.Errorf("peer %d shutdown: %v", i, err)
+		}
+	}
+	waitGoroutines(t, baseGoroutines, 4)
+}
+
+// TestFleetAllPeersDownFallsBackLocal starts a coordinator whose entire
+// fleet is unreachable from the first request: the job must still finish,
+// locally, with the same report.
+func TestFleetAllPeersDownFallsBackLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet fallback analysis is slow under -short")
+	}
+	// Reserve real listener addresses, then close them: connection refused.
+	var deadURLs []string
+	for i := 0; i < 2; i++ {
+		hs := httptest.NewServer(http.NotFoundHandler())
+		deadURLs = append(deadURLs, hs.URL)
+		hs.Close()
+	}
+
+	verilog, resets := miniSoCVerilog(t)
+	req := AnalyzeRequest{Verilog: verilog, Options: RequestOptions{PartitionResets: resets}}
+
+	coord, coordTS := newTestServer(t, Config{
+		Fleet:            true,
+		Peers:            deadURLs,
+		FleetMinElements: 1,
+		FleetOptions:     fastFleetOptions(),
+	})
+	st := runFleetJob(t, coordTS.URL, req)
+	if st.Status != JobDone {
+		t.Fatalf("job with dead fleet finished %s (%s), want done via local fallback", st.Status, st.Error)
+	}
+	stats := coord.fleetDisp.Stats()
+	if stats.Remote != 0 || stats.Local == 0 {
+		t.Errorf("stats = %+v, want all partitions resolved locally", stats)
+	}
+
+	_, baselineTS := newTestServer(t, Config{
+		Fleet:            true,
+		FleetMinElements: 1,
+		FleetOptions:     fastFleetOptions(),
+	})
+	bst := runFleetJob(t, baselineTS.URL, req)
+	if normalizeTimings(st.Report) != normalizeTimings(bst.Report) {
+		t.Error("dead-fleet report differs from no-peer baseline")
+	}
+}
+
+// TestFleetSmallNetlistStaysLocal: below FleetMinElements the fleet path
+// must not engage at all, peers or no peers.
+func TestFleetSmallNetlistStaysLocal(t *testing.T) {
+	verilog, _ := refVerilog(t, "tiny")
+	coord, ts := newTestServer(t, Config{
+		Fleet:        true,
+		Peers:        []string{"http://127.0.0.1:1"}, // would explode if consulted
+		FleetOptions: fastFleetOptions(),
+		// FleetMinElements left at the 2000 default, far above this netlist.
+	})
+	resp := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Verilog: verilog})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	readBody(t, resp)
+	if stats := coord.fleetDisp.Stats(); stats.Remote != 0 || stats.Local != 0 {
+		t.Errorf("fleet engaged on a tiny netlist: %+v", stats)
+	}
+}
+
+func TestPartitionResetsValidation(t *testing.T) {
+	verilog, _ := refVerilog(t, "tiny")
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+		Verilog: verilog,
+		Options: RequestOptions{PartitionResets: []string{"no_such_input"}},
+	})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "no_such_input") {
+		t.Errorf("error should name the missing input: %s", body)
+	}
+}
+
+// TestIncludeElementsRoundTrip: include_elements adds per-module element
+// IDs (the fleet wire format) and keys the cache separately from the
+// default rendering.
+func TestIncludeElementsRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	plain := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Article: "usb"})
+	plainBody := readBody(t, plain)
+	with := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+		Article: "usb",
+		Options: RequestOptions{IncludeElements: true},
+	})
+	withBody := readBody(t, with)
+
+	if with.Header.Get("X-Cache") != "MISS" {
+		t.Errorf("include_elements request hit the plain request's cache entry")
+	}
+	if bytes.Contains(plainBody, []byte(`"element_ids"`)) {
+		t.Error("plain report leaked element IDs")
+	}
+	if !bytes.Contains(withBody, []byte(`"element_ids"`)) {
+		t.Error("include_elements report carries no element IDs")
+	}
+
+	var probe struct {
+		Modules []struct {
+			Elements   int   `json:"elements"`
+			ElementIDs []int `json:"element_ids"`
+		} `json:"modules"`
+	}
+	if err := json.Unmarshal(withBody, &probe); err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.Modules) == 0 {
+		t.Fatal("no modules in usb report")
+	}
+	for i, m := range probe.Modules {
+		if len(m.ElementIDs) != m.Elements {
+			t.Errorf("module %d: %d element IDs, elements %d", i, len(m.ElementIDs), m.Elements)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"netlistre"
+	"netlistre/internal/fleet"
 )
 
 // stageBuckets are the per-stage duration histogram bounds in seconds.
@@ -95,14 +96,24 @@ func (m *Metrics) HTTPRequest(route string, code int) {
 	m.mu.Unlock()
 }
 
+// FleetGauges carries the fleet coordinator's dispatch counters and peer
+// breaker states for /metrics; nil when fleet mode is off, so the
+// exposition of a non-fleet server is unchanged.
+type FleetGauges struct {
+	Stats fleet.Stats
+	Peers []struct{ URL, State string }
+}
+
 // Gauges carries the point-in-time values rendered alongside the counters.
 type Gauges struct {
-	QueueDepth    int
-	QueueCapacity int
-	JobsRunning   int
-	Cache         CacheStats
-	StageCache    netlistre.StageCacheStats
-	UptimeSeconds float64
+	QueueDepth       int
+	QueueCapacity    int
+	JobsRunning      int
+	QueueWaitSeconds float64
+	Cache            CacheStats
+	StageCache       netlistre.StageCacheStats
+	UptimeSeconds    float64
+	Fleet            *FleetGauges
 }
 
 // errw mirrors the root package's errWriter: check a long sequence of
@@ -167,9 +178,34 @@ func (m *Metrics) WriteProm(w io.Writer, g Gauges) error {
 	e.printf("# HELP revand_jobs_running Jobs currently executing.\n")
 	e.printf("# TYPE revand_jobs_running gauge\n")
 	e.printf("revand_jobs_running %d\n", g.JobsRunning)
+	e.printf("# HELP revand_job_queue_wait_seconds Estimated wait before a job submitted now would start.\n")
+	e.printf("# TYPE revand_job_queue_wait_seconds gauge\n")
+	e.printf("revand_job_queue_wait_seconds %g\n", g.QueueWaitSeconds)
 	e.printf("# HELP revand_queue_full_total Job submissions rejected because the queue was full.\n")
 	e.printf("# TYPE revand_queue_full_total counter\n")
 	e.printf("revand_queue_full_total %d\n", m.queueFull)
+
+	if g.Fleet != nil {
+		e.printf("# HELP revand_fleet_partitions_total Partitions resolved, by executor.\n")
+		e.printf("# TYPE revand_fleet_partitions_total counter\n")
+		e.printf("revand_fleet_partitions_total{executor=\"local\"} %d\n", g.Fleet.Stats.Local)
+		e.printf("revand_fleet_partitions_total{executor=\"remote\"} %d\n", g.Fleet.Stats.Remote)
+		e.printf("# HELP revand_fleet_retries_total Remote dispatch attempts beyond each task's first.\n")
+		e.printf("# TYPE revand_fleet_retries_total counter\n")
+		e.printf("revand_fleet_retries_total %d\n", g.Fleet.Stats.Retries)
+		e.printf("# HELP revand_fleet_failures_total Failed remote dispatch attempts.\n")
+		e.printf("# TYPE revand_fleet_failures_total counter\n")
+		e.printf("revand_fleet_failures_total %d\n", g.Fleet.Stats.Failures)
+		e.printf("# HELP revand_fleet_hedges_total Hedge attempts launched, and how many won.\n")
+		e.printf("# TYPE revand_fleet_hedges_total counter\n")
+		e.printf("revand_fleet_hedges_total{outcome=\"launched\"} %d\n", g.Fleet.Stats.Hedges)
+		e.printf("revand_fleet_hedges_total{outcome=\"won\"} %d\n", g.Fleet.Stats.HedgeWins)
+		e.printf("# HELP revand_fleet_peer_breaker Peer circuit-breaker state (1 = current state).\n")
+		e.printf("# TYPE revand_fleet_peer_breaker gauge\n")
+		for _, p := range g.Fleet.Peers {
+			e.printf("revand_fleet_peer_breaker{peer=%q,state=%q} 1\n", p.URL, p.State)
+		}
+	}
 
 	e.printf("# HELP revand_cache_hits_total Report cache hits.\n")
 	e.printf("# TYPE revand_cache_hits_total counter\n")

@@ -42,6 +42,7 @@ type Job struct {
 	nl  *netlistre.Netlist
 	opt netlistre.Options
 	key string
+	ro  RequestOptions
 
 	mu       sync.Mutex
 	state    string
@@ -143,12 +144,19 @@ type Queue struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
+	workers int
 	running int64
 
 	mu      sync.Mutex // guards byID, retired, closing, and the jobs send/close pair
 	byID    map[string]*Job
 	retired []string
 	closing bool
+
+	// Exponentially weighted mean of recent job execution times, feeding
+	// the Retry-After hint and the queue-wait gauge.
+	execMu      sync.Mutex
+	execMean    float64 // seconds
+	execSamples int64
 }
 
 // NewQueue starts workers goroutines draining a queue of the given depth.
@@ -156,11 +164,12 @@ type Queue struct {
 func NewQueue(workers, depth int, exec func(ctx context.Context, j *Job)) *Queue {
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{
-		exec:   exec,
-		jobs:   make(chan *Job, depth),
-		ctx:    ctx,
-		cancel: cancel,
-		byID:   make(map[string]*Job),
+		exec:    exec,
+		jobs:    make(chan *Job, depth),
+		ctx:     ctx,
+		cancel:  cancel,
+		workers: workers,
+		byID:    make(map[string]*Job),
 	}
 	q.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -174,7 +183,9 @@ func (q *Queue) worker() {
 	for j := range q.jobs {
 		j.markRunning()
 		q.addRunning(1)
+		begin := time.Now()
 		q.exec(q.ctx, j)
+		q.noteExec(time.Since(begin))
 		q.addRunning(-1)
 		q.retire(j)
 	}
@@ -235,6 +246,34 @@ func (q *Queue) Get(id string) *Job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.byID[id]
+}
+
+// noteExec feeds one job's execution time into the running mean. The
+// EWMA (alpha 0.3) tracks shifts in workload — a burst of BigSoC jobs
+// raises the estimate within a few completions — without letting one
+// outlier dominate.
+func (q *Queue) noteExec(d time.Duration) {
+	q.execMu.Lock()
+	if q.execSamples == 0 {
+		q.execMean = d.Seconds()
+	} else {
+		q.execMean = 0.7*q.execMean + 0.3*d.Seconds()
+	}
+	q.execSamples++
+	q.execMu.Unlock()
+}
+
+// EstimatedWaitSeconds estimates how long a job submitted now would wait
+// to start: queued jobs times the recent mean execution time, spread
+// across the worker pool. Zero until the first job completes.
+func (q *Queue) EstimatedWaitSeconds() float64 {
+	q.execMu.Lock()
+	mean := q.execMean
+	q.execMu.Unlock()
+	if q.workers <= 0 {
+		return 0
+	}
+	return float64(len(q.jobs)) * mean / float64(q.workers)
 }
 
 // Depth returns the number of jobs waiting to start.

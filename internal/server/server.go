@@ -43,10 +43,12 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"netlistre"
+	"netlistre/internal/fleet"
 )
 
 // Config sizes the service. The zero value of any field selects the
@@ -79,6 +81,25 @@ type Config struct {
 	// on the synchronous endpoint, steering them to /v1/jobs
 	// (default 20000; negative disables the gate).
 	MaxSyncElements int
+	// Fleet enables coordinator mode: netlists of at least
+	// FleetMinElements elements are reset-tree partitioned and the
+	// partitions dispatched to Peers as /v1/jobs jobs, with local
+	// fallback when the fleet cannot serve them (see internal/fleet).
+	Fleet bool
+	// Peers are the worker base URLs, e.g. "http://10.0.0.7:8080".
+	// Fleet mode with no peers is valid: every partition falls back to
+	// local execution, which is also the byte-identity baseline the
+	// chaos tests compare against.
+	Peers []string
+	// FleetMinElements is the smallest netlist (gates+latches) the fleet
+	// path considers (default 2000; smaller requests stay single-process).
+	FleetMinElements int
+	// FleetTransport overrides the HTTP transport used to reach peers —
+	// the chaos tests inject their fault transport here (nil selects
+	// http.DefaultTransport).
+	FleetTransport http.RoundTripper
+	// FleetOptions tunes dispatch: retries, backoff, hedging, breakers.
+	FleetOptions fleet.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +124,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSyncElements == 0 {
 		c.MaxSyncElements = 20000
 	}
+	if c.FleetMinElements == 0 {
+		c.FleetMinElements = 2000
+	}
 	return c
 }
 
@@ -116,6 +140,10 @@ type Server struct {
 	queue   *Queue
 	mux     *http.ServeMux
 	start   time.Time
+
+	// Fleet coordinator state; nil unless Config.Fleet is set.
+	fleetReg  *fleet.Registry
+	fleetDisp *fleet.Dispatcher
 }
 
 // New builds a Server and starts its queue workers.
@@ -131,6 +159,14 @@ func New(cfg Config) *Server {
 		s.stages = netlistre.NewStageStore(s.cfg.StageCacheEntries)
 	}
 	s.queue = NewQueue(s.cfg.QueueWorkers, s.cfg.QueueDepth, s.runJob)
+	if s.cfg.Fleet {
+		client := &http.Client{Transport: s.cfg.FleetTransport}
+		s.fleetReg = fleet.NewRegistry(s.cfg.Peers, client, s.cfg.FleetOptions)
+		s.fleetDisp = fleet.NewDispatcher(s.fleetReg, client, s.cfg.FleetOptions)
+		if len(s.cfg.Peers) > 0 {
+			s.fleetReg.StartProbing()
+		}
+	}
 
 	s.route("POST /v1/analyze", "/v1/analyze", s.handleAnalyze)
 	s.route("POST /v1/jobs", "/v1/jobs", s.handleSubmitJob)
@@ -166,6 +202,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // analyses are canceled cooperatively and finish as degraded reports.
 // Call http.Server.Shutdown before this so no new requests race intake.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.fleetReg != nil {
+		s.fleetReg.StopProbing()
+	}
 	return s.queue.Drain(ctx)
 }
 
@@ -219,6 +258,16 @@ type RequestOptions struct {
 	// Sliceable selects the sliceable ILP formulation (default true,
 	// like revan without -basic-ilp).
 	Sliceable *bool `json:"sliceable,omitempty"`
+	// IncludeElements renders the report with per-module element and
+	// slice ID lists (the lossless wire format a fleet coordinator needs
+	// to merge partition reports). Default reports omit them and stay
+	// byte-identical to earlier releases.
+	IncludeElements bool `json:"include_elements,omitempty"`
+	// PartitionResets names the reset inputs anchoring fleet-mode
+	// partitioning, overriding automatic discovery. Unknown names are a
+	// 400. Ignored (beyond validation) when the netlist stays on the
+	// single-process path.
+	PartitionResets []string `json:"partition_resets,omitempty"`
 }
 
 func (o RequestOptions) validate() error {
@@ -282,9 +331,10 @@ func (o RequestOptions) cacheKey(fingerprint string, defaultTimeout time.Duratio
 	if objective == "min" && target == 0 {
 		target = 0.5
 	}
-	return fmt.Sprintf("%s|to=%s sto=%dms smm=%t swp=%t kc=%t obj=%s ct=%g sl=%t",
+	return fmt.Sprintf("%s|to=%s sto=%dms smm=%t swp=%t kc=%t obj=%s ct=%g sl=%t ie=%t pr=%s",
 		fingerprint, timeout, o.StageTimeoutMS, o.SkipModMatch, o.SkipWordProp,
-		o.KeepCandidates, objective, target, sliceable)
+		o.KeepCandidates, objective, target, sliceable, o.IncludeElements,
+		strings.Join(o.PartitionResets, ","))
 }
 
 // builtinArticle resolves a built-in netlist name, including the large
@@ -340,9 +390,18 @@ func writeError(w http.ResponseWriter, code int, format string, args ...interfac
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// parsedRequest is one decoded, validated analysis request.
+type parsedRequest struct {
+	nl          *netlistre.Netlist
+	fingerprint string
+	opt         netlistre.Options
+	key         string
+	ro          RequestOptions
+}
+
 // decodeRequest parses and validates an analysis request body, returning
 // the netlist, its fingerprint, the lowered options, and the cache key.
-func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*netlistre.Netlist, string, netlistre.Options, string, bool) {
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*parsedRequest, bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -354,21 +413,31 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*netlist
 		} else {
 			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		}
-		return nil, "", netlistre.Options{}, "", false
+		return nil, false
 	}
 	if err := req.Options.validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
-		return nil, "", netlistre.Options{}, "", false
+		return nil, false
 	}
 	nl, err := buildNetlist(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "netlist: %v", err)
-		return nil, "", netlistre.Options{}, "", false
+		return nil, false
+	}
+	for _, name := range req.Options.PartitionResets {
+		if nl.FindByName(name) == netlistre.NilID {
+			writeError(w, http.StatusBadRequest, "options.partition_resets: no input named %q", name)
+			return nil, false
+		}
 	}
 	fp := nl.Fingerprint()
-	opt := req.Options.toOptions(nl, s.cfg.DefaultTimeout)
-	key := req.Options.cacheKey(fp, s.cfg.DefaultTimeout)
-	return nl, fp, opt, key, true
+	return &parsedRequest{
+		nl:          nl,
+		fingerprint: fp,
+		opt:         req.Options.toOptions(nl, s.cfg.DefaultTimeout),
+		key:         req.Options.cacheKey(fp, s.cfg.DefaultTimeout),
+		ro:          req.Options,
+	}, true
 }
 
 // analyze runs one analysis through the cache: a hit returns the stored
@@ -377,34 +446,49 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*netlist
 // rendered report unless it is degraded. A degraded report is never
 // cached, but its completed stages live on in the stage store, so
 // resubmitting the same request resumes the analysis instead of starting
-// over.
-func (s *Server) analyze(ctx context.Context, source string, nl *netlistre.Netlist, opt netlistre.Options, fingerprint, key string) (report []byte, cacheHit, degraded bool, err error) {
-	if b, _, ok := s.cache.Get(key); ok {
+// over. When fleet mode is on and the netlist is large enough to split,
+// the analysis is sharded across the fleet instead (see fleet.go); the
+// cache key covers every report-shaping option, so a given key always
+// resolves through the same path within a process.
+func (s *Server) analyze(ctx context.Context, source string, pr *parsedRequest) (report []byte, cacheHit, degraded bool, err error) {
+	if b, _, ok := s.cache.Get(pr.key); ok {
 		return b, true, false, nil
 	}
+	if s.fleetEligible(pr.nl) {
+		report, degraded, handled, err := s.analyzeFleet(ctx, source, pr.nl, pr.opt, pr.fingerprint, pr.key, pr.ro)
+		if handled || err != nil {
+			return report, false, degraded, err
+		}
+	}
+	opt := pr.opt
 	if s.stages != nil {
 		opt.StageStore = s.stages
-		opt.Fingerprint = fingerprint
+		opt.Fingerprint = pr.fingerprint
 	}
-	rep := netlistre.AnalyzeContext(ctx, nl, opt)
+	rep := netlistre.AnalyzeContext(ctx, pr.nl, opt)
 	s.metrics.AnalysisDone(source, rep.Trace)
 	var buf bytes.Buffer
-	if err := netlistre.WriteJSONReport(&buf, rep); err != nil {
+	if pr.ro.IncludeElements {
+		err = netlistre.WriteJSONReportElements(&buf, rep)
+	} else {
+		err = netlistre.WriteJSONReport(&buf, rep)
+	}
+	if err != nil {
 		return nil, false, false, err
 	}
 	if !rep.Degraded {
-		s.cache.Put(key, fingerprint, buf.Bytes())
+		s.cache.Put(pr.key, pr.fingerprint, buf.Bytes())
 	}
 	return buf.Bytes(), false, rep.Degraded, nil
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	nl, fp, opt, key, ok := s.decodeRequest(w, r)
+	pr, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
 	if s.cfg.MaxSyncElements > 0 {
-		stats := nl.Stats()
+		stats := pr.nl.Stats()
 		if n := stats.Gates + stats.Latches; n > s.cfg.MaxSyncElements {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				"netlist has %d elements (sync limit %d); submit it to POST /v1/jobs instead",
@@ -412,13 +496,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	report, hit, degraded, err := s.analyze(r.Context(), "sync", nl, opt, fp, key)
+	report, hit, degraded, err := s.analyze(r.Context(), "sync", pr)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "rendering report: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Netlist-Fingerprint", fp)
+	w.Header().Set("X-Netlist-Fingerprint", pr.fingerprint)
 	if hit {
 		w.Header().Set("X-Cache", "HIT")
 	} else {
@@ -433,7 +517,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // runJob is the queue executor: it performs the cached analysis for one
 // job and moves it to its terminal state.
 func (s *Server) runJob(ctx context.Context, j *Job) {
-	report, hit, degraded, err := s.analyze(ctx, "job", j.nl, j.opt, j.Fingerprint, j.key)
+	report, hit, degraded, err := s.analyze(ctx, "job", &parsedRequest{
+		nl:          j.nl,
+		fingerprint: j.Fingerprint,
+		opt:         j.opt,
+		key:         j.key,
+		ro:          j.ro,
+	})
 	switch {
 	case err != nil:
 		j.finish(JobFailed, nil, false, err.Error())
@@ -447,17 +537,33 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	}
 }
 
+// retryAfterSeconds derives the Retry-After hint for a 503 from the
+// queue's state: depth times the recent mean job duration, spread over
+// the workers, clamped to [1s, 60s] so a cold or pathological estimate
+// never tells clients to stay away too long or hammer too soon.
+func (s *Server) retryAfterSeconds() string {
+	secs := int(s.queue.EstimatedWaitSeconds() + 0.999)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(secs)
+}
+
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
-	nl, fp, opt, key, ok := s.decodeRequest(w, r)
+	pr, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
-	j := NewJob(nl, opt, fp, key)
+	j := NewJob(pr.nl, pr.opt, pr.fingerprint, pr.key)
+	j.ro = pr.ro
 	switch err := s.queue.Submit(j); {
 	case errors.Is(err, ErrQueueFull):
 		// Backpressure: tell well-behaved clients when to come back and
 		// count the rejection so operators can alert on sustained overload.
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		s.metrics.QueueFull()
 		writeError(w, http.StatusServiceUnavailable, "job queue full (capacity %d)", s.queue.Capacity())
 		return
@@ -520,14 +626,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	g := Gauges{
-		QueueDepth:    s.queue.Depth(),
-		QueueCapacity: s.queue.Capacity(),
-		JobsRunning:   s.queue.Running(),
-		Cache:         s.cache.Stats(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		QueueDepth:       s.queue.Depth(),
+		QueueCapacity:    s.queue.Capacity(),
+		JobsRunning:      s.queue.Running(),
+		QueueWaitSeconds: s.queue.EstimatedWaitSeconds(),
+		Cache:            s.cache.Stats(),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
 	}
 	if s.stages != nil {
 		g.StageCache = s.stages.Stats()
+	}
+	if s.fleetDisp != nil {
+		g.Fleet = &FleetGauges{
+			Stats: s.fleetDisp.Stats(),
+			Peers: s.fleetReg.PeerStates(),
+		}
 	}
 	if err := s.metrics.WriteProm(w, g); err != nil {
 		// The write failed mid-stream; nothing useful left to send.

@@ -436,7 +436,7 @@ func TestDegradedNotCached(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	report, hit, degraded, err := s.analyze(ctx, "sync", nl, opt, fp, key)
+	report, hit, degraded, err := s.analyze(ctx, "sync", &parsedRequest{nl: nl, fingerprint: fp, opt: opt, key: key, ro: ro})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -623,7 +623,7 @@ func TestDegradedRunResumesFromStageStore(t *testing.T) {
 			cancel()
 		}
 	}
-	_, hit, degraded, err := s.analyze(ctx, "sync", nl, opt, fp, key)
+	_, hit, degraded, err := s.analyze(ctx, "sync", &parsedRequest{nl: nl, fingerprint: fp, opt: opt, key: key, ro: ro})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -633,7 +633,7 @@ func TestDegradedRunResumesFromStageStore(t *testing.T) {
 
 	opt2 := ro.toOptions(nl, 0)
 	opt2.Workers = 1
-	report, hit, degraded, err := s.analyze(context.Background(), "sync", nl, opt2, fp, key)
+	report, hit, degraded, err := s.analyze(context.Background(), "sync", &parsedRequest{nl: nl, fingerprint: fp, opt: opt2, key: key, ro: ro})
 	if err != nil {
 		t.Fatal(err)
 	}

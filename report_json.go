@@ -6,8 +6,11 @@ package netlistre
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
+
+	"netlistre/internal/module"
 )
 
 // JSONReport is the serializable form of a Report.
@@ -65,7 +68,10 @@ type JSONStage struct {
 	Error      string  `json:"error,omitempty"`
 }
 
-// JSONModule is one resolved module.
+// JSONModule is one resolved module. ElementIDs and SliceIDs are filled
+// only when the report is rendered with element detail (the fleet wire
+// format — see WriteJSONReportElements); the default rendering keeps them
+// empty so existing reports stay byte-identical.
 type JSONModule struct {
 	Name     string            `json:"name"`
 	Type     string            `json:"type"`
@@ -73,10 +79,26 @@ type JSONModule struct {
 	Elements int               `json:"elements"`
 	Ports    map[string][]int  `json:"ports,omitempty"`
 	Attrs    map[string]string `json:"attrs,omitempty"`
+	// ElementIDs lists every covered netlist node, sorted ascending.
+	ElementIDs []int `json:"element_ids,omitempty"`
+	// SliceIDs carries the per-bit slice decomposition for the sliceable
+	// ILP formulation, when the module has one.
+	SliceIDs [][]int `json:"slice_ids,omitempty"`
 }
 
 // ToJSONReport converts an analysis Report.
 func ToJSONReport(rep *Report) JSONReport {
+	return toJSONReport(rep, false)
+}
+
+// ToJSONReportElements converts a Report including per-module element and
+// slice ID lists — the lossless form a fleet coordinator needs to merge a
+// partition's resolved modules back into the parent netlist.
+func ToJSONReportElements(rep *Report) JSONReport {
+	return toJSONReport(rep, true)
+}
+
+func toJSONReport(rep *Report, includeElements bool) JSONReport {
 	stats := rep.Netlist.Stats()
 	out := JSONReport{
 		Design:        rep.Netlist.Name,
@@ -137,6 +159,22 @@ func ToJSONReport(rep *Report) JSONReport {
 			Elements: m.Size(),
 			Attrs:    m.Attr,
 		}
+		if includeElements {
+			jm.ElementIDs = make([]int, len(m.Elements))
+			for i, id := range m.Elements {
+				jm.ElementIDs[i] = int(id)
+			}
+			if len(m.Slices) > 0 {
+				jm.SliceIDs = make([][]int, len(m.Slices))
+				for i, slice := range m.Slices {
+					ints := make([]int, len(slice))
+					for j, id := range slice {
+						ints[j] = int(id)
+					}
+					jm.SliceIDs[i] = ints
+				}
+			}
+		}
 		if len(m.Ports) > 0 {
 			jm.Ports = make(map[string][]int, len(m.Ports))
 			var names []string
@@ -169,6 +207,65 @@ func WriteJSONReport(w io.Writer, rep *Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(ToJSONReport(rep))
+}
+
+// WriteJSONReportElements writes the report as indented JSON including
+// per-module element and slice ID lists (the fleet wire format). Reports
+// written without element detail are unchanged byte for byte.
+func WriteJSONReportElements(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSONReportElements(rep))
+}
+
+// ModulesFromJSONReport reconstructs the resolved module set of a report
+// written with element detail (WriteJSONReportElements). The returned
+// modules carry the element sets, slices, ports and attributes of the
+// originals, in the report's module order; a fleet coordinator remaps
+// their IDs into the parent netlist and feeds them to overlap resolution.
+// It fails on a report without element IDs, which cannot participate in a
+// merge.
+func ModulesFromJSONReport(rep *JSONReport) ([]*Module, error) {
+	mods := make([]*Module, 0, len(rep.Modules))
+	for _, jm := range rep.Modules {
+		if len(jm.ElementIDs) == 0 && jm.Elements > 0 {
+			return nil, fmt.Errorf("netlistre: module %q has no element IDs; the report was not written with element detail", jm.Name)
+		}
+		m := &Module{
+			Type:  module.TypeFromString(jm.Type),
+			Name:  jm.Name,
+			Width: jm.Width,
+		}
+		elems := make([]ID, len(jm.ElementIDs))
+		for i, e := range jm.ElementIDs {
+			elems[i] = ID(e)
+		}
+		m.SetElements(elems)
+		for _, slice := range jm.SliceIDs {
+			ids := make([]ID, len(slice))
+			for i, e := range slice {
+				ids[i] = ID(e)
+			}
+			m.Slices = append(m.Slices, ids)
+		}
+		var portNames []string
+		for name := range jm.Ports {
+			portNames = append(portNames, name)
+		}
+		sort.Strings(portNames)
+		for _, name := range portNames {
+			ids := make([]ID, len(jm.Ports[name]))
+			for i, e := range jm.Ports[name] {
+				ids[i] = ID(e)
+			}
+			m.SetPort(name, ids)
+		}
+		for k, v := range jm.Attrs {
+			m.SetAttr(k, v)
+		}
+		mods = append(mods, m)
+	}
+	return mods, nil
 }
 
 // ReadJSONReport decodes a report previously written by WriteJSONReport
