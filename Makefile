@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-stagecache bench-match conformance fuzz vet load-smoke resume-smoke chaos-smoke coverage ci
+.PHONY: build test test-short test-race bench bench-stagecache bench-match conformance decompile-smoke fuzz vet load-smoke resume-smoke chaos-smoke coverage ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,15 @@ bench-stagecache: build
 conformance: build
 	$(GO) run ./cmd/revcheck
 
+# Decompilation gate: every labeled article lowered to word-level Verilog
+# at workers 1 and 4, byte-identical across counts, round-trip equivalence
+# verified, and per-article residual gate/latch counts gated against
+# testdata/decompile_baseline.json. Re-record after an intentional
+# coverage change with
+#   go run ./cmd/revcheck -decompile -bless
+decompile-smoke: build
+	$(GO) run ./cmd/revcheck -decompile
+
 # Cut-classification microbenchmark: replays BigSoC's shrunk cut-function
 # stream through the old per-entry permutation search and the new memoized
 # canonical-index classifier, asserts the >= 3x speedup and the ratio gate
@@ -50,6 +59,7 @@ fuzz:
 	$(GO) test ./internal/netlist -fuzz FuzzReadBLIF -fuzztime 30s
 	$(GO) test . -run FuzzReadJSONReport -fuzz FuzzReadJSONReport -fuzztime 30s
 	$(GO) test ./internal/truth -fuzz FuzzCanon -fuzztime 30s
+	$(GO) test ./internal/rtl -fuzz FuzzEmitRTL -fuzztime 30s
 
 vet:
 	$(GO) vet ./...
@@ -89,9 +99,9 @@ chaos-smoke:
 
 # Mirrors .github/workflows/ci.yml: full build + vet + tests, a short-mode
 # race pass, the revand load smoke, the fleet chaos smoke, the
-# conformance matrix, the matching microbenchmark, the coverage gate, and
-# 30-second fuzz smokes of the parsers, the report decoder, and the
-# canonicalizer.
+# conformance matrix, the decompilation gate, the matching
+# microbenchmark, the coverage gate, and 30-second fuzz smokes of the
+# parsers, the report decoder, the canonicalizer, and the RTL round trip.
 ci: build vet
 	$(GO) test ./...
 	$(GO) test -short -race ./...
@@ -100,9 +110,11 @@ ci: build vet
 	$(GO) test -race -run 'TestStageCacheWarmDeterminism|TestStageCacheResumeAfterStageTimeout' -count 1 .
 	$(MAKE) chaos-smoke
 	$(MAKE) conformance
+	$(MAKE) decompile-smoke
 	$(MAKE) bench-match
 	$(MAKE) coverage
 	$(GO) test ./internal/netlist -fuzz FuzzReadVerilog -fuzztime 30s
 	$(GO) test ./internal/netlist -fuzz FuzzReadBLIF -fuzztime 30s
 	$(GO) test . -run FuzzReadJSONReport -fuzz FuzzReadJSONReport -fuzztime 30s
 	$(GO) test ./internal/truth -fuzz FuzzCanon -fuzztime 30s
+	$(GO) test ./internal/rtl -fuzz FuzzEmitRTL -fuzztime 30s

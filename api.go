@@ -106,6 +106,7 @@ import (
 	"netlistre/internal/netlist"
 	"netlistre/internal/overlap"
 	"netlistre/internal/partition"
+	"netlistre/internal/rtl"
 	"netlistre/internal/simplify"
 )
 
@@ -238,6 +239,39 @@ func Analyze(nl *Netlist, opt Options) *Report { return core.Analyze(nl, opt) }
 // reports").
 func AnalyzeContext(ctx context.Context, nl *Netlist, opt Options) *Report {
 	return core.AnalyzeContext(ctx, nl, opt)
+}
+
+// RTLResult is the outcome of lowering a report to word-level Verilog
+// (see EmitRTL).
+type RTLResult = rtl.EmitResult
+
+// RTLStats summarizes what one RTL emission lowered.
+type RTLStats = rtl.EmitStats
+
+// RTLEquiv is the machine-readable verdict of the RTL round-trip
+// equivalence check (see CheckRTL).
+type RTLEquiv = rtl.EquivResult
+
+// EmitRTL lowers an analysis report plus its netlist into word-level
+// Verilog: resolved modules become reference-library template instances
+// or always blocks, recovered words become vector wires, and everything
+// the analysis left unresolved passes through as residual structural
+// logic, so the output is always a complete design. Emission is
+// deterministic: byte-identical across worker counts and across
+// Verilog/BLIF serializations of the same design. A nil report emits a
+// pure structural passthrough.
+func EmitRTL(nl *Netlist, rep *Report) (*RTLResult, error) { return rtl.Emit(nl, rep) }
+
+// CheckRTL re-elaborates an emission and verifies it against the
+// original netlist — by fingerprint when the emission was pure
+// passthrough, by bit-parallel simulation plus exhaustive small-cone
+// truth tables otherwise. An inequivalent design is reported in the
+// result, not as an error.
+func CheckRTL(nl *Netlist, er *RTLResult) (*RTLEquiv, error) { return rtl.Check(nl, er) }
+
+// DecompileRTL emits RTL for the report and self-checks it in one call.
+func DecompileRTL(nl *Netlist, rep *Report) (*RTLResult, *RTLEquiv, error) {
+	return rtl.Decompile(nl, rep)
 }
 
 // SimplifyResult pairs a simplified netlist with its node mapping.

@@ -24,6 +24,10 @@ import (
 // hard errors (1).
 const exitDegraded = 3
 
+// exitRTLCheck is returned when -emit-rtl wrote the decompiled RTL but
+// the round-trip equivalence self-check did not pass.
+const exitRTLCheck = 4
+
 func main() {
 	var (
 		inFile    = flag.String("in", "", "structural Verilog netlist to analyze")
@@ -44,6 +48,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "whole-run analysis budget (0 = none); a timed-out run prints a partial report and exits 3")
 		stCache   = flag.Int("stage-cache", 0, "memoize stage artifacts in an in-process store of this many entries (0 disables); repeated analyses in one run, e.g. -partition, resume from it")
 		fprint    = flag.Bool("fingerprint", false, "print the netlist's canonical SHA-256 fingerprint and exit")
+		emitRTL   = flag.String("emit-rtl", "", "decompile the analyzed design to word-level Verilog at this path; the emission is self-checked for round-trip equivalence and a failed check exits 4")
 	)
 	flag.Parse()
 
@@ -103,6 +108,10 @@ func main() {
 	opt.Overlap.Sliceable = !*basic
 
 	if *partFlag != "" {
+		if *emitRTL != "" {
+			fmt.Fprintln(os.Stderr, "revan: -emit-rtl cannot be combined with -partition")
+			os.Exit(1)
+		}
 		resets := strings.Split(*partFlag, ",")
 		if *partFlag == "auto" {
 			resets = netlistre.BigSoCResetNames()
@@ -117,7 +126,7 @@ func main() {
 		degraded := false
 		for _, c := range summary.Cores {
 			fmt.Printf("=== core %s (%d latches, %d elements) ===\n", c.Name, c.Latches, c.Elements)
-			degraded = analyzeOne(c.Netlist, opt, *target, *verbose, "", *jsonOut) || degraded
+			degraded = analyzeOne(c.Netlist, opt, *target, *verbose, "", *jsonOut).Degraded || degraded
 			fmt.Println()
 		}
 		printStageCacheStats(stages)
@@ -126,11 +135,40 @@ func main() {
 		}
 		return
 	}
-	degraded := analyzeOne(nl, opt, *target, *verbose, *dotFile, *jsonOut)
+	rep := analyzeOne(nl, opt, *target, *verbose, *dotFile, *jsonOut)
 	printStageCacheStats(stages)
-	if degraded {
+	if *emitRTL != "" {
+		if err := decompileTo(nl, rep, *emitRTL); err != nil {
+			fmt.Fprintln(os.Stderr, "revan:", err)
+			os.Exit(exitRTLCheck)
+		}
+	}
+	if rep.Degraded {
 		os.Exit(exitDegraded)
 	}
+}
+
+// decompileTo writes the word-level Verilog for an analyzed design and
+// runs the round-trip equivalence self-check.
+func decompileTo(nl *netlistre.Netlist, rep *netlistre.Report, path string) error {
+	er, eq, err := netlistre.DecompileRTL(nl, rep)
+	if er != nil {
+		if werr := os.WriteFile(path, er.Verilog, 0o644); werr != nil {
+			return werr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("decompile: %w", err)
+	}
+	st := er.Stats
+	fmt.Printf("\ndecompiled RTL written to %s\n", path)
+	fmt.Printf("  %d instances, %d always blocks, %d residual gates, %d residual latches, %d words\n",
+		st.Instances, st.AlwaysBlocks, st.ResidualGates, st.ResidualLatches, st.Words)
+	fmt.Printf("  self-check: %v\n", eq)
+	if !eq.Equivalent {
+		return fmt.Errorf("round-trip equivalence self-check failed: %v", eq)
+	}
+	return nil
 }
 
 // printStageCacheStats summarizes -stage-cache effectiveness on stderr so
@@ -168,10 +206,9 @@ func loadNetlist(inFile, article string) (*netlistre.Netlist, error) {
 	return nil, fmt.Errorf("one of -in or -article is required (try -list)")
 }
 
-// analyzeOne analyzes one netlist and reports whether the run was
-// degraded (partial results after a timeout, cancellation, or stage
-// failure).
-func analyzeOne(nl *netlistre.Netlist, opt netlistre.Options, target float64, verbose bool, dotFile string, jsonOut bool) bool {
+// analyzeOne analyzes one netlist, prints its report, and returns the
+// report for further processing (degraded-exit, -emit-rtl).
+func analyzeOne(nl *netlistre.Netlist, opt netlistre.Options, target float64, verbose bool, dotFile string, jsonOut bool) *netlistre.Report {
 	if opt.Overlap.Objective == netlistre.MinModules {
 		stats := nl.Stats()
 		opt.Overlap.CoverageTarget = int(target * float64(stats.Gates+stats.Latches))
@@ -212,5 +249,5 @@ func analyzeOne(nl *netlistre.Netlist, opt netlistre.Options, target float64, ve
 			fmt.Printf("  %-28s %5d elements  fn=%s\n", m.Name, m.Size(), m.Attr["function"])
 		}
 	}
-	return rep.Degraded
+	return rep
 }

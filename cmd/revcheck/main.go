@@ -12,6 +12,15 @@
 //	revcheck -articles usb,evoter  # subset
 //	revcheck -mutations none       # skip mutations
 //	revcheck -bless                # rewrite the baseline from this run
+//	revcheck -decompile            # RTL decompile gate instead (see below)
+//
+// With -decompile the harness switches to the decompilation gate: every
+// labeled article is lowered to word-level Verilog at each worker count,
+// the emissions must be byte-identical across counts, the round-trip
+// equivalence self-check must pass, and the per-article residual gate and
+// latch counts are gated against testdata/decompile_baseline.json (a
+// template regression surfaces as residual counts growing). -bless,
+// -articles, and -workers apply to this mode too.
 package main
 
 import (
@@ -42,8 +51,20 @@ func main() {
 		eps      = flag.Float64("eps", 1e-6, "score tolerance for the baseline gate")
 		minMacro = flag.Float64("min-macro", 0.9, "minimum per-article macro F1")
 		seed     = flag.Int64("seed", 11, "mutation seed")
+
+		decompile    = flag.Bool("decompile", false, "run the RTL decompilation gate instead of the conformance matrix")
+		decompileOut = flag.String("decompile-out", "BENCH_decompile.json", "decompile scorecard output path ('' to skip)")
+		decompileBas = flag.String("decompile-baseline", "testdata/decompile_baseline.json",
+			"decompile baseline to gate residual counts against ('' to skip)")
 	)
 	flag.Parse()
+	if *decompile {
+		if err := runDecompile(*articles, *workers, *decompileOut, *decompileBas, *bless); err != nil {
+			fmt.Fprintln(os.Stderr, "revcheck:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*articles, *mutations, *workers, *out, *baseline, *bless, *eps, *minMacro, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "revcheck:", err)
 		os.Exit(1)
@@ -70,16 +91,9 @@ func run(articleCSV, mutationCSV, workerCSV, out, baseline string, bless bool,
 			muts = append(muts, m)
 		}
 	}
-	var workerCounts []int
-	for _, f := range strings.Split(workerCSV, ",") {
-		w, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || w < 1 {
-			return fmt.Errorf("bad -workers value %q", f)
-		}
-		workerCounts = append(workerCounts, w)
-	}
-	if len(workerCounts) == 0 {
-		return fmt.Errorf("-workers must name at least one count")
+	workerCounts, err := parseWorkers(workerCSV)
+	if err != nil {
+		return err
 	}
 
 	var failures []string
@@ -162,6 +176,21 @@ func run(articleCSV, mutationCSV, workerCSV, out, baseline string, bless bool,
 	}
 	fmt.Println("conformance OK")
 	return nil
+}
+
+func parseWorkers(workerCSV string) ([]int, error) {
+	var workerCounts []int
+	for _, f := range strings.Split(workerCSV, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers value %q", f)
+		}
+		workerCounts = append(workerCounts, w)
+	}
+	if len(workerCounts) == 0 {
+		return nil, fmt.Errorf("-workers must name at least one count")
+	}
+	return workerCounts, nil
 }
 
 func analyze(nl *netlist.Netlist, workerCount int) *core.Report {

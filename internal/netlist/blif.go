@@ -28,12 +28,12 @@ func (n *Netlist) WriteBLIF(w io.Writer) error {
 	}
 	netName := func(id ID) string {
 		if nm := n.nodes[id].Name; nm != "" {
-			return sanitize(nm)
+			return Legalize(nm)
 		}
 		return fmt.Sprintf("n%d", id)
 	}
 
-	fmt.Fprintf(bw, ".model %s\n", sanitize(name))
+	fmt.Fprintf(bw, ".model %s\n", Legalize(name))
 	fmt.Fprintf(bw, ".inputs")
 	for _, in := range n.Inputs() {
 		fmt.Fprintf(bw, " %s", netName(in))
@@ -42,7 +42,7 @@ func (n *Netlist) WriteBLIF(w io.Writer) error {
 	fmt.Fprintf(bw, ".outputs")
 	seenOut := map[string]bool{}
 	for _, p := range n.outputs {
-		nm := sanitize(p.Name)
+		nm := Legalize(p.Name)
 		if !seenOut[nm] {
 			seenOut[nm] = true
 			fmt.Fprintf(bw, " %s", nm)
@@ -66,7 +66,7 @@ func (n *Netlist) WriteBLIF(w io.Writer) error {
 		}
 	}
 	for _, p := range n.outputs {
-		nm := sanitize(p.Name)
+		nm := Legalize(p.Name)
 		if netName(p.Driver) != nm {
 			// Alias buffer for the output name.
 			fmt.Fprintf(bw, ".names %s %s\n1 1\n", netName(p.Driver), nm)

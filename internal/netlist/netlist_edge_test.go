@@ -119,13 +119,13 @@ endmodule
 }
 
 func TestSanitize(t *testing.T) {
-	if got := sanitize("a.b[3]"); strings.ContainsAny(got, ".[]") {
+	if got := Legalize("a.b[3]"); strings.ContainsAny(got, ".[]") {
 		t.Errorf("sanitize left specials: %q", got)
 	}
-	if sanitize("") != "_" {
+	if Legalize("") != "_" {
 		t.Error("empty name should sanitize to _")
 	}
-	if got := sanitize("3x"); got[0] == '3' {
+	if got := Legalize("3x"); got[0] == '3' {
 		t.Errorf("leading digit survived: %q", got)
 	}
 }

@@ -37,7 +37,7 @@ func (n *Netlist) WriteVerilog(w io.Writer) error {
 	netName := func(id ID) string {
 		node := &n.nodes[id]
 		if node.Name != "" {
-			return sanitize(node.Name)
+			return Legalize(node.Name)
 		}
 		return fmt.Sprintf("n%d", id)
 	}
@@ -49,7 +49,7 @@ func (n *Netlist) WriteVerilog(w io.Writer) error {
 	outPort := make(map[string]ID)
 	var outNames []string
 	for _, p := range n.outputs {
-		nm := sanitize(p.Name)
+		nm := Legalize(p.Name)
 		if _, dup := outPort[nm]; !dup {
 			outPort[nm] = p.Driver
 			outNames = append(outNames, nm)
@@ -57,7 +57,7 @@ func (n *Netlist) WriteVerilog(w io.Writer) error {
 	}
 	ports = append(ports, outNames...)
 
-	fmt.Fprintf(bw, "module %s (%s);\n", sanitize(name), strings.Join(ports, ", "))
+	fmt.Fprintf(bw, "module %s (%s);\n", Legalize(name), strings.Join(ports, ", "))
 	for _, in := range n.Inputs() {
 		fmt.Fprintf(bw, "  input %s;\n", netName(in))
 	}
@@ -101,23 +101,6 @@ func (n *Netlist) WriteVerilog(w io.Writer) error {
 	}
 	fmt.Fprintln(bw, "endmodule")
 	return bw.Flush()
-}
-
-func sanitize(s string) string {
-	var b strings.Builder
-	for i, r := range s {
-		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
-			(r >= '0' && r <= '9' && i > 0)
-		if ok {
-			b.WriteRune(r)
-		} else {
-			b.WriteByte('_')
-		}
-	}
-	if b.Len() == 0 {
-		return "_"
-	}
-	return b.String()
 }
 
 var gateKinds = map[string]Kind{

@@ -353,9 +353,14 @@ func scoreWords(rep *core.Report, lab *gen.Labels, opt Options) WordScore {
 	return ws
 }
 
-// scoreTrojan computes the suspect set: the union of elements of modules
-// that are mostly trojan logic.
-func scoreTrojan(rep *core.Report, lab *gen.Labels, opt Options) *TrojanScore {
+// TrojanSuspects computes the suspect set over a labeled article: the
+// sorted union of elements of every inferred module that is mostly trojan
+// logic (overlap fraction >= MinTrojanOverlap). It is the same set
+// scoreTrojan grades, exported so downstream consumers — e.g. the RTL
+// decompiler mapping suspects to emitted line spans — share one
+// definition. The zero Options selects the calibrated defaults.
+func TrojanSuspects(rep *core.Report, lab *gen.Labels, opt Options) []netlist.ID {
+	opt = opt.withDefaults()
 	if len(lab.Trojan) == 0 {
 		return nil
 	}
@@ -372,8 +377,22 @@ func scoreTrojan(rep *core.Report, lab *gen.Labels, opt Options) *TrojanScore {
 			}
 		}
 	}
-	ts := &TrojanScore{TruthNodes: len(truth), SuspectNodes: len(suspect)}
+	out := make([]netlist.ID, 0, len(suspect))
 	for id := range suspect {
+		out = append(out, id)
+	}
+	return netlist.SortedIDs(out)
+}
+
+// scoreTrojan grades the suspect set against the labeled trojan nodes.
+func scoreTrojan(rep *core.Report, lab *gen.Labels, opt Options) *TrojanScore {
+	if len(lab.Trojan) == 0 {
+		return nil
+	}
+	truth := idSet(lab.Trojan)
+	suspects := TrojanSuspects(rep, lab, opt)
+	ts := &TrojanScore{TruthNodes: len(truth), SuspectNodes: len(suspects)}
+	for _, id := range suspects {
 		if truth[id] {
 			ts.Overlap++
 		}

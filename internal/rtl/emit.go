@@ -1,0 +1,367 @@
+package rtl
+
+// The word-level Verilog renderer. Every ordering and naming decision
+// keys on net names (never raw node IDs), so the emitted bytes are
+// identical across worker counts and across Verilog/BLIF serializations
+// of the same design — round-tripped netlists carry the same names even
+// though their IDs differ.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netlistre/internal/core"
+	"netlistre/internal/netlist"
+)
+
+// lineWriter accumulates output and tracks 1-based line numbers.
+type lineWriter struct {
+	b    strings.Builder
+	line int
+}
+
+// linef writes one line and returns its line number.
+func (w *lineWriter) linef(format string, a ...any) int {
+	w.line++
+	fmt.Fprintf(&w.b, format, a...)
+	w.b.WriteByte('\n')
+	return w.line
+}
+
+// raw writes pre-formatted text, counting its newlines.
+func (w *lineWriter) raw(s string) {
+	w.line += strings.Count(s, "\n")
+	w.b.WriteString(s)
+}
+
+var primOf = map[netlist.Kind]string{
+	netlist.And: "and", netlist.Or: "or", netlist.Nand: "nand",
+	netlist.Nor: "nor", netlist.Xor: "xor", netlist.Xnor: "xnor",
+	netlist.Not: "not", netlist.Buf: "buf",
+}
+
+// Emit lowers the report's recovered structure over nl into word-level
+// Verilog. A nil report (or one without resolved modules) produces a pure
+// structural passthrough, which the checker verifies fingerprint-exactly.
+func Emit(nl *netlist.Netlist, rep *core.Report) (*EmitResult, error) {
+	if nl == nil {
+		return nil, fmt.Errorf("rtl: nil netlist")
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("rtl: invalid input netlist: %w", err)
+	}
+	p := &plan{covered: map[netlist.ID]bool{}, exposed: map[netlist.ID]bool{}, referenced: map[netlist.ID]bool{}, owner: map[netlist.ID]*instance{}}
+	if rep != nil {
+		p = buildPlans(nl, rep)
+	}
+	hidden := func(id netlist.ID) bool { return p.covered[id] && !p.exposed[id] }
+
+	// --- naming ---
+	nm := netlist.NewNamer()
+	outs := nl.Outputs()
+	outNames := make([]string, len(outs))
+	reuseFor := map[string]netlist.ID{} // claimed output name -> driver
+	for i, o := range outs {
+		outNames[i] = nm.Claim(o.Name)
+		if _, dup := reuseFor[outNames[i]]; !dup {
+			reuseFor[outNames[i]] = o.Driver
+		}
+	}
+	nodeName := make(map[netlist.ID]string, nl.Len())
+	reused := map[string]bool{} // output names directly carried by their driver
+	for id := netlist.ID(0); int(id) < nl.Len(); id++ {
+		if hidden(id) {
+			continue
+		}
+		desired := netlist.Legalize(nl.NameOf(id))
+		if drv, ok := reuseFor[desired]; ok && drv == id && !reused[desired] && nl.Kind(id) != netlist.Input {
+			nodeName[id] = desired
+			reused[desired] = true
+			continue
+		}
+		nodeName[id] = nm.Claim(nl.NameOf(id))
+	}
+	name := func(id netlist.ID) string {
+		n, ok := nodeName[id]
+		if !ok {
+			// Unreachable if the planner's leak check holds.
+			panic(fmt.Sprintf("rtl: reference to hidden node %d", id))
+		}
+		return n
+	}
+	clkName := ""
+	if len(p.regs) > 0 {
+		clkName = nm.Claim("clk")
+	}
+
+	// --- deterministic ordering & derived names ---
+	// Words: fully visible, width >= 2, deduplicated, sorted by bit names.
+	type wordDecl struct {
+		key  string
+		name string
+		bits []netlist.ID
+	}
+	var wdecls []wordDecl
+	if rep != nil {
+		seen := map[string]bool{}
+		for _, w := range rep.Words {
+			if len(w.Bits) < 2 {
+				continue
+			}
+			ok := true
+			names := make([]string, len(w.Bits))
+			for i, b := range w.Bits {
+				n, vis := nodeName[b]
+				if !vis {
+					ok = false
+					break
+				}
+				names[i] = n
+			}
+			if !ok {
+				continue
+			}
+			key := strings.Join(names, ",")
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			wdecls = append(wdecls, wordDecl{key: key, bits: w.Bits})
+		}
+		sort.Slice(wdecls, func(i, j int) bool { return wdecls[i].key < wdecls[j].key })
+		for i := range wdecls {
+			wdecls[i].name = nm.Claim(fmt.Sprintf("w%d", i))
+		}
+	}
+
+	insts := append([]*instance(nil), p.instances...)
+	sort.Slice(insts, func(i, j int) bool {
+		ki := insts[i].template + "\x00" + name(insts[i].outputs[0])
+		kj := insts[j].template + "\x00" + name(insts[j].outputs[0])
+		return ki < kj
+	})
+	instName := make([]string, len(insts))
+	for i := range insts {
+		instName[i] = nm.Claim(fmt.Sprintf("u%d", i))
+	}
+
+	regs := append([]*regBlock(nil), p.regs...)
+	sort.Slice(regs, func(i, j int) bool { return name(regs[i].q[0]) < name(regs[j].q[0]) })
+	regName := make([]string, len(regs))
+	for i, rb := range regs {
+		prefix := map[int]string{regCounter: "cnt_", regShift: "sr_", regLoad: "reg_"}[rb.kind]
+		regName[i] = nm.Claim(prefix + name(rb.q[0]))
+	}
+
+	// Residual nodes, sorted by emitted name.
+	var residual []netlist.ID
+	stats := EmitStats{
+		Instances:       len(insts),
+		AlwaysBlocks:    len(regs),
+		CoveredElements: len(p.covered),
+		Words:           len(wdecls),
+	}
+	for id := netlist.ID(0); int(id) < nl.Len(); id++ {
+		if p.covered[id] {
+			continue
+		}
+		switch k := nl.Kind(id); {
+		case k == netlist.Input:
+		case k == netlist.Latch:
+			residual = append(residual, id)
+			stats.ResidualLatches++
+		case k.IsGate():
+			residual = append(residual, id)
+			stats.ResidualGates++
+		default: // constants
+			residual = append(residual, id)
+		}
+	}
+	sortIDsByName(residual, name)
+
+	// --- render ---
+	w := &lineWriter{}
+	lineOf := map[netlist.ID]int{}
+	design := netlist.Legalize(nl.Name)
+	w.linef("// %s: word-level RTL decompiled by netlistre revan.", design)
+	w.linef("// instances=%d always_blocks=%d residual_gates=%d residual_latches=%d covered=%d words=%d",
+		stats.Instances, stats.AlwaysBlocks, stats.ResidualGates,
+		stats.ResidualLatches, stats.CoveredElements, stats.Words)
+
+	inputs := nl.Inputs()
+	var portList []string
+	for _, id := range inputs {
+		portList = append(portList, name(id))
+	}
+	if clkName != "" {
+		portList = append(portList, clkName)
+	}
+	portList = append(portList, outNames...)
+	w.linef("module %s (%s);", design, strings.Join(portList, ", "))
+
+	for _, id := range inputs {
+		lineOf[id] = w.linef("  input %s;", name(id))
+	}
+	if clkName != "" {
+		w.linef("  input %s;", clkName)
+	}
+	for _, n := range outNames {
+		w.linef("  output %s;", n)
+	}
+
+	// Scalar wires: every visible non-input net that is not carried
+	// directly by an output declaration.
+	var wireNames []string
+	for id := netlist.ID(0); int(id) < nl.Len(); id++ {
+		n, vis := nodeName[id]
+		if !vis || nl.Kind(id) == netlist.Input || reused[n] {
+			continue
+		}
+		wireNames = append(wireNames, n)
+	}
+	sort.Strings(wireNames)
+	for _, n := range wireNames {
+		w.linef("  wire %s;", n)
+	}
+
+	// Recovered words as documentation vectors.
+	for _, wd := range wdecls {
+		w.linef("  wire [%d:0] %s;  // recovered word", len(wd.bits)-1, wd.name)
+		w.linef("  assign %s = %s;", wd.name, msbConcat(wd.bits, name))
+	}
+
+	for i, rb := range regs {
+		w.linef("  reg [%d:0] %s;", len(rb.q)-1, regName[i])
+	}
+
+	for i, inst := range insts {
+		var conns []string
+		for _, pc := range inst.ports {
+			conns = append(conns, fmt.Sprintf(".%s(%s)", pc.name, busRef(pc.bits, name)))
+		}
+		ln := w.linef("  %s %s (%s);", inst.template, instName[i], strings.Join(conns, ", "))
+		for _, id := range inst.covered {
+			lineOf[id] = ln
+		}
+		for _, id := range inst.outputs {
+			lineOf[id] = ln
+		}
+	}
+
+	for i, rb := range regs {
+		expr := regExpr(rb, regName[i], name)
+		ln := w.linef("  always @(posedge %s) begin", clkName)
+		w.linef("    %s <= %s;", regName[i], expr)
+		w.linef("  end")
+		w.linef("  assign %s = %s;", msbConcat(rb.q, name), regName[i])
+		for _, id := range rb.covered {
+			lineOf[id] = ln
+		}
+		for _, id := range rb.q {
+			lineOf[id] = ln
+		}
+	}
+
+	gi := 0
+	for _, id := range residual {
+		switch k := nl.Kind(id); {
+		case k == netlist.Const0:
+			lineOf[id] = w.linef("  assign %s = 1'b0;", name(id))
+		case k == netlist.Const1:
+			lineOf[id] = w.linef("  assign %s = 1'b1;", name(id))
+		case k == netlist.Latch:
+			lineOf[id] = w.linef("  dff %s (%s, %s);",
+				nm.Claim(fmt.Sprintf("g%d", gi)), name(id), name(nl.Fanin(id)[0]))
+			gi++
+		default:
+			args := []string{name(id)}
+			for _, f := range nl.Fanin(id) {
+				args = append(args, name(f))
+			}
+			lineOf[id] = w.linef("  %s %s (%s);",
+				primOf[k], nm.Claim(fmt.Sprintf("g%d", gi)), strings.Join(args, ", "))
+			gi++
+		}
+	}
+
+	for i, o := range outs {
+		if reused[outNames[i]] && reuseFor[outNames[i]] == o.Driver {
+			continue
+		}
+		w.linef("  assign %s = %s;", outNames[i], name(o.Driver))
+	}
+	w.linef("endmodule")
+
+	// Template definitions, one per distinct name.
+	tset := map[string]bool{}
+	var tnames []string
+	for _, inst := range insts {
+		if !tset[inst.template] {
+			tset[inst.template] = true
+			tnames = append(tnames, inst.template)
+		}
+	}
+	sort.Strings(tnames)
+	for _, tn := range tnames {
+		w.linef("")
+		w.raw(templateDoc(tn))
+	}
+
+	return &EmitResult{
+		Verilog:  []byte(w.b.String()),
+		Stats:    stats,
+		NodeName: nodeName,
+		lineOf:   lineOf,
+		design:   design,
+		outNames: outNames,
+	}, nil
+}
+
+// busRef renders a port connection: a bare identifier for one bit, an
+// MSB-first concatenation otherwise.
+func busRef(bits []netlist.ID, name func(netlist.ID) string) string {
+	if len(bits) == 1 {
+		return name(bits[0])
+	}
+	return msbConcat(bits, name)
+}
+
+// msbConcat renders LSB-first bits as a Verilog {msb, ..., lsb} concat.
+func msbConcat(bits []netlist.ID, name func(netlist.ID) string) string {
+	parts := make([]string, len(bits))
+	for i, b := range bits {
+		parts[len(bits)-1-i] = name(b)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// regExpr renders the next-state expression of a sequential block.
+func regExpr(rb *regBlock, reg string, name func(netlist.ID) string) string {
+	w := len(rb.q)
+	var inner string
+	switch rb.kind {
+	case regCounter:
+		op := "+"
+		if rb.down {
+			op = "-"
+		}
+		inner = fmt.Sprintf("%s ? %s %s %d'd1 : %s", name(rb.en), reg, op, w, reg)
+	case regShift:
+		shifted := fmt.Sprintf("{%s[%d:0], %s}", reg, w-2, name(rb.serialIn))
+		inner = fmt.Sprintf("%s ? %s : %s", name(rb.en), shifted, reg)
+	case regLoad:
+		expr := reg
+		for i := len(rb.conds) - 1; i >= 0; i-- {
+			if i < len(rb.conds)-1 {
+				expr = "(" + expr + ")"
+			}
+			expr = fmt.Sprintf("%s ? %s : %s", name(rb.conds[i]), msbConcat(rb.srcs[i], name), expr)
+		}
+		return expr
+	}
+	if rb.rst != netlist.Nil {
+		return fmt.Sprintf("%s ? %d'd0 : (%s)", name(rb.rst), w, inner)
+	}
+	return inner
+}

@@ -1,0 +1,300 @@
+package rtl
+
+// The round-trip equivalence checker. A pure-passthrough emission must
+// elaborate to a netlist isomorphic to the original, so it is compared
+// strictly by netlist.Fingerprint. Once templates or always blocks are
+// involved the expansion is functionally — not structurally — equal, so
+// the check switches to bitsim: identical stimulus on both netlists,
+// comparing every primary output and every latch next-state, exhaustively
+// when the state space is small and with random patterns plus exhaustive
+// small-cone truth tables otherwise.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"netlistre/internal/bitsim"
+	"netlistre/internal/netlist"
+	"netlistre/internal/truth"
+)
+
+// exhaustiveVars is the input+state count up to which the bitsim path
+// enumerates every pattern (2^12 = 64 bit-parallel rounds).
+const exhaustiveVars = 12
+
+// randomRounds is the number of 64-pattern rounds on the random path.
+const randomRounds = 16
+
+// maxMismatchReports bounds EquivResult.Mismatches.
+const maxMismatchReports = 8
+
+// Check re-elaborates an emission and verifies it against the original.
+// A non-nil error means the check could not run (unparseable emission);
+// an inequivalent design is reported in the result, not as an error.
+func Check(orig *netlist.Netlist, er *EmitResult) (*EquivResult, error) {
+	if orig == nil || er == nil {
+		return nil, fmt.Errorf("rtl: nil arguments to Check")
+	}
+	elab, err := Elaborate(bytes.NewReader(er.Verilog))
+	if err != nil {
+		return nil, fmt.Errorf("rtl: emitted RTL does not elaborate: %w", err)
+	}
+	res := &EquivResult{}
+	if er.Stats.Instances == 0 && er.Stats.AlwaysBlocks == 0 {
+		rc := renamedCopy(orig, er)
+		if rc.Fingerprint() == elab.Fingerprint() {
+			res.Equivalent = true
+			res.Method = "fingerprint"
+			return res, nil
+		}
+		res.FingerprintMismatch = true
+	}
+	res.Method = "bitsim"
+	bitsimCompare(orig, elab, er, res)
+	return res, nil
+}
+
+// renamedCopy rebuilds orig with the emitted node, output, and design
+// names applied, so a passthrough emission is fingerprint-comparable.
+func renamedCopy(orig *netlist.Netlist, er *EmitResult) *netlist.Netlist {
+	nl := netlist.New(er.design)
+	newID := make([]netlist.ID, orig.Len())
+	var anyID netlist.ID = netlist.Nil
+	for id := netlist.ID(0); int(id) < orig.Len(); id++ {
+		name := er.NodeName[id]
+		switch k := orig.Kind(id); {
+		case k == netlist.Input:
+			newID[id] = nl.AddInput(name)
+		case k == netlist.Const0 || k == netlist.Const1:
+			newID[id] = nl.AddConst(k == netlist.Const1)
+			if nl.Node(newID[id]).Name == "" {
+				nl.SetName(newID[id], name)
+			}
+		case k == netlist.Latch:
+			ph := anyID
+			if f := orig.Fanin(id)[0]; f < id {
+				ph = newID[f]
+			}
+			newID[id] = nl.AddNamedLatch(name, ph)
+		default:
+			fanin := make([]netlist.ID, len(orig.Fanin(id)))
+			for i, f := range orig.Fanin(id) {
+				fanin[i] = newID[f]
+			}
+			newID[id] = nl.AddNamedGate(name, k, fanin...)
+		}
+		if anyID == netlist.Nil {
+			anyID = newID[id]
+		}
+	}
+	for _, l := range orig.Latches() {
+		nl.SetLatchD(newID[l], newID[orig.Fanin(l)[0]])
+	}
+	for i, o := range orig.Outputs() {
+		nl.MarkOutput(er.outNames[i], newID[o.Driver])
+	}
+	return nl
+}
+
+// signalPair is one compared signal: a primary output or a latch D.
+type signalPair struct {
+	label string
+	o, e  netlist.ID // the compared nodes in orig / elab
+}
+
+func bitsimCompare(orig, elab *netlist.Netlist, er *EmitResult, res *EquivResult) {
+	fail := func(format string, a ...any) {
+		res.Equivalent = false
+		if len(res.Mismatches) < maxMismatchReports {
+			res.Mismatches = append(res.Mismatches, fmt.Sprintf(format, a...))
+		}
+	}
+
+	// Pair the free variables (inputs and latch outputs) by emitted name.
+	type varPair struct{ o, e netlist.ID }
+	var vars []varPair
+	pairVar := func(id netlist.ID, wantKind netlist.Kind, what string) bool {
+		name, ok := er.NodeName[id]
+		if !ok {
+			fail("%s %s has no emitted name", what, orig.NameOf(id))
+			return false
+		}
+		eid := elab.FindByName(name)
+		if eid == netlist.Nil || elab.Kind(eid) != wantKind {
+			fail("%s %s missing from elaboration", what, name)
+			return false
+		}
+		vars = append(vars, varPair{o: id, e: eid})
+		return true
+	}
+	for _, id := range orig.Inputs() {
+		if !pairVar(id, netlist.Input, "input") {
+			return
+		}
+	}
+	if len(elab.Inputs()) != len(orig.Inputs()) {
+		fail("input count differs: %d vs %d", len(orig.Inputs()), len(elab.Inputs()))
+		return
+	}
+	origLatches := orig.Latches()
+	for _, id := range origLatches {
+		if !pairVar(id, netlist.Latch, "state bit") {
+			return
+		}
+	}
+	if len(elab.Latches()) != len(origLatches) {
+		fail("state bit count differs: %d vs %d", len(origLatches), len(elab.Latches()))
+		return
+	}
+
+	// Compared signals: primary outputs and latch next-states.
+	var pairs []signalPair
+	eOuts := elab.Outputs()
+	if len(eOuts) != len(orig.Outputs()) {
+		fail("output count differs: %d vs %d", len(orig.Outputs()), len(eOuts))
+		return
+	}
+	for i, o := range orig.Outputs() {
+		if eOuts[i].Name != er.outNames[i] {
+			fail("output %d renamed to %s", i, eOuts[i].Name)
+			return
+		}
+		pairs = append(pairs, signalPair{
+			label: "output " + er.outNames[i], o: o.Driver, e: eOuts[i].Driver})
+	}
+	// vars holds input pairs first, then latch pairs in origLatches
+	// order, so vars[len(inputs)+i].e is the elaborated latch for
+	// origLatches[i]; its fanin is the elaborated next-state.
+	for i, id := range origLatches {
+		pairs = append(pairs, signalPair{
+			label: "state " + er.NodeName[id],
+			o:     orig.Fanin(id)[0], e: elab.Fanin(vars[len(orig.Inputs())+i].e)[0]})
+	}
+
+	var oRoots, eRoots []netlist.ID
+	for _, pr := range pairs {
+		oRoots = append(oRoots, pr.o)
+		eRoots = append(eRoots, pr.e)
+	}
+
+	nVars := len(vars)
+	exhaustive := nVars <= exhaustiveVars
+	rounds := randomRounds
+	if exhaustive {
+		rounds = (1<<uint(nVars) + bitsim.Lanes - 1) / bitsim.Lanes
+	}
+	rng := rand.New(rand.NewSource(1))
+	bad := map[string]bool{}
+	for round := 0; round < rounds; round++ {
+		oAssign := make(map[netlist.ID]bitsim.Vector, nVars)
+		eAssign := make(map[netlist.ID]bitsim.Vector, nVars)
+		var mask uint64 = ^uint64(0)
+		if exhaustive {
+			base := round * bitsim.Lanes
+			total := 1 << uint(nVars)
+			if rem := total - base; rem < bitsim.Lanes {
+				mask = 1<<uint(rem) - 1
+			}
+			for vi, vp := range vars {
+				var bits uint64
+				for lane := 0; lane < bitsim.Lanes && base+lane < total; lane++ {
+					if (base+lane)>>uint(vi)&1 == 1 {
+						bits |= 1 << uint(lane)
+					}
+				}
+				oAssign[vp.o] = bitsim.Known(bits)
+				eAssign[vp.e] = bitsim.Known(bits)
+			}
+		} else {
+			for _, vp := range vars {
+				v := rng.Uint64()
+				oAssign[vp.o] = bitsim.Known(v)
+				eAssign[vp.e] = bitsim.Known(v)
+			}
+		}
+		oRes := bitsim.RunCone(orig, oRoots, oAssign)
+		eRes := bitsim.RunCone(elab, eRoots, eAssign)
+		for _, pr := range pairs {
+			if bad[pr.label] {
+				continue
+			}
+			vo, ve := oRes[pr.o], eRes[pr.e]
+			if (vo.Val^ve.Val)&mask&^vo.Unk&^ve.Unk != 0 || (vo.Unk^ve.Unk)&mask != 0 {
+				bad[pr.label] = true
+				fail("%s differs under simulation", pr.label)
+			}
+		}
+		res.Patterns += popcountMask(mask)
+	}
+
+	// Exhaustive small-cone comparison: for every compared signal whose
+	// original support fits a truth table, require identical tables.
+	for _, pr := range pairs {
+		if bad[pr.label] {
+			continue
+		}
+		leaves := coneInputs(orig, pr.o)
+		if len(leaves) > truth.MaxVars {
+			continue
+		}
+		sort.Slice(leaves, func(i, j int) bool {
+			return er.NodeName[leaves[i]] < er.NodeName[leaves[j]]
+		})
+		eLeaves := make([]netlist.ID, len(leaves))
+		ok := true
+		for i, l := range leaves {
+			eLeaves[i] = elab.FindByName(er.NodeName[l])
+			if eLeaves[i] == netlist.Nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		to, ok1 := bitsim.TableOf(orig, pr.o, leaves)
+		te, ok2 := bitsim.TableOf(elab, pr.e, eLeaves)
+		if !ok1 || !ok2 {
+			continue // the elaborated cone widened; random patterns cover it
+		}
+		res.ExactCones++
+		if to.Bits&truth.Mask(to.N) != te.Bits&truth.Mask(te.N) || to.N != te.N {
+			bad[pr.label] = true
+			fail("%s differs on exhaustive cone table", pr.label)
+		}
+	}
+
+	res.Equivalent = len(res.Mismatches) == 0
+}
+
+// coneInputs returns the distinct cone inputs (primary inputs and latch
+// outputs) feeding root.
+func coneInputs(nl *netlist.Netlist, root netlist.ID) []netlist.ID {
+	seen := map[netlist.ID]bool{}
+	var out []netlist.ID
+	stack := []netlist.ID{root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if nl.Kind(id).IsConeInput() {
+			out = append(out, id)
+			continue
+		}
+		stack = append(stack, nl.Fanin(id)...)
+	}
+	return out
+}
+
+func popcountMask(m uint64) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}

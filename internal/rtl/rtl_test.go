@@ -1,0 +1,202 @@
+package rtl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netlistre/internal/core"
+	"netlistre/internal/gen"
+	"netlistre/internal/netlist"
+)
+
+func analyze(t *testing.T, nl *netlist.Netlist, workers int) *core.Report {
+	t.Helper()
+	rep := core.Analyze(nl, core.Options{Workers: workers})
+	if rep == nil {
+		t.Fatal("analysis returned nil report")
+	}
+	return rep
+}
+
+func decompileOK(t *testing.T, nl *netlist.Netlist, rep *core.Report) (*EmitResult, *EquivResult) {
+	t.Helper()
+	er, eq, err := Decompile(nl, rep)
+	if err != nil {
+		if er != nil {
+			t.Logf("emitted RTL:\n%s", er.Verilog)
+		}
+		t.Fatalf("Decompile: %v", err)
+	}
+	if !eq.Equivalent {
+		t.Fatalf("not equivalent: %v\nemitted RTL:\n%s", eq, er.Verilog)
+	}
+	return er, eq
+}
+
+// TestPassthroughFingerprint: with no resolved structure the emission is a
+// pure structural passthrough and must verify fingerprint-exactly.
+func TestPassthroughFingerprint(t *testing.T) {
+	nl := netlist.New("plain")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	g := nl.AddNamedGate("g", netlist.And, a, b)
+	h := nl.AddGate(netlist.Xor, g, nl.AddConst(true))
+	l := nl.AddNamedLatch("state", h)
+	nl.MarkOutput("y", nl.AddGate(netlist.Or, l, a))
+
+	er, eq := decompileOK(t, nl, nil)
+	if eq.Method != "fingerprint" {
+		t.Fatalf("method = %s, want fingerprint (result %v)\n%s", eq.Method, eq, er.Verilog)
+	}
+	if er.Stats.ResidualGates != 3 || er.Stats.ResidualLatches != 1 {
+		t.Fatalf("stats = %+v", er.Stats)
+	}
+}
+
+// TestComponentRoundTrip drives each component class the planner lowers
+// through analyze -> emit -> elaborate -> equivalence.
+func TestComponentRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(nl *netlist.Netlist)
+	}{
+		{"counter-up", func(nl *netlist.Netlist) {
+			en, rst := nl.AddInput("en"), nl.AddInput("rst")
+			gen.MarkOutputs(nl, "q", gen.Counter(nl, 4, en, rst, false))
+		}},
+		{"counter-down", func(nl *netlist.Netlist) {
+			en, rst := nl.AddInput("en"), nl.AddInput("rst")
+			gen.MarkOutputs(nl, "q", gen.Counter(nl, 4, en, rst, true))
+		}},
+		{"shift", func(nl *netlist.Netlist) {
+			en, rst, si := nl.AddInput("en"), nl.AddInput("rst"), nl.AddInput("si")
+			gen.MarkOutputs(nl, "q", gen.ShiftRegister(nl, 5, en, rst, si))
+		}},
+		{"register", func(nl *netlist.Netlist) {
+			d := gen.InputWord(nl, "d", 4)
+			we := nl.AddInput("we")
+			gen.MarkOutputs(nl, "q", gen.Register(nl, d, we))
+		}},
+		{"adder", func(nl *netlist.Netlist) {
+			a := gen.InputWord(nl, "a", 4)
+			b := gen.InputWord(nl, "b", 4)
+			sum, cout := gen.RippleAdder(nl, a, b, netlist.Nil)
+			gen.MarkOutputs(nl, "sum", sum)
+			nl.MarkOutput("cout", cout)
+		}},
+		{"subtractor", func(nl *netlist.Netlist) {
+			a := gen.InputWord(nl, "a", 4)
+			b := gen.InputWord(nl, "b", 4)
+			diff, bout := gen.RippleSubtractor(nl, a, b)
+			gen.MarkOutputs(nl, "diff", diff)
+			nl.MarkOutput("bout", bout)
+		}},
+		{"mux", func(nl *netlist.Netlist) {
+			sel := nl.AddInput("sel")
+			d0 := gen.InputWord(nl, "d0", 4)
+			d1 := gen.InputWord(nl, "d1", 4)
+			gen.MarkOutputs(nl, "out", gen.Mux2Word(nl, sel, d0, d1))
+		}},
+		{"decoder", func(nl *netlist.Netlist) {
+			sel := gen.InputWord(nl, "sel", 3)
+			gen.MarkOutputs(nl, "out", gen.Decoder(nl, sel))
+		}},
+		{"parity", func(nl *netlist.Netlist) {
+			w := gen.InputWord(nl, "x", 5)
+			nl.MarkOutput("p", gen.ParityTree(nl, w))
+		}},
+		{"popcount", func(nl *netlist.Netlist) {
+			w := gen.InputWord(nl, "x", 5)
+			gen.MarkOutputs(nl, "cnt", gen.PopCount(nl, w))
+		}},
+	}
+	lowered := 0
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nl := netlist.New(tc.name)
+			tc.build(nl)
+			rep := analyze(t, nl, 1)
+			er, eq := decompileOK(t, nl, rep)
+			t.Logf("%s: %v, stats %+v", tc.name, eq, er.Stats)
+			if er.Stats.Instances > 0 || er.Stats.AlwaysBlocks > 0 {
+				lowered++
+			}
+		})
+	}
+	if lowered == 0 {
+		t.Fatalf("no component was lowered to word-level structure")
+	}
+}
+
+// TestEmitDeterministic: identical bytes across analysis worker counts.
+func TestEmitDeterministic(t *testing.T) {
+	nl := netlist.New("det")
+	en, rst := nl.AddInput("en"), nl.AddInput("rst")
+	gen.MarkOutputs(nl, "q", gen.Counter(nl, 4, en, rst, false))
+	a := gen.InputWord(nl, "a", 4)
+	b := gen.InputWord(nl, "b", 4)
+	sum, cout := gen.RippleAdder(nl, a, b, netlist.Nil)
+	gen.MarkOutputs(nl, "sum", sum)
+	nl.MarkOutput("cout", cout)
+
+	var emitted [][]byte
+	for _, workers := range []int{1, 4} {
+		rep := analyze(t, nl, workers)
+		er, _ := decompileOK(t, nl, rep)
+		emitted = append(emitted, er.Verilog)
+	}
+	if !bytes.Equal(emitted[0], emitted[1]) {
+		t.Fatalf("emission differs across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s",
+			emitted[0], emitted[1])
+	}
+}
+
+// TestResidualPassthrough: gates no module covers must appear verbatim in
+// the residual section, with line spans resolvable via LineOf.
+func TestResidualPassthrough(t *testing.T) {
+	nl := netlist.New("noisy")
+	a := gen.InputWord(nl, "a", 4)
+	b := gen.InputWord(nl, "b", 4)
+	sum, cout := gen.RippleAdder(nl, a, b, netlist.Nil)
+	gen.MarkOutputs(nl, "sum", sum)
+	nl.MarkOutput("cout", cout)
+	// Noise logic the analysis has no template for.
+	n1 := nl.AddNamedGate("noise_nand", netlist.Nand, a[0], b[3])
+	n2 := nl.AddNamedGate("noise_xnor", netlist.Xnor, n1, a[2])
+	nl.MarkOutput("noise_out", n2)
+
+	rep := analyze(t, nl, 1)
+	er, _ := decompileOK(t, nl, rep)
+	text := string(er.Verilog)
+	for id, stmt := range map[netlist.ID]string{
+		n1: "nand", n2: "xnor",
+	} {
+		ln := er.LineOf(id)
+		if ln <= 0 {
+			t.Fatalf("no line span for residual node %d\n%s", id, text)
+		}
+		line := strings.Split(text, "\n")[ln-1]
+		if !strings.Contains(line, stmt) || !strings.Contains(line, er.NodeName[id]) {
+			t.Fatalf("line %d %q does not carry residual %s gate %s",
+				ln, line, stmt, er.NodeName[id])
+		}
+	}
+}
+
+// TestLineSpansCoverAllNodes: every original node must map to an emitted
+// line (declaration, statement, instance, or always block).
+func TestLineSpansCoverAllNodes(t *testing.T) {
+	nl := netlist.New("spans")
+	en, rst := nl.AddInput("en"), nl.AddInput("rst")
+	gen.MarkOutputs(nl, "q", gen.Counter(nl, 4, en, rst, false))
+	rep := analyze(t, nl, 1)
+	er, _ := decompileOK(t, nl, rep)
+	lines := strings.Split(string(er.Verilog), "\n")
+	for id := netlist.ID(0); int(id) < nl.Len(); id++ {
+		ln := er.LineOf(id)
+		if ln <= 0 || ln > len(lines) {
+			t.Errorf("node %d (%s, kind %v): no line span", id, nl.NameOf(id), nl.Kind(id))
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package rtl
+
+// The reference template library. A template's full semantics are encoded
+// in its module name (re_adder_w8_c7, re_decoder_w3_ah_m0_m1, ...), so the
+// elaborator can expand an instance back to gates from the name alone; the
+// printed module bodies exist for human readers and downstream tools and
+// are never parsed by the round-trip checker.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"netlistre/internal/netlist"
+)
+
+// template is a parsed template name.
+type template struct {
+	kind     string // mux2, adder, sub, decoder, parity, popcount
+	w        int    // input/data width
+	c        int    // adder/sub: carry port width (w or w-1)
+	outs     int    // popcount: count width; decoder: number of outputs
+	low      bool   // decoder: active-low outputs
+	minterms []int  // decoder: per-output minterm
+}
+
+// parseTemplate decodes a template module name; ok is false for names
+// outside the library.
+func parseTemplate(name string) (template, bool) {
+	var t template
+	rest, found := strings.CutPrefix(name, "re_")
+	if !found {
+		return t, false
+	}
+	parts := strings.Split(rest, "_")
+	if len(parts) < 2 {
+		return t, false
+	}
+	t.kind = parts[0]
+	num := func(s, prefix string) (int, bool) {
+		v, ok2 := strings.CutPrefix(s, prefix)
+		if !ok2 {
+			return 0, false
+		}
+		n, err := strconv.Atoi(v)
+		return n, err == nil && n >= 0
+	}
+	var ok bool
+	if t.w, ok = num(parts[1], "w"); !ok || t.w < 1 {
+		return t, false
+	}
+	switch t.kind {
+	case "mux2", "parity":
+		return t, len(parts) == 2
+	case "adder", "sub":
+		if len(parts) != 3 {
+			return t, false
+		}
+		t.c, ok = num(parts[2], "c")
+		return t, ok && (t.c == t.w || t.c == t.w-1)
+	case "popcount":
+		if len(parts) != 3 {
+			return t, false
+		}
+		t.outs, ok = num(parts[2], "o")
+		return t, ok && t.outs >= 1
+	case "decoder":
+		if len(parts) < 4 {
+			return t, false
+		}
+		switch parts[2] {
+		case "ah":
+		case "al":
+			t.low = true
+		default:
+			return t, false
+		}
+		for _, p := range parts[3:] {
+			mt, mok := num(p, "m")
+			if !mok || mt >= 1<<uint(t.w) {
+				return t, false
+			}
+			t.minterms = append(t.minterms, mt)
+		}
+		t.outs = len(t.minterms)
+		return t, true
+	}
+	return t, false
+}
+
+// templatePorts returns the port names and widths of a template, in
+// declaration order, inputs first.
+func (t template) portWidths() []struct {
+	name  string
+	width int
+	out   bool
+} {
+	type p = struct {
+		name  string
+		width int
+		out   bool
+	}
+	switch t.kind {
+	case "mux2":
+		return []p{{"sel", 1, false}, {"d0", t.w, false}, {"d1", t.w, false}, {"out", t.w, true}}
+	case "adder", "sub":
+		return []p{{"a", t.w, false}, {"b", t.w, false}, {"sum", t.w, true}, {"carry", t.c, true}}
+	case "decoder":
+		return []p{{"in", t.w, false}, {"out", t.outs, true}}
+	case "parity":
+		return []p{{"in", t.w, false}, {"out", 1, true}}
+	case "popcount":
+		return []p{{"in", t.w, false}, {"count", t.outs, true}}
+	}
+	return nil
+}
+
+// templateDoc renders the documentation body of a template module. The
+// body is behaviorally accurate Verilog; the elaborator never reads it.
+func templateDoc(name string) string {
+	t, ok := parseTemplate(name)
+	if !ok {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (", name)
+	var decls []string
+	for _, p := range t.portWidths() {
+		dir := "input"
+		if p.out {
+			dir = "output"
+		}
+		if p.width == 1 {
+			decls = append(decls, fmt.Sprintf("%s %s", dir, p.name))
+		} else {
+			decls = append(decls, fmt.Sprintf("%s [%d:0] %s", dir, p.width-1, p.name))
+		}
+	}
+	b.WriteString(strings.Join(decls, ", "))
+	b.WriteString(");\n")
+	switch t.kind {
+	case "mux2":
+		b.WriteString("  assign out = sel ? d1 : d0;\n")
+	case "adder", "sub":
+		w := t.w
+		// c[i] is the carry (borrow) out of bit i; the incoming carry of
+		// bit i is c[i-1], zero at bit 0. With c = n-1 the bit-0 carry
+		// stays internal and the port exposes bits 1..n-1.
+		fmt.Fprintf(&b, "  wire [%d:0] c;\n", w-1)
+		if w > 1 {
+			fmt.Fprintf(&b, "  wire [%d:0] cin = {c[%d:0], 1'b0};\n", w-1, w-2)
+		} else {
+			b.WriteString("  wire [0:0] cin = 1'b0;\n")
+		}
+		if t.kind == "adder" {
+			b.WriteString("  assign c = (a & b) | (a & cin) | (b & cin);\n")
+		} else {
+			b.WriteString("  assign c = (~a & b) | (~a & cin) | (b & cin);\n")
+		}
+		b.WriteString("  assign sum = a ^ b ^ cin;\n")
+		if t.c == w {
+			b.WriteString("  assign carry = c;\n")
+		} else {
+			fmt.Fprintf(&b, "  assign carry = c[%d:1];\n", w-1)
+		}
+	case "decoder":
+		for i, mt := range t.minterms {
+			inv := ""
+			if t.low {
+				inv = "~"
+			}
+			fmt.Fprintf(&b, "  assign out[%d] = %s(in == %d'd%d);\n", i, inv, t.w, mt)
+		}
+	case "parity":
+		b.WriteString("  assign out = ^in;\n")
+	case "popcount":
+		var terms []string
+		for i := 0; i < t.w; i++ {
+			terms = append(terms, fmt.Sprintf("in[%d]", i))
+		}
+		fmt.Fprintf(&b, "  assign count = %s;\n", strings.Join(terms, " + "))
+	}
+	b.WriteString("endmodule\n")
+	return b.String()
+}
+
+// expandTemplate rebuilds a template instance as gates in nl. ports maps
+// port name to resolved net IDs, LSB first; input ports must be fully
+// resolved, output entries are returned (the caller names and memoizes
+// them). The expansion mirrors the canonical shapes in internal/gen so a
+// re-analysis of the elaborated netlist finds the same structures.
+func expandTemplate(nl *netlist.Netlist, t template, ports map[string][]netlist.ID) (map[string][]netlist.ID, error) {
+	need := func(name string, w int) ([]netlist.ID, error) {
+		p := ports[name]
+		if len(p) != w {
+			return nil, fmt.Errorf("rtl: template %s port %s has %d bits, want %d", t.kind, name, len(p), w)
+		}
+		return p, nil
+	}
+	out := map[string][]netlist.ID{}
+	switch t.kind {
+	case "mux2":
+		sel, err := need("sel", 1)
+		if err != nil {
+			return nil, err
+		}
+		d0, err := need("d0", t.w)
+		if err != nil {
+			return nil, err
+		}
+		d1, err := need("d1", t.w)
+		if err != nil {
+			return nil, err
+		}
+		ns := nl.AddGate(netlist.Not, sel[0])
+		for i := 0; i < t.w; i++ {
+			o := nl.AddGate(netlist.Or,
+				nl.AddGate(netlist.And, sel[0], d1[i]),
+				nl.AddGate(netlist.And, ns, d0[i]))
+			out["out"] = append(out["out"], o)
+		}
+	case "adder", "sub":
+		a, err := need("a", t.w)
+		if err != nil {
+			return nil, err
+		}
+		b, err := need("b", t.w)
+		if err != nil {
+			return nil, err
+		}
+		sub := t.kind == "sub"
+		maj := func(x, y, c netlist.ID) netlist.ID {
+			if sub {
+				x = nl.AddGate(netlist.Not, x)
+			}
+			return nl.AddGate(netlist.Or,
+				nl.AddGate(netlist.And, x, y),
+				nl.AddGate(netlist.And, y, c),
+				nl.AddGate(netlist.And, c, x))
+		}
+		var couts []netlist.ID
+		cin := netlist.Nil
+		for i := 0; i < t.w; i++ {
+			if i == 0 {
+				out["sum"] = append(out["sum"], nl.AddGate(netlist.Xor, a[0], b[0]))
+				x := a[0]
+				if sub {
+					x = nl.AddGate(netlist.Not, x)
+				}
+				cin = nl.AddGate(netlist.And, x, b[0])
+			} else {
+				out["sum"] = append(out["sum"], nl.AddGate(netlist.Xor, a[i], b[i], cin))
+				cin = maj(a[i], b[i], cin)
+			}
+			couts = append(couts, cin)
+		}
+		if t.c == t.w {
+			out["carry"] = couts
+		} else {
+			out["carry"] = couts[1:]
+		}
+	case "decoder":
+		in, err := need("in", t.w)
+		if err != nil {
+			return nil, err
+		}
+		inv := make([]netlist.ID, t.w)
+		for i, s := range in {
+			inv[i] = nl.AddGate(netlist.Not, s)
+		}
+		for _, mt := range t.minterms {
+			lits := make([]netlist.ID, t.w)
+			for i := 0; i < t.w; i++ {
+				if mt>>uint(i)&1 == 1 {
+					lits[i] = in[i]
+				} else {
+					lits[i] = inv[i]
+				}
+			}
+			var o netlist.ID
+			if t.w == 1 {
+				o = nl.AddGate(netlist.Buf, lits[0])
+			} else {
+				o = nl.AddGate(netlist.And, lits...)
+			}
+			if t.low {
+				o = nl.AddGate(netlist.Not, o)
+			}
+			out["out"] = append(out["out"], o)
+		}
+	case "parity":
+		in, err := need("in", t.w)
+		if err != nil {
+			return nil, err
+		}
+		if t.w == 1 {
+			out["out"] = []netlist.ID{nl.AddGate(netlist.Buf, in[0])}
+		} else {
+			out["out"] = []netlist.ID{nl.AddGate(netlist.Xor, in...)}
+		}
+	case "popcount":
+		in, err := need("in", t.w)
+		if err != nil {
+			return nil, err
+		}
+		// Serial accumulation: add each input bit into a t.outs-wide
+		// running count with a ripple increment conditioned on the bit.
+		cnt := make([]netlist.ID, t.outs)
+		for j := range cnt {
+			cnt[j] = netlist.Nil
+		}
+		// cnt starts at in[0] in bit 0, zero elsewhere (represented
+		// lazily: Nil means constant zero).
+		zero := netlist.Nil
+		getZero := func() netlist.ID {
+			if zero == netlist.Nil {
+				zero = nl.AddConst(false)
+			}
+			return zero
+		}
+		cnt[0] = in[0]
+		for k := 1; k < t.w; k++ {
+			// cnt += in[k]: carry = in[k]; for each bit: new = bit ^
+			// carry, carry = bit & carry.
+			carry := in[k]
+			for j := 0; j < t.outs; j++ {
+				if cnt[j] == netlist.Nil {
+					cnt[j] = carry
+					carry = netlist.Nil
+					break
+				}
+				nb := nl.AddGate(netlist.Xor, cnt[j], carry)
+				carry = nl.AddGate(netlist.And, cnt[j], carry)
+				cnt[j] = nb
+			}
+		}
+		for j := 0; j < t.outs; j++ {
+			if cnt[j] == netlist.Nil {
+				cnt[j] = getZero()
+			} else if nl.Kind(cnt[j]) == netlist.Input || nl.Kind(cnt[j]) == netlist.Latch || nl.Node(cnt[j]).Name != "" {
+				// Output roots get renamed by the caller; never hand it
+				// a node that already owns a name (an input bit can be
+				// an output root when w is small).
+				cnt[j] = nl.AddGate(netlist.Buf, cnt[j])
+			}
+			out["count"] = append(out["count"], cnt[j])
+		}
+	default:
+		return nil, fmt.Errorf("rtl: unknown template kind %q", t.kind)
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+package rtl
+
+import (
+	"testing"
+
+	"netlistre/internal/gen"
+	"netlistre/internal/oracle"
+)
+
+// TestTrojanSuspectLineSpans decompiles the trojaned articles and checks
+// that every trojan-suspect element the oracle flags maps to a concrete
+// line of the emitted RTL: an analyst handed the suspect list must be able
+// to jump straight to the backdoor logic in the decompiled source. Trojan
+// gates never match a reference template, so they ride through as residual
+// statements — which is exactly what gives them per-gate line spans.
+func TestTrojanSuspectLineSpans(t *testing.T) {
+	for _, article := range []string{"evoter-trojan", "oc8051-trojan"} {
+		article := article
+		t.Run(article, func(t *testing.T) {
+			t.Parallel()
+			nl, lab, err := gen.LabeledArticle(article)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := analyze(t, nl, 1)
+			suspects := oracle.TrojanSuspects(rep, lab, oracle.Options{})
+			if len(suspects) == 0 {
+				t.Fatal("oracle flagged no trojan suspects")
+			}
+			er, _ := decompileOK(t, nl, rep)
+			missing := 0
+			for _, id := range suspects {
+				if er.LineOf(id) <= 0 {
+					missing++
+					if missing <= 5 {
+						t.Errorf("suspect %s (%d) has no emitted line span", nl.NameOf(id), id)
+					}
+				}
+			}
+			if missing > 5 {
+				t.Errorf("... and %d more suspects without line spans", missing-5)
+			}
+		})
+	}
+}

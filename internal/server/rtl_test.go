@@ -1,0 +1,92 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestJobRTLEndpoint exercises GET /v1/jobs/{id}/rtl: a done job serves
+// self-checked word-level Verilog, repeated requests are byte-identical
+// (artifact-store cached), and missing or unfinished jobs get 404/409.
+func TestJobRTLEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", AnalyzeRequest{Article: "evoter"})
+	var st JobStatus
+	if err := json.Unmarshal(readBody(t, resp), &st); err != nil {
+		t.Fatal(err)
+	}
+	final := pollJob(t, ts.URL+"/v1/jobs/"+st.ID)
+	if final.Status != JobDone {
+		t.Fatalf("job finished %q, want done", final.Status)
+	}
+
+	get := func() (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/rtl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, readBody(t, resp)
+	}
+
+	resp1, body1 := get()
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("rtl status %d: %s", resp1.StatusCode, body1)
+	}
+	if ct := resp1.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	if eq := resp1.Header.Get("X-RTL-Equiv"); eq == "" {
+		t.Error("missing X-RTL-Equiv header")
+	}
+	if fp := resp1.Header.Get("X-Netlist-Fingerprint"); fp != final.Fingerprint {
+		t.Errorf("X-Netlist-Fingerprint = %q, want %q", fp, final.Fingerprint)
+	}
+	if !bytes.Contains(body1, []byte("module ")) || !bytes.Contains(body1, []byte("endmodule")) {
+		t.Errorf("body does not look like Verilog:\n%.200s", body1)
+	}
+
+	// Second request must be served from the artifact store, byte-identical.
+	resp2, body2 := get()
+	if resp2.StatusCode != http.StatusOK || !bytes.Equal(body1, body2) {
+		t.Errorf("repeat rtl request differs (status %d)", resp2.StatusCode)
+	}
+
+	// Unknown job: 404.
+	resp404, err := http.Get(ts.URL + "/v1/jobs/job-doesnotexist/rtl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp404); resp404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job rtl status %d, want 404 (%s)", resp404.StatusCode, body)
+	}
+}
+
+// TestJobRTLNotDone verifies that a job that did not finish cleanly —
+// here degraded by an unmeetable timeout — refuses to serve RTL with 409.
+func TestJobRTLNotDone(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	req := AnalyzeRequest{Article: "mips16"}
+	req.Options.TimeoutMS = 1
+	resp := postJSON(t, ts.URL+"/v1/jobs", req)
+	var st JobStatus
+	if err := json.Unmarshal(readBody(t, resp), &st); err != nil {
+		t.Fatal(err)
+	}
+	final := pollJob(t, ts.URL+"/v1/jobs/"+st.ID)
+	if final.Status != JobDegraded {
+		t.Skipf("job finished %q despite 1ms budget; cannot exercise the 409 path", final.Status)
+	}
+	r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/rtl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, r); r.StatusCode != http.StatusConflict {
+		t.Fatalf("degraded job rtl status %d, want 409 (%s)", r.StatusCode, body)
+	}
+}

@@ -7,6 +7,7 @@
 //	POST /v1/analyze      synchronous analysis (small netlists)
 //	POST /v1/jobs         enqueue an asynchronous analysis
 //	GET  /v1/jobs/{id}    job status; carries the report when finished
+//	GET  /v1/jobs/{id}/rtl  decompiled word-level Verilog for a done job
 //	GET  /v1/articles     the built-in netlists the service can analyze
 //	GET  /healthz         liveness/readiness (503 while draining)
 //	GET  /metrics         Prometheus text exposition
@@ -48,6 +49,7 @@ import (
 	"time"
 
 	"netlistre"
+	"netlistre/internal/artifact"
 	"netlistre/internal/fleet"
 )
 
@@ -136,6 +138,7 @@ type Server struct {
 	cfg     Config
 	cache   *Cache
 	stages  *netlistre.StageStore // nil when StageCacheEntries < 0
+	rtl     *artifact.Store       // decompiled-RTL cache, keyed by fingerprint+options
 	metrics *Metrics
 	queue   *Queue
 	mux     *http.ServeMux
@@ -158,6 +161,7 @@ func New(cfg Config) *Server {
 	if s.cfg.StageCacheEntries > 0 {
 		s.stages = netlistre.NewStageStore(s.cfg.StageCacheEntries)
 	}
+	s.rtl = artifact.NewStore(rtlCacheEntries)
 	s.queue = NewQueue(s.cfg.QueueWorkers, s.cfg.QueueDepth, s.runJob)
 	if s.cfg.Fleet {
 		client := &http.Client{Transport: s.cfg.FleetTransport}
@@ -171,6 +175,7 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/analyze", "/v1/analyze", s.handleAnalyze)
 	s.route("POST /v1/jobs", "/v1/jobs", s.handleSubmitJob)
 	s.route("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleGetJob)
+	s.route("GET /v1/jobs/{id}/rtl", "/v1/jobs/{id}/rtl", s.handleJobRTL)
 	s.route("GET /v1/articles", "/v1/articles", s.handleArticles)
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.route("GET /metrics", "/metrics", s.handleMetrics)
@@ -586,6 +591,84 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// rtlCacheEntries bounds the decompiled-RTL artifact store.
+const rtlCacheEntries = 128
+
+// rtlArtifact is the cached value of one decompilation.
+type rtlArtifact struct {
+	verilog []byte
+	equiv   *netlistre.RTLEquiv
+}
+
+// handleJobRTL serves GET /v1/jobs/{id}/rtl: the job's netlist decompiled
+// to word-level Verilog. The emission is lazy — computed on first request,
+// then cached in an artifact store keyed by the netlist fingerprint and
+// the job's analysis options — and self-checked: RTL that fails the
+// round-trip equivalence check is never served. Only done jobs qualify; a
+// queued, running, degraded, or failed job gets 409, since its report
+// (and so its lowering) is absent or partial.
+func (s *Server) handleJobRTL(w http.ResponseWriter, r *http.Request) {
+	j := s.queue.Get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q (finished jobs are retained for the last %d)", r.PathValue("id"), maxRetiredJobs)
+		return
+	}
+	if st := j.State(); st != JobDone {
+		writeError(w, http.StatusConflict, "job is %s; RTL is only available for done jobs", st)
+		return
+	}
+	h := artifact.NewHasher("netlistre-rtl-v1")
+	h.Str(j.Fingerprint)
+	h.Str(j.key)
+	var computeErr error
+	art, _, err := s.rtl.Do(r.Context(), h.Sum(), func() (*artifact.Artifact, bool) {
+		// Re-derive the report from the retained netlist; the shared
+		// stage store turns this into a replay of the original analysis.
+		opt := j.opt
+		if s.stages != nil {
+			opt.StageStore = s.stages
+			opt.Fingerprint = j.Fingerprint
+		}
+		rep := netlistre.AnalyzeContext(r.Context(), j.nl, opt)
+		s.metrics.AnalysisDone("rtl", rep.Trace)
+		if rep.Degraded {
+			computeErr = fmt.Errorf("re-analysis for RTL emission was degraded")
+			return nil, false
+		}
+		er, eq, err := netlistre.DecompileRTL(j.nl, rep)
+		if err != nil {
+			computeErr = err
+			return nil, false
+		}
+		if !eq.Equivalent {
+			computeErr = fmt.Errorf("round-trip equivalence self-check failed: %v", eq)
+			return nil, false
+		}
+		return &artifact.Artifact{
+			Stage: "rtl",
+			Value: &rtlArtifact{verilog: er.Verilog, equiv: eq},
+		}, true
+	})
+	switch {
+	case err != nil:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case computeErr != nil:
+		writeError(w, http.StatusInternalServerError, "decompile: %v", computeErr)
+		return
+	case art == nil:
+		// Another caller's compute declined to publish (its request was
+		// canceled mid-flight); this request can simply be retried.
+		writeError(w, http.StatusServiceUnavailable, "RTL emission interrupted; retry")
+		return
+	}
+	ra := art.Value.(*rtlArtifact)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Netlist-Fingerprint", j.Fingerprint)
+	w.Header().Set("X-RTL-Equiv", ra.equiv.Method)
+	w.Write(ra.verilog) //nolint:errcheck
 }
 
 // Article is one entry of GET /v1/articles.
