@@ -122,6 +122,10 @@ type ID = netlist.ID
 // (e.g. Netlist.FindByName).
 const NilID = netlist.Nil
 
+// MaxLutInputs is the largest LUT arity a native k-input truth-table cell
+// can carry (its packed mask is one uint64).
+const MaxLutInputs = netlist.MaxLutInputs
+
 // Kind enumerates netlist primitives (And, Or, Not, Latch, ...).
 type Kind = netlist.Kind
 
@@ -225,8 +229,21 @@ func NewNetlist(name string) *Netlist { return netlist.New(name) }
 func ReadVerilog(r io.Reader) (*Netlist, error) { return netlist.ReadVerilog(r) }
 
 // ReadBLIF parses a netlist in the Berkeley Logic Interchange Format
-// subset (.model/.inputs/.outputs/.names/.latch).
+// subset (.model/.inputs/.outputs/.names/.latch). Covers the writer
+// marked as LUTs (`.names ... # lut`) rebuild as native k-input cells;
+// everything else decomposes into primitive gates.
 func ReadBLIF(r io.Reader) (*Netlist, error) { return netlist.ReadBLIF(r) }
+
+// BLIFOptions configures ReadBLIFOpts. The Luts field keeps every
+// .names cover table (up to MaxLutInputs inputs) as a native Lut node —
+// the natural reading for foreign LUT-mapped FPGA BLIF that lacks the
+// writer's per-cover markers.
+type BLIFOptions = netlist.BLIFOptions
+
+// ReadBLIFOpts is ReadBLIF with explicit options.
+func ReadBLIFOpts(r io.Reader, opt BLIFOptions) (*Netlist, error) {
+	return netlist.ReadBLIFOpts(r, opt)
+}
 
 // Analyze runs the full reverse-engineering portfolio.
 func Analyze(nl *Netlist, opt Options) *Report { return core.Analyze(nl, opt) }

@@ -39,6 +39,16 @@ func BigSoCResetNames() []string {
 	return names
 }
 
+// LutMap rewrites a gate-level netlist into its LUT-mapped FPGA-style
+// equivalent: every combinational gate becomes a k-input truth-table cell
+// (k <= MaxLutInputs), with wider gates decomposed into balanced trees of
+// same-op chunks. The result is the workload an off-the-shelf technology
+// mapper would hand the analysis; gennet -lutmap emits it.
+func LutMap(nl *Netlist) *Netlist {
+	mapped, _ := gen.LutMapped(nl)
+	return mapped
+}
+
 // EVoterTrojaned builds the eVoter article with the key-sequence backdoor
 // of Section V-D.
 func EVoterTrojaned() *Netlist { return gen.EVoterTrojaned() }

@@ -25,6 +25,7 @@ func main() {
 		dir     = flag.String("dir", ".", "output directory for -all")
 		format  = flag.String("format", "verilog", "output format: verilog or blif")
 		list    = flag.Bool("list", false, "list available articles and exit")
+		lutmap  = flag.Bool("lutmap", false, "LUT-map the article before emitting (FPGA-style k-input cells)")
 	)
 	flag.Parse()
 	if *list {
@@ -36,11 +37,15 @@ func main() {
 		os.Exit(1)
 	}
 	emitFormat = *format
+	emitLutMap = *lutmap
 
 	if *all {
 		ext := ".v"
 		if *format == "blif" {
 			ext = ".blif"
+		}
+		if *lutmap {
+			ext = "-lut" + ext
 		}
 		names := netlistre.TestArticleNames()
 		for _, extra := range extraArticles {
@@ -71,7 +76,10 @@ func main() {
 	}
 }
 
-var emitFormat = "verilog"
+var (
+	emitFormat = "verilog"
+	emitLutMap = false
+)
 
 // extraArticles are the case-study netlists emitted alongside the Table 2
 // set; descriptions mirror their builders in the root package.
@@ -119,6 +127,9 @@ func emit(name, path string) error {
 		if err != nil {
 			return err
 		}
+	}
+	if emitLutMap {
+		nl = netlistre.LutMap(nl)
 	}
 	w := os.Stdout
 	if path != "" {

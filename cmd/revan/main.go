@@ -31,6 +31,7 @@ const exitRTLCheck = 4
 func main() {
 	var (
 		inFile    = flag.String("in", "", "structural Verilog netlist to analyze")
+		blifLuts  = flag.Bool("blif-luts", false, "read every BLIF cover table as a native k-input LUT cell (for foreign LUT-mapped FPGA BLIF without '# lut' markers)")
 		article   = flag.String("article", "", "built-in synthetic article (see -list)")
 		list      = flag.Bool("list", false, "list built-in articles and exit")
 		doSimp    = flag.Bool("simplify", false, "run structural simplification first")
@@ -62,7 +63,7 @@ func main() {
 		return
 	}
 
-	nl, err := loadNetlist(*inFile, *article)
+	nl, err := loadNetlist(*inFile, *article, *blifLuts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "revan:", err)
 		os.Exit(1)
@@ -182,7 +183,7 @@ func printStageCacheStats(stages *netlistre.StageStore) {
 		st.Hits, st.Misses, st.Evictions, st.Entries)
 }
 
-func loadNetlist(inFile, article string) (*netlistre.Netlist, error) {
+func loadNetlist(inFile, article string, blifLuts bool) (*netlistre.Netlist, error) {
 	switch {
 	case inFile != "":
 		f, err := os.Open(inFile)
@@ -191,7 +192,7 @@ func loadNetlist(inFile, article string) (*netlistre.Netlist, error) {
 		}
 		defer f.Close()
 		if strings.HasSuffix(inFile, ".blif") {
-			return netlistre.ReadBLIF(f)
+			return netlistre.ReadBLIFOpts(f, netlistre.BLIFOptions{Luts: blifLuts})
 		}
 		return netlistre.ReadVerilog(f)
 	case article == "bigsoc":

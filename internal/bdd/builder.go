@@ -135,6 +135,25 @@ func (b *Builder) combine(node *netlist.Node) Ref {
 			r = m.Not(r)
 		}
 		return r
+	case netlist.Lut:
+		return lutRef(m, node.Mask, len(node.Fanin), in)
 	}
 	panic("bdd: cannot build " + node.Kind.String())
+}
+
+// lutRef builds the BDD of a k-input truth-table cell by Shannon recursion
+// on the packed mask: mask rows are split on the last fanin's function and
+// the halves recombined with an ite over already-built fanin BDDs.
+func lutRef(m *Manager, mask uint64, k int, in func(int) Ref) Ref {
+	if k == 0 {
+		if mask&1 == 1 {
+			return True
+		}
+		return False
+	}
+	half := uint(1) << uint(k-1)
+	lo := lutRef(m, mask, k-1, in)
+	hi := lutRef(m, mask>>half, k-1, in)
+	s := in(k - 1)
+	return m.Or(m.And(s, hi), m.And(m.Not(s), lo))
 }

@@ -110,6 +110,31 @@ func EvalGate(kind netlist.Kind, in []Vector) Vector {
 	panic("bitsim: EvalGate on " + kind.String())
 }
 
+// EvalLut evaluates a k-input truth-table cell over vectors by Shannon
+// recursion on the packed mask, selecting each cofactor pair with the
+// consensus form of the Kleene multiplexer (s&hi | ~s&lo | hi&lo). The extra
+// consensus term makes the select exact when s is X but both cofactors
+// agree, which by induction makes the whole evaluation the fully precise
+// three-valued extension of the mask — the same answer sim.EvalLut reaches
+// by exhaustive enumeration, one lane at a time.
+func EvalLut(mask uint64, in []Vector) Vector {
+	var rec func(m uint64, j int) Vector
+	rec = func(m uint64, j int) Vector {
+		if j == 0 {
+			if m&1 == 1 {
+				return Known(^uint64(0))
+			}
+			return Known(0)
+		}
+		half := uint(1) << uint(j-1)
+		lo := rec(m, j-1)
+		hi := rec(m>>half, j-1)
+		s := in[j-1]
+		return s.And(hi).Or(s.Not().And(lo)).Or(hi.And(lo))
+	}
+	return rec(mask, len(in))
+}
+
 // Run evaluates the combinational logic of nl with the signals in assign
 // forced to the given vectors. Like sim.Run, assignments may target ANY
 // node: an assigned internal node is cut loose from its own logic and
@@ -132,7 +157,11 @@ func Run(nl *netlist.Netlist, assign map[netlist.ID]Vector) []Vector {
 			for _, f := range node.Fanin {
 				buf = append(buf, vals[f])
 			}
-			vals[id] = EvalGate(node.Kind, buf)
+			if node.Kind == netlist.Lut {
+				vals[id] = EvalLut(node.Mask, buf)
+			} else {
+				vals[id] = EvalGate(node.Kind, buf)
+			}
 		}
 	}
 	return vals
@@ -165,7 +194,11 @@ func RunCone(nl *netlist.Netlist, roots []netlist.ID, assign map[netlist.ID]Vect
 			for _, f := range node.Fanin {
 				buf = append(buf, vals[f])
 			}
-			v = EvalGate(node.Kind, buf)
+			if node.Kind == netlist.Lut {
+				v = EvalLut(node.Mask, buf)
+			} else {
+				v = EvalGate(node.Kind, buf)
+			}
 		}
 		vals[id] = v
 		return v

@@ -68,6 +68,8 @@ func Enumerate(n *netlist.Netlist, opt Options) map[netlist.ID][]Cut {
 			res[id] = []Cut{{Table: truth.Const(false, 0)}}
 		case kind == netlist.Const1:
 			res[id] = []Cut{{Table: truth.Const(true, 0)}}
+		case kind == netlist.Lut:
+			res[id] = enumerateLut(n, id, res, opt)
 		default:
 			res[id] = enumerateGate(n, id, res, opt)
 		}
@@ -156,6 +158,80 @@ func enumerateGate(n *netlist.Netlist, id netlist.ID, res map[netlist.ID][]Cut, 
 	return append(partial, Cut{Leaves: []netlist.ID{id}, Table: truth.Var(0, 1)})
 }
 
+// enumerateLut computes the cuts of a k-input truth-table cell. LUTs have no
+// associative fold, so the merge tracks, for every feasible merged leaf set,
+// which cut was chosen at each fanin position; tables are computed only for
+// the pruned survivors by expanding each chosen fanin cut onto the merged
+// leaf set and composing through the node's mask (truth.Compose). Dedup and
+// dominance pruning on leaf sets alone stays sound for the same reason as in
+// enumerateGate: for a fixed root, the cut function is determined by the
+// leaf set.
+func enumerateLut(n *netlist.Netlist, id netlist.ID, res map[netlist.ID][]Cut, opt Options) []Cut {
+	fanin := n.Fanin(id)
+	mask := n.Node(id).Mask
+
+	type selCut struct {
+		leaves []netlist.ID
+		sig    uint64
+		choice []int // choice[j] indexes res[fanin[j]]
+	}
+	partial := make([]selCut, 0, len(res[fanin[0]]))
+	for ci, c := range res[fanin[0]] {
+		partial = append(partial, selCut{leaves: c.Leaves, sig: leafSig(c.Leaves), choice: []int{ci}})
+	}
+	var pending []pendingCut
+	var sb []uint64
+	for fi := 1; fi < len(fanin); fi++ {
+		next := res[fanin[fi]]
+		sb = sb[:0]
+		for _, b := range next {
+			sb = append(sb, leafSig(b.Leaves))
+		}
+		slab := make([]netlist.ID, 0, len(partial)*len(next)*(opt.K+1))
+		pending = pending[:0]
+		for ai, a := range partial {
+			for bi, b := range next {
+				sig := a.sig | sb[bi]
+				if bits.OnesCount64(sig) > opt.K {
+					continue
+				}
+				start := len(slab)
+				after, ok := unionLeavesInto(slab, a.leaves, b.Leaves, opt.K)
+				if !ok {
+					continue
+				}
+				slab = after
+				pending = append(pending, pendingCut{
+					leaves: slab[start:len(slab):len(slab)],
+					sig:    sig,
+					a:      ai, b: bi,
+				})
+			}
+		}
+		kept := prunePending(pending, opt.MaxCuts)
+		merged := make([]selCut, len(kept))
+		for i, p := range kept {
+			leaves := make([]netlist.ID, len(p.leaves))
+			copy(leaves, p.leaves)
+			choice := make([]int, len(partial[p.a].choice)+1)
+			copy(choice, partial[p.a].choice)
+			choice[len(choice)-1] = p.b
+			merged[i] = selCut{leaves: leaves, sig: p.sig, choice: choice}
+		}
+		partial = merged
+	}
+
+	out := make([]Cut, 0, len(partial)+1)
+	args := make([]truth.Table, len(fanin))
+	for _, s := range partial {
+		for j := range fanin {
+			args[j] = expandOnto(res[fanin[j]][s.choice[j]], s.leaves)
+		}
+		out = append(out, Cut{Leaves: s.leaves, Table: truth.Compose(mask, args)})
+	}
+	return append(out, Cut{Leaves: []netlist.ID{id}, Table: truth.Var(0, 1)})
+}
+
 type binOp uint8
 
 const (
@@ -184,24 +260,25 @@ func foldOp(kind netlist.Kind) (binOp, bool) {
 	panic("cuts: foldOp on non-gate kind " + kind.String())
 }
 
+// expandOnto re-expresses a cut's table over a merged leaf set that contains
+// the cut's own leaves. Both leaf lists are sorted, so a single linear scan
+// recovers each leaf's variable position — this is the hottest allocation
+// site of cut enumeration, so no map here.
+func expandOnto(c Cut, leaves []netlist.ID) truth.Table {
+	var m [truth.MaxVars]int
+	i := 0
+	for j, l := range c.Leaves {
+		for leaves[i] != l {
+			i++
+		}
+		m[j] = i
+	}
+	return c.Table.Expand(m[:len(c.Leaves)], len(leaves))
+}
+
 // combine2 merges two cuts under a binary operation on the merged leaf set.
 func combine2(op binOp, a, b Cut, leaves []netlist.ID) Cut {
-	n := len(leaves)
-	// Both leaf lists are sorted subsets of the (sorted) merged set, so a
-	// single linear scan recovers each leaf's variable position — this is
-	// the hottest allocation site of cut enumeration, so no map here.
-	expand := func(c Cut) truth.Table {
-		var m [truth.MaxVars]int
-		i := 0
-		for j, l := range c.Leaves {
-			for leaves[i] != l {
-				i++
-			}
-			m[j] = i
-		}
-		return c.Table.Expand(m[:len(c.Leaves)], n)
-	}
-	ta, tb := expand(a), expand(b)
+	ta, tb := expandOnto(a, leaves), expandOnto(b, leaves)
 	var t truth.Table
 	switch op {
 	case opAnd:

@@ -85,7 +85,7 @@ func importCore(dst *netlist.Netlist, src *netlist.Netlist, prefix string, rst n
 			for i, f := range node.Fanin {
 				fan[i] = m[f]
 			}
-			m[id] = dst.AddGate(node.Kind, fan...)
+			m[id] = dst.AddGateLike(node, fan...)
 		}
 	}
 	for _, l := range latches {
@@ -156,7 +156,7 @@ func AddElectricalNoiseMapped(nl *netlist.Netlist, seed int64, prob float64) (*n
 			for i, f := range node.Fanin {
 				fan[i] = noisy(m[f])
 			}
-			g := out.AddGate(node.Kind, fan...)
+			g := out.AddGateLike(node, fan...)
 			if node.Name != "" {
 				out.SetName(g, node.Name)
 			}

@@ -309,7 +309,9 @@ func spanMembers(nl *netlist.Netlist, start int) []netlist.ID {
 }
 
 // labeledArticles registers the builders that return ground truth: the
-// eight Table 2 articles plus the two trojan-injected variants.
+// eight Table 2 articles, the two trojan-injected variants, and the
+// LUT-mapped FPGA workload (each base article through gen.LutMapped with
+// labels remapped onto the LUT nodes).
 var labeledArticles = map[string]func() (*netlist.Netlist, *Labels){
 	"mips16":        LabeledMIPS16,
 	"riscfpu":       LabeledRISCFPU,
@@ -323,11 +325,27 @@ var labeledArticles = map[string]func() (*netlist.Netlist, *Labels){
 	"evoter-trojan": func() (*netlist.Netlist, *Labels) { return buildEVoter(true) },
 }
 
+func init() {
+	for _, name := range baseArticleNames {
+		build := labeledArticles[name]
+		labeledArticles[name+"-lut"] = func() (*netlist.Netlist, *Labels) {
+			return LutMappedLabeled(build)
+		}
+	}
+}
+
+var baseArticleNames = []string{"mips16", "riscfpu", "router", "oc8051",
+	"aemb", "msp430", "usb", "evoter"}
+
 // LabeledArticleNames lists the articles LabeledArticle accepts, in Table 2
-// order with the trojan variants last.
+// order with the trojan variants and the LUT-mapped FPGA workload last.
 func LabeledArticleNames() []string {
-	return []string{"mips16", "riscfpu", "router", "oc8051", "aemb",
-		"msp430", "usb", "evoter", "oc8051-trojan", "evoter-trojan"}
+	names := append([]string(nil), baseArticleNames...)
+	names = append(names, "oc8051-trojan", "evoter-trojan")
+	for _, n := range baseArticleNames {
+		names = append(names, n+"-lut")
+	}
+	return names
 }
 
 // LabeledArticle builds the named article together with its ground-truth

@@ -412,7 +412,7 @@ func extractRegion(nl *netlist.Netlist, cand Candidate) (*netlist.Netlist, map[n
 			for i, f := range node.Fanin {
 				fan[i] = resolve(f)
 			}
-			r = sub.AddGate(node.Kind, fan...)
+			r = sub.AddGateLike(node, fan...)
 		}
 		m[id] = r
 		return r

@@ -28,12 +28,12 @@ func (n *Netlist) WriteBLIF(w io.Writer) error {
 	}
 	netName := func(id ID) string {
 		if nm := n.nodes[id].Name; nm != "" {
-			return Legalize(nm)
+			return blifName(nm)
 		}
 		return fmt.Sprintf("n%d", id)
 	}
 
-	fmt.Fprintf(bw, ".model %s\n", Legalize(name))
+	fmt.Fprintf(bw, ".model %s\n", blifName(name))
 	fmt.Fprintf(bw, ".inputs")
 	for _, in := range n.Inputs() {
 		fmt.Fprintf(bw, " %s", netName(in))
@@ -42,7 +42,7 @@ func (n *Netlist) WriteBLIF(w io.Writer) error {
 	fmt.Fprintf(bw, ".outputs")
 	seenOut := map[string]bool{}
 	for _, p := range n.outputs {
-		nm := Legalize(p.Name)
+		nm := blifName(p.Name)
 		if !seenOut[nm] {
 			seenOut[nm] = true
 			fmt.Fprintf(bw, " %s", nm)
@@ -66,7 +66,7 @@ func (n *Netlist) WriteBLIF(w io.Writer) error {
 		}
 	}
 	for _, p := range n.outputs {
-		nm := Legalize(p.Name)
+		nm := blifName(p.Name)
 		if netName(p.Driver) != nm {
 			// Alias buffer for the output name.
 			fmt.Fprintf(bw, ".names %s %s\n1 1\n", netName(p.Driver), nm)
@@ -76,16 +76,54 @@ func (n *Netlist) WriteBLIF(w io.Writer) error {
 	return bw.Flush()
 }
 
-// writeCover emits the .names cover of one gate.
+// blifName returns a net name as a BLIF token. BLIF has no reserved words,
+// so any whitespace-free printable name that cannot be mistaken for a
+// directive, comment, or continuation passes through verbatim — which is
+// what lets FPGA-style names (`LUT4`, `n$123`) round-trip byte-identically.
+// Everything else falls back to Legalize.
+func blifName(s string) string {
+	if !escapable(s) || s[0] == '.' || strings.ContainsAny(s, "\\#") {
+		return Legalize(s)
+	}
+	return s
+}
+
+// writeCover emits the .names cover of one gate. Lut covers carry a
+// trailing "# lut" comment: BLIF cover tables cannot distinguish a
+// truth-table cell from the gate computing the same function (an And cover
+// and a Lut-mask-0b1000 cover are byte-identical), so the writer marks the
+// distinction in a comment any other BLIF tool ignores, and ReadBLIF maps
+// exactly the marked covers back to native Lut nodes. This keeps mixed
+// gate/LUT netlists — and their fingerprints — exact across a round trip.
 func writeCover(bw *bufio.Writer, n *Netlist, id ID, netName func(ID) string) {
 	node := &n.nodes[id]
 	fmt.Fprintf(bw, ".names")
 	for _, f := range node.Fanin {
 		fmt.Fprintf(bw, " %s", netName(f))
 	}
-	fmt.Fprintf(bw, " %s\n", netName(id))
+	fmt.Fprintf(bw, " %s", netName(id))
+	if node.Kind == Lut {
+		fmt.Fprintf(bw, " # lut")
+	}
+	fmt.Fprintln(bw)
 	k := len(node.Fanin)
 	switch node.Kind {
+	case Lut:
+		// One fully-specified minterm row per set mask bit, ascending.
+		for r := uint(0); r < 1<<uint(k); r++ {
+			if node.Mask>>r&1 == 0 {
+				continue
+			}
+			row := make([]byte, k)
+			for j := 0; j < k; j++ {
+				if r>>uint(j)&1 == 1 {
+					row[j] = '1'
+				} else {
+					row[j] = '0'
+				}
+			}
+			fmt.Fprintf(bw, "%s 1\n", row)
+		}
 	case Buf:
 		fmt.Fprintln(bw, "1 1")
 	case Not:
@@ -134,11 +172,28 @@ func writeCover(bw *bufio.Writer, n *Netlist, id ID, netName func(ID) string) {
 	}
 }
 
+// BLIFOptions configures ReadBLIFOpts.
+type BLIFOptions struct {
+	// Luts keeps arbitrary .names cover tables as native Lut nodes (up to
+	// MaxLutInputs inputs) instead of decomposing them into primitive
+	// gates — the natural reading for LUT-mapped FPGA netlists. Empty
+	// covers stay constants and the single-cube `1 1` alias cover stays a
+	// Buf, so alias structure (and therefore fingerprints) agree with the
+	// structural-Verilog reader. Covers wider than MaxLutInputs fall back
+	// to the gate decomposition.
+	Luts bool
+}
+
 // ReadBLIF parses the BLIF subset emitted by WriteBLIF plus common
 // variations (multi-cube .names, '-' don't-cares, single-output covers).
 // Cover tables are converted to netlist gates: each cube becomes an AND of
 // literals and cubes are ORed; covers listing output 0 are complemented.
 func ReadBLIF(r io.Reader) (*Netlist, error) {
+	return ReadBLIFOpts(r, BLIFOptions{})
+}
+
+// ReadBLIFOpts is ReadBLIF with explicit options.
+func ReadBLIFOpts(r io.Reader, opt BLIFOptions) (*Netlist, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 
@@ -147,6 +202,7 @@ func ReadBLIF(r io.Reader) (*Netlist, error) {
 		out    string
 		cubes  []string // input-plane rows
 		outVal byte     // '1' or '0'
+		lut    bool     // .names carried the "# lut" marker
 	}
 	type latchDecl struct{ d, q string }
 
@@ -163,11 +219,19 @@ func ReadBLIF(r io.Reader) (*Netlist, error) {
 		}
 	}
 
-	// Join continuation lines ending in '\'.
-	var lines []string
+	// Join continuation lines ending in '\'. The "# lut" marker WriteBLIF
+	// appends to Lut covers is consumed here, before general comment
+	// stripping.
+	type srcLine struct {
+		text string
+		lut  bool
+	}
+	var lines []srcLine
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
+		lut := false
 		if i := strings.Index(line, "#"); i >= 0 {
+			lut = strings.TrimSpace(line[i+1:]) == "lut"
 			line = strings.TrimSpace(line[:i])
 		}
 		if line == "" {
@@ -176,13 +240,14 @@ func ReadBLIF(r io.Reader) (*Netlist, error) {
 		for strings.HasSuffix(line, "\\") && sc.Scan() {
 			line = strings.TrimSuffix(line, "\\") + " " + strings.TrimSpace(sc.Text())
 		}
-		lines = append(lines, line)
+		lines = append(lines, srcLine{text: line, lut: lut})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 
-	for _, line := range lines {
+	for _, ln := range lines {
+		line := ln.text
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case ".model":
@@ -210,6 +275,7 @@ func ReadBLIF(r io.Reader) (*Netlist, error) {
 				inputs: fields[1 : len(fields)-1],
 				out:    fields[len(fields)-1],
 				outVal: '1',
+				lut:    ln.lut,
 			}
 		case ".end":
 			flush()
@@ -253,7 +319,7 @@ func ReadBLIF(r io.Reader) (*Netlist, error) {
 		if _, dup := ids[l.q]; dup {
 			return nil, fmt.Errorf("blif: latch output %q already driven", l.q)
 		}
-		ids[l.q] = n.AddNamedLatch(l.q, n.AddConst(false))
+		ids[l.q] = n.AddNamedLatch(l.q, Nil) // D patched after covers build
 	}
 
 	coverOf := make(map[string]*cover, len(covers))
@@ -287,7 +353,7 @@ func ReadBLIF(r io.Reader) (*Netlist, error) {
 			}
 			fan[i] = fid
 		}
-		id, err := buildCoverGate(n, c.cubes, c.outVal, fan)
+		id, err := buildCoverGate(n, c.cubes, c.outVal, fan, c.lut, opt)
 		if err != nil {
 			return Nil, fmt.Errorf("blif: cover for %q: %w", net, err)
 		}
@@ -330,7 +396,28 @@ func ReadBLIF(r io.Reader) (*Netlist, error) {
 // Fingerprint — instead of lowering Nand/Nor/Xor/Xnor to AND/OR/NOT
 // networks. Anything else falls back to OR-of-cube-ANDs (complemented for
 // output-0 covers).
-func buildCoverGate(n *Netlist, cubes []string, outVal byte, fan []ID) (ID, error) {
+func buildCoverGate(n *Netlist, cubes []string, outVal byte, fan []ID, lutMark bool, opt BLIFOptions) (ID, error) {
+	if lutMark && len(fan) > 0 && len(fan) <= MaxLutInputs {
+		// The writer marked this cover as a truth-table cell: rebuild it
+		// exactly, mask and all, with no alias-cover exception (a marked
+		// "1 1" cover is the Lut1 identity, not a Buf).
+		mask, err := coverMask(cubes, outVal, len(fan))
+		if err != nil {
+			return Nil, err
+		}
+		return n.AddLut(mask, fan...), nil
+	}
+	if opt.Luts && len(fan) > 0 && len(fan) <= MaxLutInputs {
+		if !(len(cubes) == 1 && cubes[0] == "1" && outVal == '1') {
+			// Everything except the `1 1` alias/buffer cover becomes a
+			// native LUT.
+			mask, err := coverMask(cubes, outVal, len(fan))
+			if err != nil {
+				return Nil, err
+			}
+			return n.AddLut(mask, fan...), nil
+		}
+	}
 	if len(cubes) == 0 {
 		// Empty cover: constant 0 (or 1 for output-0 covers).
 		return n.AddConst(outVal == '0'), nil
@@ -381,6 +468,41 @@ func buildCoverGate(n *Netlist, cubes []string, outVal byte, fan []ID) (ID, erro
 		sum = n.AddGate(Not, sum)
 	}
 	return sum, nil
+}
+
+// coverMask evaluates a cover table into a packed truth-table mask over k
+// inputs: each cube's '-' positions are expanded over all rows, set rows are
+// ORed across cubes, and output-0 covers are complemented.
+func coverMask(cubes []string, outVal byte, k int) (uint64, error) {
+	var mask uint64
+	for _, cube := range cubes {
+		var base, dc uint
+		for i := 0; i < len(cube); i++ {
+			switch cube[i] {
+			case '1':
+				base |= 1 << uint(i)
+			case '0':
+			case '-':
+				dc |= 1 << uint(i)
+			default:
+				return 0, fmt.Errorf("bad cube char %q", cube[i])
+			}
+		}
+		for sub := dc; ; sub = (sub - 1) & dc {
+			mask |= 1 << (base | sub)
+			if sub == 0 {
+				break
+			}
+		}
+	}
+	if outVal == '0' {
+		full := ^uint64(0)
+		if k < MaxLutInputs {
+			full = (uint64(1) << (1 << uint(k))) - 1
+		}
+		mask = ^mask & full
+	}
+	return mask, nil
 }
 
 // complementKind maps each recognizable gate kind to its complement, used

@@ -49,6 +49,19 @@ func EvalKind(k Kind, in []bool) bool {
 	panic("netlist: EvalKind on non-combinational kind " + k.String())
 }
 
+// EvalLut computes the output of a Lut node with the given packed mask over
+// the fanin values: it indexes the mask by the row encoded by in, with in[0]
+// the least significant variable.
+func EvalLut(mask uint64, in []bool) bool {
+	row := 0
+	for i, b := range in {
+		if b {
+			row |= 1 << uint(i)
+		}
+	}
+	return mask>>uint(row)&1 == 1
+}
+
 // Eval computes the value of every node given an assignment to the boundary
 // signals. boundary must supply a value for every primary input and latch;
 // missing entries default to false. The returned slice is indexed by node
@@ -71,7 +84,11 @@ func (n *Netlist) Eval(boundary map[ID]bool) []bool {
 			for _, f := range node.Fanin {
 				buf = append(buf, vals[f])
 			}
-			vals[id] = EvalKind(node.Kind, buf)
+			if node.Kind == Lut {
+				vals[id] = EvalLut(node.Mask, buf)
+			} else {
+				vals[id] = EvalKind(node.Kind, buf)
+			}
 		}
 	}
 	return vals

@@ -28,6 +28,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+
+	"netlistre/internal/truth"
 )
 
 // maxRefineRounds bounds label refinement. Named netlists converge in one
@@ -50,6 +52,28 @@ func commutative(k Kind) bool {
 	return false
 }
 
+// lutCanon holds the permutation-canonical view of one Lut node: the mask in
+// its truth.Canon form and the fanin list reordered into the canonical
+// argument slots. Hashing and serializing LUTs through this view gives them
+// the same input-permutation treatment the Boolean matcher applies to cut
+// functions: a LUT whose mask and fanin list are permuted together (as a
+// writer/reader pair or a technology mapper may do) fingerprints
+// identically, while LUTs with genuinely different functions do not.
+type lutCanon struct {
+	mask  uint64
+	fanin []ID
+}
+
+func canonLut(node *Node) lutCanon {
+	t := truth.Table{Bits: node.Mask, N: len(node.Fanin)}
+	ct, perm := t.Canon()
+	fanin := make([]ID, len(node.Fanin))
+	for v, f := range node.Fanin {
+		fanin[perm[v]] = f
+	}
+	return lutCanon{mask: ct.Bits, fanin: fanin}
+}
+
 // Fingerprint returns the canonical SHA-256 of the netlist as a lowercase
 // hex string. Two netlists with the same fingerprint have the same design
 // name, the same primary outputs in declaration order, and isomorphic
@@ -68,6 +92,18 @@ func (n *Netlist) Fingerprint() string {
 		}
 	}
 
+	// Permutation-canonical view of every Lut node, computed once and used
+	// by round 0, the refinement rounds, and the final serialization.
+	var luts map[ID]lutCanon
+	for i := range n.nodes {
+		if n.nodes[i].Kind == Lut {
+			if luts == nil {
+				luts = make(map[ID]lutCanon)
+			}
+			luts[ID(i)] = canonLut(&n.nodes[i])
+		}
+	}
+
 	// Round 0: local content only.
 	h := sha256.New()
 	var scratch [8]byte
@@ -79,6 +115,10 @@ func (n *Netlist) Fingerprint() string {
 	for i, node := range n.nodes {
 		h.Reset()
 		h.Write([]byte{0x00, byte(node.Kind)})
+		if node.Kind == Lut {
+			binary.LittleEndian.PutUint64(scratch[:], luts[ID(i)].mask)
+			h.Write(scratch[:])
+		}
 		writeStr(node.Name)
 		for _, out := range outsOf[ID(i)] {
 			writeStr(out)
@@ -102,7 +142,13 @@ func (n *Netlist) Fingerprint() string {
 			h.Write([]byte{0x01})
 			h.Write(labels[i][:])
 			neigh = neigh[:0]
-			for _, f := range node.Fanin {
+			fanin := node.Fanin
+			if node.Kind == Lut {
+				// Canonical argument-slot order, matching the canonical
+				// mask hashed in round 0.
+				fanin = luts[ID(i)].fanin
+			}
+			for _, f := range fanin {
 				if f >= 0 && int(f) < numNodes {
 					neigh = append(neigh, labels[f])
 				}
@@ -159,7 +205,14 @@ func (n *Netlist) Fingerprint() string {
 	for _, id := range order {
 		node := &n.nodes[id]
 		fan = fan[:0]
-		for _, f := range node.Fanin {
+		fanin := node.Fanin
+		kindToken := node.Kind.String()
+		if node.Kind == Lut {
+			lc := luts[id]
+			fanin = lc.fanin
+			kindToken = fmt.Sprintf("lut:%#x", lc.mask)
+		}
+		for _, f := range fanin {
 			if f >= 0 && int(f) < numNodes {
 				fan = append(fan, rank[f])
 			} else {
@@ -169,7 +222,7 @@ func (n *Netlist) Fingerprint() string {
 		if commutative(node.Kind) {
 			sort.Ints(fan)
 		}
-		fmt.Fprintf(dig, "node %s %q %v\n", node.Kind, node.Name, fan)
+		fmt.Fprintf(dig, "node %s %q %v\n", kindToken, node.Name, fan)
 	}
 	for _, p := range n.outputs {
 		r := -1

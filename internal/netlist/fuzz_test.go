@@ -18,8 +18,13 @@ func verilogSeeds(f *testing.F) {
 	if err := n.WriteVerilog(&buf); err != nil {
 		f.Fatal(err)
 	}
+	var lutBuf bytes.Buffer
+	if err := buildLutCircuit("fuzzlut").WriteVerilog(&lutBuf); err != nil {
+		f.Fatal(err)
+	}
 	seeds := []string{
 		buf.String(),
+		lutBuf.String(),
 		"module m (a, y);\n input a;\n output y;\n not g0 (y, a);\nendmodule\n",
 		"// comment\nmodule m (a, b, y);\ninput a; input b;\noutput y;\nand g (y, a, b);\nendmodule",
 		"module m (a); input a; xor g (a); endmodule",
@@ -30,6 +35,10 @@ func verilogSeeds(f *testing.F) {
 		"module",
 		"",
 		"module m (a, y); input a; output y; not g1 (y, a); not g1 (y, a); endmodule",
+		"module m (a, b, y);\n input a, b;\n output y;\n LUT2 #(.INIT(4'h6)) g0 (.O(y), .I0(a), .I1(b));\nendmodule\n",
+		"module m (a, y); input a; output y; LUT1 #(.INIT(2'h1)) g0 (.O(y), .I0(a), .I1(a)); endmodule",
+		"module m (a, y); input a; output y; LUT2 #(.INIT(4'hx)) g0 (.O(y), .I0(a), .I1(a)); endmodule",
+		"module m (a, y); input a; output y; LUT9 #(.INIT(9'h0)) g0 (.O(y), .I0(a)); endmodule",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -58,9 +67,18 @@ func FuzzReadBLIF(f *testing.F) {
 	if err := n.WriteBLIF(&buf); err != nil {
 		f.Fatal(err)
 	}
+	var lutBuf bytes.Buffer
+	if err := buildLutCircuit("fuzzlut").WriteBLIF(&lutBuf); err != nil {
+		f.Fatal(err)
+	}
 	seeds := []string{
 		buf.String(),
+		lutBuf.String(),
 		".model demo\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n",
+		".model lut\n.inputs a b\n.outputs y\n.names a b y # lut\n10 1\n01 1\n.end\n",
+		".model lut\n.inputs a b c d e f g\n.outputs y\n.names a b c d e f g y # lut\n1111111 1\n.end\n",
+		".model lut\n.inputs a\n.outputs y\n.names a y # lut\n1- 1\n.end\n",
+		".model lut\n.inputs a b\n.outputs y\n.names a b y # lut\n11 0\n.end\n",
 		".model l\n.inputs d\n.outputs q\n.latch d q re clk 0\n.end\n",
 		".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end",
 		".model m\n.inputs a\n.outputs y\n.end",
@@ -73,15 +91,20 @@ func FuzzReadBLIF(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		nl, err := ReadBLIF(strings.NewReader(src))
-		if err != nil {
-			return
-		}
-		if nl == nil {
-			t.Fatal("nil netlist with nil error")
-		}
-		if cerr := nl.Check(); cerr != nil {
-			t.Fatalf("parser accepted a netlist that fails Check: %v\ninput:\n%s", cerr, src)
+		// Both reader modes must uphold the no-panic / Check contract; the
+		// Luts option changes cover interpretation, not acceptance rules.
+		for _, opt := range []BLIFOptions{{}, {Luts: true}} {
+			nl, err := ReadBLIFOpts(strings.NewReader(src), opt)
+			if err != nil {
+				continue
+			}
+			if nl == nil {
+				t.Fatal("nil netlist with nil error")
+			}
+			if cerr := nl.Check(); cerr != nil {
+				t.Fatalf("parser (luts=%v) accepted a netlist that fails Check: %v\ninput:\n%s",
+					opt.Luts, cerr, src)
+			}
 		}
 	})
 }

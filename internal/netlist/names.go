@@ -79,6 +79,55 @@ func Legalize(s string) string {
 	return out
 }
 
+// isSimpleIdent reports whether s is a legal (non-reserved) Verilog simple
+// identifier: [A-Za-z_][A-Za-z0-9_$]*.
+func isSimpleIdent(s string) bool {
+	if s == "" || verilogReserved[s] {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case i > 0 && ((r >= '0' && r <= '9') || r == '$'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// escapable reports whether s can be emitted as a Verilog backslash-escaped
+// identifier: non-empty printable ASCII with no whitespace.
+func escapable(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' || s[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// VerilogName returns the Verilog identifier token for an arbitrary net
+// name. Legal simple identifiers pass through unchanged; any other
+// whitespace-free printable name (an FPGA tool's `\n$123`-style net, or a
+// name colliding with a keyword) becomes a backslash-escaped identifier.
+// The escaped form includes the terminating space the standard requires, so
+// callers can concatenate punctuation directly after the token. Names that
+// cannot be escaped (whitespace or non-printable bytes) fall back to
+// Legalize, which is lossy but always printable.
+func VerilogName(s string) string {
+	if isSimpleIdent(s) {
+		return s
+	}
+	if escapable(s) {
+		return "\\" + s + " "
+	}
+	return Legalize(s)
+}
+
 // Namer hands out unique legalized identifiers. Reserve marks names that
 // must not be produced (e.g. synthesized n<id> wires); Claim legalizes and
 // uniquifies by appending '_' until the name is free. All decisions are

@@ -39,12 +39,21 @@ const (
 	Not
 	Buf
 	Latch
+	// Lut is a k-input single-output truth-table cell (k <= MaxLutInputs).
+	// Its function is the packed Node.Mask: bit i of the mask is the output
+	// for the input assignment where Fanin[j] carries bit j of i. Lut is
+	// appended after Latch so the numeric values of the primitive-gate kinds
+	// (which are baked into serialized fingerprints) stay stable.
+	Lut
 	numKinds
 )
 
+// MaxLutInputs is the largest LUT arity the packed uint64 mask can hold.
+const MaxLutInputs = 6
+
 var kindNames = [numKinds]string{
 	"const0", "const1", "input", "and", "or", "nand", "nor", "xor", "xnor",
-	"not", "buf", "dff",
+	"not", "buf", "dff", "lut",
 }
 
 func (k Kind) String() string {
@@ -56,7 +65,7 @@ func (k Kind) String() string {
 
 // IsGate reports whether k is a combinational gate (excludes inputs,
 // constants and latches). Gates are the unit of the paper's coverage metric.
-func (k Kind) IsGate() bool { return k >= And && k <= Buf }
+func (k Kind) IsGate() bool { return k >= And && k <= Buf || k == Lut }
 
 // IsComb reports whether a node of kind k computes a combinational function
 // of its fanins (gates and constants, but not inputs or latches).
@@ -71,6 +80,30 @@ type Node struct {
 	Kind  Kind
 	Name  string // optional; always set for inputs
 	Fanin []ID
+	// Mask is the packed truth table of a Lut node (zero for every other
+	// kind): bit i is the output value for the fanin assignment encoded by
+	// the bits of i, with Fanin[0] the least significant variable. Only the
+	// low 2^len(Fanin) bits are meaningful and the rest must be zero.
+	Mask uint64
+}
+
+// UnaryKind reports the unary primitive a node behaves as: Not and Buf
+// themselves, plus 1-input LUTs carrying the inverter (0b01) or identity
+// (0b10) mask. Structural passes that trace through inverter/buffer chains
+// use it so LUT-mapped netlists traverse the same way as gate-level ones.
+func (n *Node) UnaryKind() (Kind, bool) {
+	switch {
+	case n.Kind == Not || n.Kind == Buf:
+		return n.Kind, true
+	case n.Kind == Lut && len(n.Fanin) == 1:
+		switch n.Mask {
+		case 1:
+			return Not, true
+		case 2:
+			return Buf, true
+		}
+	}
+	return n.Kind, false
 }
 
 // Netlist is a flat gate-level circuit.
@@ -136,6 +169,12 @@ func (n *Netlist) add(node Node) ID {
 	n.nodes = append(n.nodes, node)
 	n.fanout = append(n.fanout, nil)
 	for _, f := range node.Fanin {
+		if f == Nil {
+			// Only a latch D placeholder awaiting SetLatchD (readers and
+			// rewriters use it for forward references); Validate flags any
+			// Nil fanin that survives construction.
+			continue
+		}
 		n.fanout[f] = append(n.fanout[f], id)
 	}
 	if node.Name != "" {
@@ -168,6 +207,8 @@ func (n *Netlist) AddGate(kind Kind, fanin ...ID) ID {
 	switch {
 	case !kind.IsGate():
 		panic(fmt.Sprintf("netlist: AddGate with non-gate kind %v", kind))
+	case kind == Lut:
+		panic("netlist: AddGate with Lut kind; use AddLut to supply the mask")
 	case kind == Not || kind == Buf:
 		if len(fanin) != 1 {
 			panic(fmt.Sprintf("netlist: %v requires 1 fanin, got %d", kind, len(fanin)))
@@ -188,6 +229,44 @@ func (n *Netlist) AddNamedGate(name string, kind Kind, fanin ...ID) ID {
 	id := n.AddGate(kind, fanin...)
 	n.SetName(id, name)
 	return id
+}
+
+// AddLut adds a k-input truth-table cell (1 <= k <= MaxLutInputs). Bit i of
+// mask is the output for the fanin assignment encoded by the bits of i, with
+// fanin[0] the least significant variable. It panics on arity violations and
+// on mask bits beyond 2^k, mirroring AddGate's contract.
+func (n *Netlist) AddLut(mask uint64, fanin ...ID) ID {
+	k := len(fanin)
+	if k < 1 || k > MaxLutInputs {
+		panic(fmt.Sprintf("netlist: lut requires 1..%d fanins, got %d", MaxLutInputs, k))
+	}
+	if k < MaxLutInputs && mask>>(1<<uint(k)) != 0 {
+		panic(fmt.Sprintf("netlist: lut mask %#x has bits beyond 2^%d rows", mask, k))
+	}
+	for _, f := range fanin {
+		if f < 0 || int(f) >= len(n.nodes) {
+			panic(fmt.Sprintf("netlist: fanin %d out of range", f))
+		}
+	}
+	return n.add(Node{Kind: Lut, Fanin: append([]ID(nil), fanin...), Mask: mask})
+}
+
+// AddNamedLut is AddLut with an explicit output net name.
+func (n *Netlist) AddNamedLut(name string, mask uint64, fanin ...ID) ID {
+	id := n.AddLut(mask, fanin...)
+	n.SetName(id, name)
+	return id
+}
+
+// AddGateLike adds a combinational gate with the kind — and, for Lut nodes,
+// the mask — of the template node over the given fanins. It is the building
+// block for passes that rebuild netlists node by node (simplify, partition
+// extraction, mutation) and must work for every gate kind.
+func (n *Netlist) AddGateLike(tmpl *Node, fanin ...ID) ID {
+	if tmpl.Kind == Lut {
+		return n.AddLut(tmpl.Mask, fanin...)
+	}
+	return n.AddGate(tmpl.Kind, fanin...)
 }
 
 // AddLatch adds a D flip-flop whose D input is d.
@@ -219,7 +298,7 @@ func (n *Netlist) SetLatchD(id, d ID) {
 		panic("netlist: SetLatchD on non-latch")
 	}
 	old := n.nodes[id].Fanin
-	if len(old) == 1 {
+	if len(old) == 1 && old[0] != Nil {
 		n.removeFanout(old[0], id)
 	}
 	n.nodes[id].Fanin = []ID{d}
@@ -361,8 +440,24 @@ func (n *Netlist) problems(limit int) []error {
 					return ps
 				}
 			}
+		case Lut:
+			k := len(node.Fanin)
+			if k < 1 || k > MaxLutInputs {
+				if add(fmt.Errorf("node %d (lut) has %d fanins, want 1..%d", id, k, MaxLutInputs)) {
+					return ps
+				}
+			} else if k < MaxLutInputs && node.Mask>>(1<<uint(k)) != 0 {
+				if add(fmt.Errorf("node %d (lut) mask %#x has bits beyond 2^%d rows", id, node.Mask, k)) {
+					return ps
+				}
+			}
 		default:
 			if add(fmt.Errorf("node %d has invalid kind %d", id, node.Kind)) {
+				return ps
+			}
+		}
+		if node.Kind != Lut && node.Mask != 0 {
+			if add(fmt.Errorf("node %d (%v) has non-zero lut mask %#x", id, node.Kind, node.Mask)) {
 				return ps
 			}
 		}
@@ -448,7 +543,7 @@ func (n *Netlist) Clone() *Netlist {
 	c.nodes = make([]Node, len(n.nodes))
 	for i, node := range n.nodes {
 		c.nodes[i] = Node{Kind: node.Kind, Name: node.Name,
-			Fanin: append([]ID(nil), node.Fanin...)}
+			Fanin: append([]ID(nil), node.Fanin...), Mask: node.Mask}
 	}
 	c.fanout = make([][]ID, len(n.fanout))
 	for i, fo := range n.fanout {

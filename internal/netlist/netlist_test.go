@@ -229,13 +229,25 @@ func randomNetlist(rng *rand.Rand, nIn, nGates, nLatches int) *Netlist {
 		latches = append(latches, l)
 		pool = append(pool, l)
 	}
-	kinds := []Kind{And, Or, Nand, Nor, Xor, Xnor, Not, Buf}
+	kinds := []Kind{And, Or, Nand, Nor, Xor, Xnor, Not, Buf, Lut}
 	for i := 0; i < nGates; i++ {
 		k := kinds[rng.Intn(len(kinds))]
 		var id ID
-		if k == Not || k == Buf {
+		switch {
+		case k == Lut:
+			arity := 1 + rng.Intn(MaxLutInputs)
+			fan := make([]ID, arity)
+			for j := range fan {
+				fan[j] = pool[rng.Intn(len(pool))]
+			}
+			mask := rng.Uint64()
+			if arity < MaxLutInputs {
+				mask &= 1<<(1<<uint(arity)) - 1
+			}
+			id = n.AddLut(mask, fan...)
+		case k == Not || k == Buf:
 			id = n.AddGate(k, pool[rng.Intn(len(pool))])
-		} else {
+		default:
 			arity := 2 + rng.Intn(3)
 			fan := make([]ID, arity)
 			for j := range fan {

@@ -9,12 +9,17 @@ package netlist
 //	  and  g0 (w1, a, b);     // output port first, then inputs
 //	  not  g1 (y, w1);
 //	  dff  r0 (q, d);         // Q first, then D
-//	  assign w2 = 1'b0;
+//	  LUT2 #(.INIT(4'h8)) g2 (.O(w2), .I0(a), .I1(b));
+//	  assign w3 = 1'b0;
 //	endmodule
 //
 // Gate types: and, or, nand, nor, xor, xnor (n-ary), not, buf (unary),
-// dff (2 ports). This is deliberately a tiny grammar: the point of the
-// repository is netlist analysis, not Verilog parsing.
+// dff (2 ports), and FPGA-style LUT1..LUT6 truth-table cells with an INIT
+// parameter and named ports (O, I0..I5). Backslash-escaped identifiers are
+// accepted and emitted for names that are not legal simple identifiers, so
+// FPGA tool output round-trips byte-identically. This is deliberately a
+// tiny grammar: the point of the repository is netlist analysis, not
+// Verilog parsing.
 
 import (
 	"bufio"
@@ -37,7 +42,7 @@ func (n *Netlist) WriteVerilog(w io.Writer) error {
 	netName := func(id ID) string {
 		node := &n.nodes[id]
 		if node.Name != "" {
-			return Legalize(node.Name)
+			return VerilogName(node.Name)
 		}
 		return fmt.Sprintf("n%d", id)
 	}
@@ -49,7 +54,7 @@ func (n *Netlist) WriteVerilog(w io.Writer) error {
 	outPort := make(map[string]ID)
 	var outNames []string
 	for _, p := range n.outputs {
-		nm := Legalize(p.Name)
+		nm := VerilogName(p.Name)
 		if _, dup := outPort[nm]; !dup {
 			outPort[nm] = p.Driver
 			outNames = append(outNames, nm)
@@ -57,7 +62,7 @@ func (n *Netlist) WriteVerilog(w io.Writer) error {
 	}
 	ports = append(ports, outNames...)
 
-	fmt.Fprintf(bw, "module %s (%s);\n", Legalize(name), strings.Join(ports, ", "))
+	fmt.Fprintf(bw, "module %s (%s);\n", VerilogName(name), strings.Join(ports, ", "))
 	for _, in := range n.Inputs() {
 		fmt.Fprintf(bw, "  input %s;\n", netName(in))
 	}
@@ -83,6 +88,16 @@ func (n *Netlist) WriteVerilog(w io.Writer) error {
 		case Latch:
 			fmt.Fprintf(bw, "  dff g%d (%s, %s);\n", gi, netName(id), netName(node.Fanin[0]))
 			gi++
+		case Lut:
+			k := len(node.Fanin)
+			args := make([]string, 0, k+1)
+			args = append(args, fmt.Sprintf(".O(%s)", netName(id)))
+			for j, f := range node.Fanin {
+				args = append(args, fmt.Sprintf(".I%d(%s)", j, netName(f)))
+			}
+			fmt.Fprintf(bw, "  LUT%d #(.INIT(%s)) g%d (%s);\n",
+				k, LutInitLiteral(node.Mask, k), gi, strings.Join(args, ", "))
+			gi++
 		default:
 			args := make([]string, 0, len(node.Fanin)+1)
 			args = append(args, netName(id))
@@ -106,6 +121,83 @@ func (n *Netlist) WriteVerilog(w io.Writer) error {
 var gateKinds = map[string]Kind{
 	"and": And, "or": Or, "nand": Nand, "nor": Nor,
 	"xor": Xor, "xnor": Xnor, "not": Not, "buf": Buf,
+}
+
+// LutInitLiteral formats a LUT mask as the sized hex literal FPGA netlists
+// use: 2^k bits, zero-padded to the full digit width.
+func LutInitLiteral(mask uint64, k int) string {
+	bits := 1 << uint(k)
+	return fmt.Sprintf("%d'h%0*x", bits, (bits+3)/4, mask)
+}
+
+// parseSizedLiteral parses a sized Verilog literal (<width>'b..., 'd...,
+// 'h...) into its value. Unsized plain decimal is also accepted.
+func parseSizedLiteral(s string) (uint64, error) {
+	body := s
+	if i := strings.IndexByte(s, '\''); i >= 0 {
+		body = s[i+1:]
+	} else {
+		body = "'d" + s // plain decimal
+		body = body[1:]
+	}
+	if body == "" {
+		return 0, fmt.Errorf("verilog: bad literal %q", s)
+	}
+	base := uint64(10)
+	switch body[0] {
+	case 'b', 'B':
+		base, body = 2, body[1:]
+	case 'd', 'D':
+		base, body = 10, body[1:]
+	case 'h', 'H':
+		base, body = 16, body[1:]
+	}
+	if body == "" {
+		return 0, fmt.Errorf("verilog: bad literal %q", s)
+	}
+	var v uint64
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c == '_' {
+			continue
+		}
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("verilog: bad literal %q", s)
+		}
+		if d >= base {
+			return 0, fmt.Errorf("verilog: bad literal %q", s)
+		}
+		prev := v
+		v = v*base + d
+		if v < prev {
+			return 0, fmt.Errorf("verilog: literal %q overflows", s)
+		}
+	}
+	return v, nil
+}
+
+// lutArity recognizes LUT1..LUT6 cell names.
+func lutArity(t string) (int, bool) {
+	if len(t) == 4 && strings.HasPrefix(t, "LUT") && t[3] >= '1' && t[3] <= '0'+MaxLutInputs {
+		return int(t[3] - '0'), true
+	}
+	return 0, false
+}
+
+// unescapeTok strips the backslash of an escaped-identifier token.
+func unescapeTok(t string) string {
+	if strings.HasPrefix(t, "\\") {
+		return t[1:]
+	}
+	return t
 }
 
 // ReadVerilog parses a netlist in the structural subset emitted by
@@ -150,13 +242,14 @@ type pendingGate struct {
 	kind Kind
 	out  string
 	ins  []string
+	mask uint64 // Lut only
 }
 
 func (p *vparser) parseModule() (*Netlist, error) {
 	if err := p.expect("module"); err != nil {
 		return nil, err
 	}
-	name := p.next()
+	name := unescapeTok(p.next())
 	if name == "" {
 		return nil, fmt.Errorf("verilog: missing module name")
 	}
@@ -189,7 +282,7 @@ func (p *vparser) parseModule() (*Netlist, error) {
 			return nil, fmt.Errorf("verilog: unexpected end of input")
 		case "input", "output", "wire":
 			for {
-				nm := p.next()
+				nm := unescapeTok(p.next())
 				if nm == "" || nm == ";" {
 					return nil, fmt.Errorf("verilog: bad %s declaration", t)
 				}
@@ -208,7 +301,7 @@ func (p *vparser) parseModule() (*Netlist, error) {
 				}
 			}
 		case "assign":
-			lhs := p.next()
+			lhs := unescapeTok(p.next())
 			if err := p.expect("="); err != nil {
 				return nil, err
 			}
@@ -222,7 +315,7 @@ func (p *vparser) parseModule() (*Netlist, error) {
 			case "1'b1":
 				assigns[lhs] = "1"
 			default:
-				assigns[lhs] = rhs
+				assigns[lhs] = unescapeTok(rhs)
 			}
 		case "dff":
 			p.next() // instance name
@@ -235,6 +328,14 @@ func (p *vparser) parseModule() (*Netlist, error) {
 			}
 			gates = append(gates, pendingGate{kind: Latch, out: args[0], ins: args[1:]})
 		default:
+			if k, ok := lutArity(t); ok {
+				g, err := p.parseLutInstance(t, k)
+				if err != nil {
+					return nil, err
+				}
+				gates = append(gates, g)
+				continue
+			}
 			kind, ok := gateKinds[t]
 			if !ok {
 				return nil, fmt.Errorf("verilog: unknown statement %q", t)
@@ -262,6 +363,86 @@ func (p *vparser) parseModule() (*Netlist, error) {
 	}
 }
 
+// parseLutInstance parses `LUT<k> #(.INIT(lit)) name (.O(y), .I0(a), ...);`
+// after the LUT<k> token has been consumed. Ports may appear in any order
+// but all k inputs and the output must be present exactly once.
+func (p *vparser) parseLutInstance(t string, k int) (pendingGate, error) {
+	g := pendingGate{kind: Lut, ins: make([]string, k)}
+	for _, want := range []string{"#", "(", ".INIT", "("} {
+		if err := p.expect(want); err != nil {
+			return g, err
+		}
+	}
+	mask, err := parseSizedLiteral(p.next())
+	if err != nil {
+		return g, err
+	}
+	if k < MaxLutInputs && mask>>(1<<uint(k)) != 0 {
+		return g, fmt.Errorf("verilog: %s INIT %#x has bits beyond 2^%d rows", t, mask, k)
+	}
+	g.mask = mask
+	for _, want := range []string{")", ")"} {
+		if err := p.expect(want); err != nil {
+			return g, err
+		}
+	}
+	p.next() // instance name
+	if err := p.expect("("); err != nil {
+		return g, err
+	}
+	haveOut := false
+	haveIn := make([]bool, k)
+	for {
+		port := p.next()
+		if err := p.expect("("); err != nil {
+			return g, err
+		}
+		net := unescapeTok(p.next())
+		if net == "" {
+			return g, fmt.Errorf("verilog: %s port %s has empty net", t, port)
+		}
+		if err := p.expect(")"); err != nil {
+			return g, err
+		}
+		switch {
+		case port == ".O":
+			if haveOut {
+				return g, fmt.Errorf("verilog: %s has duplicate .O port", t)
+			}
+			haveOut = true
+			g.out = net
+		case strings.HasPrefix(port, ".I") && len(port) == 3 &&
+			port[2] >= '0' && int(port[2]-'0') < k:
+			idx := int(port[2] - '0')
+			if haveIn[idx] {
+				return g, fmt.Errorf("verilog: %s has duplicate %s port", t, port)
+			}
+			haveIn[idx] = true
+			g.ins[idx] = net
+		default:
+			return g, fmt.Errorf("verilog: %s has unknown port %q", t, port)
+		}
+		switch sep := p.next(); sep {
+		case ",":
+		case ")":
+			if err := p.expect(";"); err != nil {
+				return g, err
+			}
+			if !haveOut {
+				return g, fmt.Errorf("verilog: %s missing .O port", t)
+			}
+			for i, ok := range haveIn {
+				if !ok {
+					return g, fmt.Errorf("verilog: %s missing .I%d port", t, i)
+				}
+			}
+			return g, nil
+		default:
+			return g, fmt.Errorf("verilog: expected , or ) in %s port list, got %q", t, sep)
+		}
+	}
+}
+
 func (p *vparser) parseArgs() ([]string, error) {
 	if err := p.expect("("); err != nil {
 		return nil, err
@@ -272,7 +453,7 @@ func (p *vparser) parseArgs() ([]string, error) {
 		if a == "" {
 			return nil, fmt.Errorf("verilog: unexpected end of port list")
 		}
-		args = append(args, a)
+		args = append(args, unescapeTok(a))
 		switch sep := p.next(); sep {
 		case ",":
 		case ")":
@@ -309,11 +490,12 @@ func buildFromParse(name string, inputs, outputs, wires []string,
 		driver[g.out] = i
 	}
 
-	// Create latches first so feedback resolves; the D input is patched in
-	// a second pass.
+	// Create latches first so feedback resolves; the D input starts as the
+	// Nil placeholder and is patched in a second pass, so parsing adds no
+	// structure beyond what the file describes.
 	for i := range gates {
 		if gates[i].kind == Latch {
-			ids[gates[i].out] = n.AddNamedLatch(gates[i].out, n.AddConst(false))
+			ids[gates[i].out] = n.AddNamedLatch(gates[i].out, Nil)
 		}
 	}
 
@@ -366,7 +548,12 @@ func buildFromParse(name string, inputs, outputs, wires []string,
 			}
 			fan = append(fan, fid)
 		}
-		id := n.AddNamedGate(net, g.kind, fan...)
+		var id ID
+		if g.kind == Lut {
+			id = n.AddNamedLut(net, g.mask, fan...)
+		} else {
+			id = n.AddNamedGate(net, g.kind, fan...)
+		}
 		ids[net] = id
 		return id, nil
 	}
@@ -445,6 +632,24 @@ func tokenize(r io.Reader) ([]string, error) {
 			}
 			cur.WriteRune(c)
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			flush()
+		case c == '\\' && cur.Len() == 0:
+			// Escaped identifier: backslash through the next whitespace,
+			// punctuation included.
+			cur.WriteRune(c)
+			for {
+				c2, _, err2 := br.ReadRune()
+				if err2 == io.EOF {
+					break
+				}
+				if err2 != nil {
+					return nil, err2
+				}
+				if c2 == ' ' || c2 == '\t' || c2 == '\n' || c2 == '\r' {
+					break
+				}
+				cur.WriteRune(c2)
+			}
 			flush()
 		case c == '(' || c == ')' || c == ',' || c == ';' || c == '=':
 			flush()

@@ -87,6 +87,11 @@ func All() []Mutation {
 			Apply:       applyNandify,
 		},
 		{
+			Name:        "lutify",
+			Description: "LUT-map every gate; fingerprint must change, quality scores must hold",
+			Apply:       applyLutify,
+		},
+		{
 			Name:        "noise-simplify",
 			Description: "insert electrical noise, then simplify; must match the simplified parent",
 			Apply:       applyNoiseSimplify,
@@ -185,7 +190,7 @@ func applyReorder(nl *netlist.Netlist, lab *gen.Labels, seed int64) (*Mutant, er
 		for i, f := range node.Fanin {
 			fan[i] = m[f]
 		}
-		g := out.AddGate(node.Kind, fan...)
+		g := out.AddGateLike(node, fan...)
 		if node.Name != "" {
 			out.SetName(g, node.Name)
 		}
@@ -345,7 +350,7 @@ func applyNandify(nl *netlist.Netlist, lab *gen.Labels, _ int64) (*Mutant, error
 				}
 				images[id] = append(img, v)
 			default:
-				g := out.AddGate(node.Kind, fan...)
+				g := out.AddGateLike(node, fan...)
 				if node.Name != "" {
 					out.SetName(g, node.Name)
 				}
@@ -368,6 +373,39 @@ func applyNandify(nl *netlist.Netlist, lab *gen.Labels, _ int64) (*Mutant, error
 		ChangedFingerprint: true,
 		ScoreEps:           0.02,
 	}, nil
+}
+
+// applyLutify runs the article through gen.LutMapped: every combinational
+// gate except Buf becomes a truth-table cell, erasing the structural gate
+// alphabet while preserving the function bit-for-bit. The analysis is
+// functional, so per-class quality ratios must hold (within a small
+// tolerance: cut enumeration over opaque k-input cells can legitimately
+// shift which redundant composite candidates clear the caps). On an
+// already LUT-mapped article the transform is the identity, so the
+// fingerprint and scorecard must not move at all.
+func applyLutify(nl *netlist.Netlist, lab *gen.Labels, _ int64) (*Mutant, error) {
+	convertible := false
+	for i := 0; i < nl.Len(); i++ {
+		k := nl.Kind(netlist.ID(i))
+		if k.IsGate() && k != netlist.Buf && k != netlist.Lut {
+			convertible = true
+			break
+		}
+	}
+	mapped, img := gen.LutMapped(nl)
+	mapped.Name = nl.Name // compare structure, not the _lut rename
+	mut := &Mutant{
+		Netlist: mapped,
+		Labels:  lab.Remap(func(id netlist.ID) []netlist.ID { return img[id] }),
+	}
+	if convertible {
+		mut.ChangedFingerprint = true
+		mut.ScoreEps = 0.05
+	} else {
+		mut.SameFingerprint = true
+		mut.ExactScores = true
+	}
+	return mut, nil
 }
 
 // applyNoiseSimplify inserts electrical noise cells (buffers, delay

@@ -141,7 +141,7 @@ func Extract(nl *netlist.Netlist, p Partition) (*netlist.Netlist, map[netlist.ID
 			for i, f := range node.Fanin {
 				fan[i] = resolve(f)
 			}
-			r := sub.AddGate(node.Kind, fan...)
+			r := sub.AddGateLike(node, fan...)
 			m[id] = r
 			return r
 		}

@@ -348,6 +348,26 @@ func encodeGateLits(s *sat.Solver, node *netlist.Node, lits map[netlist.ID]sat.L
 			acc = aux
 		}
 		addXorClauses(s, o, acc, ins[len(ins)-1])
+	case netlist.Lut:
+		// One clause per truth-table row: inputs matching row r force the
+		// output to the mask bit (2^k clauses, k <= 6).
+		rows := uint(1) << uint(len(ins))
+		for r := uint(0); r < rows; r++ {
+			clause := make([]sat.Lit, 0, len(ins)+1)
+			for j, in := range ins {
+				if r>>uint(j)&1 == 1 {
+					clause = append(clause, in.Neg())
+				} else {
+					clause = append(clause, in)
+				}
+			}
+			if node.Mask>>r&1 == 1 {
+				clause = append(clause, o)
+			} else {
+				clause = append(clause, o.Neg())
+			}
+			s.AddClause(clause...)
+		}
 	default:
 		panic("qbf: cannot encode " + node.Kind.String())
 	}

@@ -157,6 +157,18 @@ func (b *builder) resolve(name string) (netlist.ID, error) {
 		id := b.nl.AddNamedGate(name, d.gate, fanin...)
 		b.memo[name] = id
 		return id, nil
+	case defLut:
+		fanin := make([]netlist.ID, len(d.args))
+		for i, a := range d.args {
+			f, err := b.resolve(a)
+			if err != nil {
+				return netlist.Nil, err
+			}
+			fanin[i] = f
+		}
+		id := b.nl.AddNamedLut(name, d.mask, fanin...)
+		b.memo[name] = id
+		return id, nil
 	case defDff:
 		id := b.nl.AddNamedLatch(name, b.placeholder())
 		b.memo[name] = id // break the feedback before resolving D

@@ -33,6 +33,7 @@ const (
 	defInput defKind = iota
 	defConst
 	defGate
+	defLut
 	defDff
 	defAlias
 	defInst
@@ -42,7 +43,8 @@ const (
 type netDef struct {
 	kind defKind
 	gate netlist.Kind
-	args []string // gate fanins, dff D, alias target
+	args []string // gate/lut fanins, dff D, alias target
+	mask uint64   // lut truth table
 	cval bool
 	inst *instDef
 	reg  *regDef
@@ -104,14 +106,16 @@ func tokenize(s string) ([]token, error) {
 			out = append(out, token{kind: 'i', text: s[i:j]})
 			i = j
 		case c >= '0' && c <= '9':
+			// A sized literal can carry hex digits after the base marker
+			// ('h from re_lut INIT parameters), so a-f belong to the token.
 			j := i
 			for j < len(s) && (s[j] >= '0' && s[j] <= '9' ||
-				s[j] == '\'' || s[j] == 'b' || s[j] == 'd' || s[j] == 'h') {
+				s[j] == '\'' || s[j] >= 'a' && s[j] <= 'f' || s[j] == 'h') {
 				j++
 			}
 			out = append(out, token{kind: 'n', text: s[i:j]})
 			i = j
-		case strings.IndexByte("(){}[],;=.?:+-@<", c) >= 0:
+		case strings.IndexByte("(){}[],;=.?:+-@<#", c) >= 0:
 			if c == '<' && i+1 < len(s) && s[i+1] == '=' {
 				out = append(out, token{kind: '<', text: "<="})
 				i += 2
@@ -140,8 +144,11 @@ func parseLiteral(t token) (width int, val uint64, err error) {
 		return 0, 0, fmt.Errorf("rtl: bad literal %q", t.text)
 	}
 	base := 10
-	if t.text[q+1] == 'b' {
+	switch t.text[q+1] {
+	case 'b':
 		base = 2
+	case 'h':
+		base = 16
 	}
 	v, err := strconv.ParseUint(t.text[q+2:], base, 64)
 	if err != nil {
@@ -296,6 +303,11 @@ func scan(r io.Reader) (*elab, error) {
 			}
 			e.defs[outName] = &netDef{kind: defGate, gate: k, args: args}
 			e.order = append(e.order, outName)
+		case head.kind == 'i' && head.text == "re_lut":
+			// Parameterized truth-table cell: re_lut #(.INIT(L)) gN (.O(y), .I0(a), ...);
+			if err := e.scanLut(toks); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
 		case head.kind == 'i':
 			// Template instance: re_x u0 (.p(a), .q({b, c}));
 			if err := e.scanInstance(toks); err != nil {
@@ -460,6 +472,119 @@ func (e *elab) scanAssign(toks []token) error {
 	default:
 		return fmt.Errorf("unsupported assign to %s", lhs)
 	}
+	return nil
+}
+
+// scanLut parses "re_lut #(.INIT(2^k'h..)) gN (.O(y), .I0(a), ... .Ik-1(z));".
+// Ports may appear in any order; the literal width must match 2^k for the
+// connected input count.
+func (e *elab) scanLut(toks []token) error {
+	i := 1
+	expect := func(k byte) bool {
+		if i < len(toks) && toks[i].kind == k {
+			i++
+			return true
+		}
+		return false
+	}
+	ident := func() (string, bool) {
+		if i < len(toks) && toks[i].kind == 'i' {
+			s := toks[i].text
+			i++
+			return s, true
+		}
+		return "", false
+	}
+	if !expect('#') || !expect('(') || !expect('.') {
+		return fmt.Errorf("malformed re_lut parameter list")
+	}
+	if p, ok := ident(); !ok || p != "INIT" {
+		return fmt.Errorf("re_lut: expected .INIT parameter")
+	}
+	if !expect('(') || i >= len(toks) {
+		return fmt.Errorf("malformed re_lut parameter list")
+	}
+	width, mask, err := parseLiteral(toks[i])
+	if err != nil {
+		return fmt.Errorf("re_lut INIT: %w", err)
+	}
+	i++
+	if !expect(')') || !expect(')') {
+		return fmt.Errorf("malformed re_lut parameter list")
+	}
+	if _, ok := ident(); !ok { // instance name
+		return fmt.Errorf("re_lut: missing instance name")
+	}
+	if !expect('(') {
+		return fmt.Errorf("malformed re_lut port list")
+	}
+	outName := ""
+	ins := map[int]string{}
+	for {
+		if !expect('.') {
+			return fmt.Errorf("malformed re_lut port connection")
+		}
+		port, ok := ident()
+		if !ok {
+			return fmt.Errorf("malformed re_lut port connection")
+		}
+		if !expect('(') {
+			return fmt.Errorf("malformed re_lut port connection")
+		}
+		net, ok := ident()
+		if !ok {
+			return fmt.Errorf("malformed re_lut port connection")
+		}
+		if !expect(')') {
+			return fmt.Errorf("malformed re_lut port connection")
+		}
+		switch {
+		case port == "O":
+			if outName != "" {
+				return fmt.Errorf("re_lut: duplicate port O")
+			}
+			outName = net
+		case len(port) == 2 && port[0] == 'I' && port[1] >= '0' && port[1] <= '5':
+			idx := int(port[1] - '0')
+			if _, dup := ins[idx]; dup {
+				return fmt.Errorf("re_lut: duplicate port %s", port)
+			}
+			ins[idx] = net
+		default:
+			return fmt.Errorf("re_lut: unknown port %s", port)
+		}
+		if i < len(toks) && toks[i].kind == ',' {
+			i++
+			continue
+		}
+		break
+	}
+	if !expect(')') || !expect(';') || i != len(toks) {
+		return fmt.Errorf("malformed re_lut instance")
+	}
+	k := len(ins)
+	if outName == "" || k == 0 {
+		return fmt.Errorf("re_lut: missing O or input ports")
+	}
+	args := make([]string, k)
+	for j := 0; j < k; j++ {
+		n, ok := ins[j]
+		if !ok {
+			return fmt.Errorf("re_lut: missing port I%d", j)
+		}
+		args[j] = n
+	}
+	if width != 1<<uint(k) {
+		return fmt.Errorf("re_lut: INIT width %d does not match %d inputs", width, k)
+	}
+	if k < 6 && mask>>(1<<uint(k)) != 0 {
+		return fmt.Errorf("re_lut: INIT %#x has bits beyond 2^%d rows", mask, k)
+	}
+	if _, dup := e.defs[outName]; dup {
+		return fmt.Errorf("duplicate net %s", outName)
+	}
+	e.defs[outName] = &netDef{kind: defLut, args: args, mask: mask}
+	e.order = append(e.order, outName)
 	return nil
 }
 

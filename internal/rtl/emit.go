@@ -264,6 +264,7 @@ func Emit(nl *netlist.Netlist, rep *core.Report) (*EmitResult, error) {
 	}
 
 	gi := 0
+	hasLut := false
 	for _, id := range residual {
 		switch k := nl.Kind(id); {
 		case k == netlist.Const0:
@@ -273,6 +274,18 @@ func Emit(nl *netlist.Netlist, rep *core.Report) (*EmitResult, error) {
 		case k == netlist.Latch:
 			lineOf[id] = w.linef("  dff %s (%s, %s);",
 				nm.Claim(fmt.Sprintf("g%d", gi)), name(id), name(nl.Fanin(id)[0]))
+			gi++
+		case k == netlist.Lut:
+			hasLut = true
+			fanin := nl.Fanin(id)
+			conns := make([]string, 0, len(fanin)+1)
+			conns = append(conns, fmt.Sprintf(".O(%s)", name(id)))
+			for j, f := range fanin {
+				conns = append(conns, fmt.Sprintf(".I%d(%s)", j, name(f)))
+			}
+			lineOf[id] = w.linef("  re_lut #(.INIT(%s)) %s (%s);",
+				netlist.LutInitLiteral(nl.Node(id).Mask, len(fanin)),
+				nm.Claim(fmt.Sprintf("g%d", gi)), strings.Join(conns, ", "))
 			gi++
 		default:
 			args := []string{name(id)}
@@ -296,6 +309,10 @@ func Emit(nl *netlist.Netlist, rep *core.Report) (*EmitResult, error) {
 	// Template definitions, one per distinct name.
 	tset := map[string]bool{}
 	var tnames []string
+	if hasLut {
+		tset["re_lut"] = true
+		tnames = append(tnames, "re_lut")
+	}
 	for _, inst := range insts {
 		if !tset[inst.template] {
 			tset[inst.template] = true

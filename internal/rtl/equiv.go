@@ -83,7 +83,8 @@ func renamedCopy(orig *netlist.Netlist, er *EmitResult) *netlist.Netlist {
 			for i, f := range orig.Fanin(id) {
 				fanin[i] = newID[f]
 			}
-			newID[id] = nl.AddNamedGate(name, k, fanin...)
+			newID[id] = nl.AddGateLike(orig.Node(id), fanin...)
+			nl.SetName(newID[id], name)
 		}
 		if anyID == netlist.Nil {
 			anyID = newID[id]

@@ -200,3 +200,35 @@ func TestLineSpansCoverAllNodes(t *testing.T) {
 		}
 	}
 }
+
+// TestLutRoundTrip: residual LUT cells emit as parameterized re_lut
+// instances and elaborate back to a fingerprint-identical netlist.
+func TestLutRoundTrip(t *testing.T) {
+	nl := netlist.New("lutted")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	c := nl.AddInput("c")
+	d := nl.AddInput("d")
+	l1 := nl.AddNamedLut("l1", 0xcafe, a, b, c, d)
+	l2 := nl.AddNamedLut("l2", 0x6, l1, a)
+	l3 := nl.AddNamedLut("l3", 0x1, l2) // 1-input: ~l2
+	st := nl.AddNamedLatch("st", l3)
+	nl.MarkOutput("y", nl.AddLut(0x96969696969696e8, l1, l2, l3, st, a, b))
+
+	er, eq := decompileOK(t, nl, nil)
+	if eq.Method != "fingerprint" {
+		t.Fatalf("method = %s, want fingerprint (result %v)\n%s", eq.Method, eq, er.Verilog)
+	}
+	text := string(er.Verilog)
+	for _, want := range []string{
+		"re_lut #(.INIT(16'hcafe))",
+		"re_lut #(.INIT(4'h6))",
+		"re_lut #(.INIT(2'h1))",
+		"re_lut #(.INIT(64'h96969696969696e8))",
+		"module re_lut #(parameter K = 1, parameter INIT = 64'h0)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("emitted RTL missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -32,6 +32,14 @@ func parseTemplate(name string) (template, bool) {
 	if !found {
 		return t, false
 	}
+	if rest == "lut" {
+		// The parameterized truth-table cell. Its semantics live in the
+		// per-instance INIT parameter, so it never goes through the
+		// portWidths/expandTemplate machinery — the scanner handles
+		// re_lut instances directly. Recognizing the name here lets the
+		// elaborator skip the printed documentation module.
+		return template{kind: "lut"}, true
+	}
 	parts := strings.Split(rest, "_")
 	if len(parts) < 2 {
 		return t, false
@@ -118,6 +126,17 @@ func (t template) portWidths() []struct {
 // templateDoc renders the documentation body of a template module. The
 // body is behaviorally accurate Verilog; the elaborator never reads it.
 func templateDoc(name string) string {
+	if name == "re_lut" {
+		// The residual truth-table cell: K and INIT come from the
+		// instance parameters; unconnected high inputs are unused because
+		// INIT never selects on them.
+		return "module re_lut #(parameter K = 1, parameter INIT = 64'h0) (O, I0, I1, I2, I3, I4, I5);\n" +
+			"  output O;\n" +
+			"  input I0, I1, I2, I3, I4, I5;\n" +
+			"  wire [63:0] tab = INIT;\n" +
+			"  assign O = tab[{I5, I4, I3, I2, I1, I0}];\n" +
+			"endmodule\n"
+	}
 	t, ok := parseTemplate(name)
 	if !ok {
 		return ""

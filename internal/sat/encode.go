@@ -108,8 +108,34 @@ func (e *Encoder) encodeGate(id netlist.ID, node *netlist.Node) {
 			want = o.Neg()
 		}
 		e.xorGate(want, acc, ins[len(ins)-1])
+	case netlist.Lut:
+		e.lutGate(o, node.Mask, ins)
 	default:
 		panic("sat: cannot encode " + node.Kind.String())
+	}
+}
+
+// lutGate encodes o <-> mask(ins) with one clause per truth-table row: when
+// the inputs match row r the output is forced to the mask bit. 2^k clauses
+// of k+1 literals each, k <= 6.
+func (e *Encoder) lutGate(o Lit, mask uint64, ins []Lit) {
+	rows := uint(1) << uint(len(ins))
+	clause := make([]Lit, 0, len(ins)+1)
+	for r := uint(0); r < rows; r++ {
+		clause = clause[:0]
+		for j, in := range ins {
+			if r>>uint(j)&1 == 1 {
+				clause = append(clause, in.Neg())
+			} else {
+				clause = append(clause, in)
+			}
+		}
+		if mask>>r&1 == 1 {
+			clause = append(clause, o)
+		} else {
+			clause = append(clause, o.Neg())
+		}
+		e.S.AddClause(clause...)
 	}
 }
 
@@ -248,6 +274,8 @@ func (e *Encoder) encodeGateWith(node *netlist.Node, lits map[netlist.ID]Lit) Li
 			acc = aux
 		}
 		e.xorGate(o, acc, ins[len(ins)-1])
+	case netlist.Lut:
+		e.lutGate(o, node.Mask, ins)
 	default:
 		panic("sat: cannot encode " + node.Kind.String())
 	}

@@ -147,7 +147,8 @@ func FindRAMs(nl *netlist.Netlist, slices *bitslice.Result, opt Options) []*modu
 				// built through (select inverters shared across the port's
 				// bits stay unmarked because of their fanout).
 				for _, n := range nl.ConeOf(b.root).Nodes {
-					if marked[n] || nl.Kind(n) == netlist.Not || nl.Kind(n) == netlist.Buf {
+					_, unary := nl.Node(n).UnaryKind()
+					if marked[n] || unary {
 						elements = append(elements, n)
 					}
 				}
@@ -245,12 +246,12 @@ func readRoots(nl *netlist.Netlist, marked map[netlist.ID]bool, opt Options) []n
 	}
 	info := make(map[netlist.ID]*supInfo)
 
-	// resolveThrough follows unmarked Not/Buf chains, mirroring
-	// buildMarked's pass-through behaviour.
+	// resolveThrough follows unmarked inverter/buffer chains (including
+	// their 1-input LUT forms), mirroring buildMarked's pass-through
+	// behaviour.
 	var resolveThrough func(id netlist.ID) netlist.ID
 	resolveThrough = func(id netlist.ID) netlist.ID {
-		k := nl.Kind(id)
-		if (k == netlist.Not || k == netlist.Buf) && !marked[id] {
+		if _, unary := nl.Node(id).UnaryKind(); unary && !marked[id] {
 			return resolveThrough(nl.Fanin(id)[0])
 		}
 		return id
@@ -438,12 +439,13 @@ func buildMarked(mgr *bdd.Manager, nl *netlist.Netlist, root netlist.ID,
 			}
 			node := nl.Node(id)
 			var r bdd.Ref
-			// Unmarked inverters and buffers are built through rather than
-			// treated as variables: select inverters are commonly shared
-			// across the bits of a read port (fanout > 1, hence unmarked),
-			// and modeling them as free variables would let the check see
-			// inconsistent select assignments.
-			passThrough := node.Kind == netlist.Not || node.Kind == netlist.Buf
+			// Unmarked inverters and buffers (gate or 1-input LUT form) are
+			// built through rather than treated as variables: select
+			// inverters are commonly shared across the bits of a read port
+			// (fanout > 1, hence unmarked), and modeling them as free
+			// variables would let the check see inconsistent select
+			// assignments.
+			_, passThrough := node.UnaryKind()
 			switch {
 			case id != root && !passThrough && (!marked[id] || !node.Kind.IsGate()):
 				// Boundary: unmarked node, input, or latch.
@@ -463,7 +465,7 @@ func buildMarked(mgr *bdd.Manager, nl *netlist.Netlist, root netlist.ID,
 				for i, f := range node.Fanin {
 					fan[i] = build(f)
 				}
-				r = combineBDD(mgr, node.Kind, fan)
+				r = combineBDD(mgr, node, fan)
 			}
 			memo[id] = r
 			return r
@@ -473,7 +475,8 @@ func buildMarked(mgr *bdd.Manager, nl *netlist.Netlist, root netlist.ID,
 	return ref, err
 }
 
-func combineBDD(mgr *bdd.Manager, kind netlist.Kind, fan []bdd.Ref) bdd.Ref {
+func combineBDD(mgr *bdd.Manager, node *netlist.Node, fan []bdd.Ref) bdd.Ref {
+	kind := node.Kind
 	switch kind {
 	case netlist.Not:
 		return mgr.Not(fan[0])
@@ -506,6 +509,22 @@ func combineBDD(mgr *bdd.Manager, kind netlist.Kind, fan []bdd.Ref) bdd.Ref {
 			r = mgr.Not(r)
 		}
 		return r
+	case netlist.Lut:
+		// Shannon recursion on the packed mask over the fanin BDDs.
+		var rec func(m uint64, k int) bdd.Ref
+		rec = func(m uint64, k int) bdd.Ref {
+			if k == 0 {
+				if m&1 == 1 {
+					return bdd.True
+				}
+				return bdd.False
+			}
+			half := uint(1) << uint(k-1)
+			lo, hi := rec(m, k-1), rec(m>>half, k-1)
+			s := fan[k-1]
+			return mgr.Or(mgr.And(s, hi), mgr.And(mgr.Not(s), lo))
+		}
+		return rec(node.Mask, len(fan))
 	}
 	panic("seq: cannot build " + kind.String())
 }

@@ -234,8 +234,13 @@ type AnalyzeRequest struct {
 	// Verilog holds a structural Verilog netlist as text.
 	Verilog string `json:"verilog,omitempty"`
 	// BLIF holds a BLIF netlist as text.
-	BLIF    string         `json:"blif,omitempty"`
-	Options RequestOptions `json:"options,omitempty"`
+	BLIF string `json:"blif,omitempty"`
+	// BLIFLuts reads every BLIF cover table as a native k-input LUT cell,
+	// for foreign LUT-mapped FPGA BLIF without the writer's per-cover
+	// '# lut' markers. It changes the parsed netlist (and therefore its
+	// fingerprint), so cached reports are keyed correctly for free.
+	BLIFLuts bool           `json:"blif_luts,omitempty"`
+	Options  RequestOptions `json:"options,omitempty"`
 }
 
 // RequestOptions mirrors the revan CLI's analysis flags. The zero value
@@ -374,7 +379,8 @@ func buildNetlist(req *AnalyzeRequest) (*netlistre.Netlist, error) {
 	case req.Verilog != "":
 		return netlistre.ReadVerilog(strings.NewReader(req.Verilog))
 	default:
-		return netlistre.ReadBLIF(strings.NewReader(req.BLIF))
+		return netlistre.ReadBLIFOpts(strings.NewReader(req.BLIF),
+			netlistre.BLIFOptions{Luts: req.BLIFLuts})
 	}
 }
 

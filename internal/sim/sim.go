@@ -167,6 +167,59 @@ func EvalGate(kind netlist.Kind, in []Value) Value {
 	panic("sim: EvalGate on " + kind.String())
 }
 
+// EvalLut evaluates a k-input truth-table cell in the five-valued domain.
+// The result is fully precise: the symbol is expanded both ways (D=0 and
+// D=1), the unknown inputs are enumerated exhaustively (at most 2^6 rows),
+// and the two three-valued results are recombined — so a LUT simulates at
+// least as precisely as any gate network computing the same function.
+func EvalLut(mask uint64, in []Value) Value {
+	eval3 := func(dv Value) Value {
+		row, xmask := uint(0), uint(0)
+		for i, v := range in {
+			switch v {
+			case D:
+				v = dv
+			case DBar:
+				v = Not(dv)
+			}
+			switch v {
+			case One:
+				row |= 1 << uint(i)
+			case X:
+				xmask |= 1 << uint(i)
+			}
+		}
+		out0, out1 := false, false
+		for sub := xmask; ; sub = (sub - 1) & xmask {
+			if mask>>uint(row|sub)&1 == 1 {
+				out1 = true
+			} else {
+				out0 = true
+			}
+			if sub == 0 {
+				break
+			}
+		}
+		switch {
+		case out0 && out1:
+			return X
+		case out1:
+			return One
+		}
+		return Zero
+	}
+	v0, v1 := eval3(Zero), eval3(One)
+	switch {
+	case v0 == X || v1 == X:
+		return X
+	case v0 == v1:
+		return v0
+	case v0 == Zero:
+		return D // output tracks the symbol
+	}
+	return DBar // output tracks the complemented symbol
+}
+
 // Run evaluates the combinational logic of nl with the signals in assign
 // forced to the given values. Assignments may target ANY node, not just
 // boundary signals: an assigned internal node is cut loose from its own
@@ -191,7 +244,11 @@ func Run(nl *netlist.Netlist, assign map[netlist.ID]Value) []Value {
 			for _, f := range node.Fanin {
 				buf = append(buf, vals[f])
 			}
-			vals[id] = EvalGate(node.Kind, buf)
+			if node.Kind == netlist.Lut {
+				vals[id] = EvalLut(node.Mask, buf)
+			} else {
+				vals[id] = EvalGate(node.Kind, buf)
+			}
 		}
 	}
 	return vals

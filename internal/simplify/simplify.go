@@ -81,6 +81,21 @@ func Run(nl *netlist.Netlist) Result {
 			notOf[child] = n
 			srcOfNot[n] = child
 			rep[id] = n
+		case netlist.Lut:
+			// LUTs are not symmetric in their fanins, so they hash on the
+			// mask plus the fanin list in argument order.
+			fan := make([]netlist.ID, len(node.Fanin))
+			for i, f := range node.Fanin {
+				fan[i] = rep[f]
+			}
+			key := fmt.Sprintf("lut%x:%s", node.Mask, gateKey(node.Kind, fan))
+			if r, ok := hash[key]; ok {
+				rep[id] = r
+				break
+			}
+			g := out.AddLut(node.Mask, fan...)
+			hash[key] = g
+			rep[id] = g
 		default:
 			fan := make([]netlist.ID, len(node.Fanin))
 			for i, f := range node.Fanin {
@@ -181,7 +196,12 @@ func sweep(nl *netlist.Netlist) (*netlist.Netlist, map[netlist.ID]netlist.ID) {
 			for i, f := range node.Fanin {
 				fan[i] = m[f]
 			}
-			g := out.AddGate(node.Kind, fan...)
+			var g netlist.ID
+			if node.Kind == netlist.Lut {
+				g = out.AddLut(node.Mask, fan...)
+			} else {
+				g = out.AddGate(node.Kind, fan...)
+			}
 			if node.Name != "" {
 				out.SetName(g, node.Name)
 			}

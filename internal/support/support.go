@@ -353,22 +353,49 @@ func simRefuteClass(nl *netlist.Netlist, c Class, opt Options) bool {
 // one-hot checks: the full set, then per-gate-kind subsets when the class
 // mixes kinds.
 func outputGroups(nl *netlist.Netlist, outputs []netlist.ID, opt Options) [][]int {
+	// LUT cells are subgrouped by truth-table mask as well as kind: on a
+	// LUT-mapped netlist every output is kind Lut, but a decoder's minterm
+	// cells all tabulate the same function (the input inversions live in
+	// the LUT1 inverters feeding them), so the mask recovers exactly the
+	// gate-kind split the mapper erased.
+	type groupKey struct {
+		kind netlist.Kind
+		mask uint64
+	}
 	all := make([]int, len(outputs))
-	byKind := make(map[netlist.Kind][]int)
+	byKey := make(map[groupKey][]int)
 	for i, o := range outputs {
 		all[i] = i
-		byKind[nl.Kind(o)] = append(byKind[nl.Kind(o)], i)
+		n := nl.Node(o)
+		k := groupKey{kind: n.Kind}
+		if n.Kind == netlist.Lut {
+			k.mask = n.Mask
+		}
+		byKey[k] = append(byKey[k], i)
 	}
 	groups := [][]int{all}
-	if len(byKind) > 1 {
-		var kinds []netlist.Kind
-		for k := range byKind {
-			kinds = append(kinds, k)
+	if len(byKey) > 1 {
+		var keys []groupKey
+		for k := range byKey {
+			keys = append(keys, k)
 		}
-		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
-		for _, k := range kinds {
-			if len(byKind[k]) >= opt.MinOutputs {
-				groups = append(groups, byKind[k])
+		// Larger subsets first: verifyClass returns the first group that
+		// passes, and a class can hold both a real decoder and a few
+		// same-support bystanders (e.g. noise inverters of its outputs)
+		// that also verify; the bigger, more complete module must win.
+		// Kind then mask breaks size ties deterministically.
+		sort.Slice(keys, func(i, j int) bool {
+			if li, lj := len(byKey[keys[i]]), len(byKey[keys[j]]); li != lj {
+				return li > lj
+			}
+			if keys[i].kind != keys[j].kind {
+				return keys[i].kind < keys[j].kind
+			}
+			return keys[i].mask < keys[j].mask
+		})
+		for _, k := range keys {
+			if len(byKey[k]) >= opt.MinOutputs {
+				groups = append(groups, byKey[k])
 			}
 		}
 	}

@@ -90,6 +90,43 @@ func (t Table) bin(u Table, bits uint64) Table {
 	return Table{Bits: bits & Mask(t.N), N: t.N}
 }
 
+// Compose returns the function of a packed k-input cell mask applied to the
+// argument functions: result(x) = mask[row] where bit j of row is args[j](x).
+// All argument tables must share the same variable count, which the result
+// inherits; with no arguments the result is the constant mask bit 0. It is
+// how cut enumeration folds LUT nodes: each fanin's cut function becomes an
+// argument and the LUT's mask selects among them by Shannon expansion.
+func Compose(mask uint64, args []Table) Table {
+	k := len(args)
+	if k > MaxVars {
+		panic(fmt.Sprintf("truth: Compose with %d arguments", k))
+	}
+	n := 0
+	if k > 0 {
+		n = args[0].N
+		for _, a := range args {
+			if a.N != n {
+				panic("truth: mixed variable counts")
+			}
+		}
+	}
+	var rec func(m uint64, j int) uint64
+	rec = func(m uint64, j int) uint64 {
+		if j == 0 {
+			if m&1 == 1 {
+				return ^uint64(0)
+			}
+			return 0
+		}
+		half := uint(1) << uint(j-1)
+		lo := rec(m, j-1)
+		hi := rec(m>>half, j-1)
+		a := args[j-1].Bits
+		return (^a & lo) | (a & hi)
+	}
+	return Table{Bits: rec(mask, k) & Mask(n), N: n}
+}
+
 // Eval returns f(row): the value of the function on input row r.
 func (t Table) Eval(row uint) bool { return t.Bits>>(row)&1 == 1 }
 

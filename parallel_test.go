@@ -127,6 +127,27 @@ func TestAnalyzeParallelRace(t *testing.T) {
 	}
 }
 
+// TestAnalyzeParallelRaceLut repeats the race sweep on the LUT-mapped
+// BigSoC so the concurrent stages also run over Lut nodes (mask-dependent
+// grouping, LUT-aware BDD and simulation paths).
+func TestAnalyzeParallelRaceLut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BigSoC analysis is slow; skipped in -short mode")
+	}
+	nl := LutMap(BigSoC())
+	if err := nl.Check(); err != nil {
+		t.Fatalf("LUT-mapped BigSoC invalid: %v", err)
+	}
+	opt := Options{SkipModMatch: true, Workers: runtime.GOMAXPROCS(0)}
+	rep := Analyze(nl, opt)
+	if len(rep.All) == 0 {
+		t.Fatal("LUT-mapped BigSoC analysis found no modules")
+	}
+	if id, ok := module.Disjoint(rep.Resolved); !ok {
+		t.Fatalf("resolved modules overlap on element %d", id)
+	}
+}
+
 // TestAnalyzeWorkerSweep cross-checks a few worker counts on one article:
 // any budget must yield the identical report.
 func TestAnalyzeWorkerSweep(t *testing.T) {
