@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-stagecache bench-match conformance decompile-smoke fuzz vet load-smoke resume-smoke chaos-smoke coverage ci
+.PHONY: build test test-short test-race bench bench-stagecache bench-match conformance decompile-smoke diff-gate fuzz vet load-smoke resume-smoke session-smoke chaos-smoke coverage ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,12 @@ conformance: build
 decompile-smoke: build
 	$(GO) run ./cmd/revcheck -decompile
 
+# Differential gate: each labeled golden/trojan article pair (gate- and
+# LUT-mapped) diffed with the multi-pass matcher; the added set must equal
+# the injected trojan gate set exactly, with a clean self-diff per golden.
+diff-gate: build
+	$(GO) run ./cmd/revcheck -diff
+
 # Cut-classification microbenchmark: replays BigSoC's shrunk cut-function
 # stream through the old per-entry permutation search and the new memoized
 # canonical-index classifier, asserts the >= 3x speedup and the ratio gate
@@ -60,6 +66,8 @@ fuzz:
 	$(GO) test . -run FuzzReadJSONReport -fuzz FuzzReadJSONReport -fuzztime 30s
 	$(GO) test ./internal/truth -fuzz FuzzCanon -fuzztime 30s
 	$(GO) test ./internal/rtl -fuzz FuzzEmitRTL -fuzztime 30s
+	$(GO) test ./internal/server -run 'Fuzz' -fuzz FuzzSessionRequest -fuzztime 30s
+	$(GO) test ./internal/server -run 'Fuzz' -fuzz FuzzDiffRequest -fuzztime 30s
 
 vet:
 	$(GO) vet ./...
@@ -88,6 +96,14 @@ load-smoke:
 resume-smoke:
 	$(GO) test -race -run 'TestStageCacheWarmDeterminism|TestStageCacheResumeAfterStageTimeout' -count 1 .
 
+# Drives a scripted interactive session end to end against a real revand
+# under the race detector: analyze an article as a job, bind a session,
+# list and expand blocks, run a cone query, re-run a stage from the warm
+# stage store (all provenance must read "cached"), upload the trojaned
+# twin as a second revision, diff it, then drain on SIGTERM with exit 0.
+session-smoke:
+	$(GO) test -race -run 'TestSessionSmoke' -count 1 ./cmd/revand
+
 # Fleet chaos smoke: a coordinator plus three peer workers under the race
 # detector, with seeded fault injection on ~30% of fleet requests
 # (refused connections, 5xx, latency, truncated bodies) and one peer
@@ -98,19 +114,23 @@ chaos-smoke:
 	$(GO) test -race -run 'TestFleetChaosSmoke|TestFleetAllPeersDownFallsBackLocal' -count 1 ./internal/server
 
 # Mirrors .github/workflows/ci.yml: full build + vet + tests, a short-mode
-# race pass, the revand load smoke, the fleet chaos smoke, the
-# conformance matrix, the decompilation gate, the matching
-# microbenchmark, the coverage gate, and 30-second fuzz smokes of the
-# parsers, the report decoder, the canonicalizer, and the RTL round trip.
+# race pass, the revand load smoke, the scripted session smoke, the fleet
+# chaos smoke, the conformance matrix, the decompilation gate, the
+# differential trojan gate, the matching microbenchmark, the coverage
+# gate, and 30-second fuzz smokes of the parsers, the report decoder, the
+# canonicalizer, the RTL round trip, and the session/diff request
+# decoders.
 ci: build vet
 	$(GO) test ./...
 	$(GO) test -short -race ./...
 	$(GO) test -race -run 'TestLoadSmoke' -count 1 ./internal/server
 	$(GO) test -race -run 'TestRunServesAndDrainsOnSIGTERM' -count 1 ./cmd/revand
 	$(GO) test -race -run 'TestStageCacheWarmDeterminism|TestStageCacheResumeAfterStageTimeout' -count 1 .
+	$(MAKE) session-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) conformance
 	$(MAKE) decompile-smoke
+	$(MAKE) diff-gate
 	$(MAKE) bench-match
 	$(MAKE) coverage
 	$(GO) test ./internal/netlist -fuzz FuzzReadVerilog -fuzztime 30s
@@ -118,3 +138,5 @@ ci: build vet
 	$(GO) test . -run FuzzReadJSONReport -fuzz FuzzReadJSONReport -fuzztime 30s
 	$(GO) test ./internal/truth -fuzz FuzzCanon -fuzztime 30s
 	$(GO) test ./internal/rtl -fuzz FuzzEmitRTL -fuzztime 30s
+	$(GO) test ./internal/server -run 'Fuzz' -fuzz FuzzSessionRequest -fuzztime 30s
+	$(GO) test ./internal/server -run 'Fuzz' -fuzz FuzzDiffRequest -fuzztime 30s

@@ -291,6 +291,51 @@ func DecompileRTL(nl *Netlist, rep *Report) (*RTLResult, *RTLEquiv, error) {
 	return rtl.Decompile(nl, rep)
 }
 
+// NetlistDiff is the outcome of structurally and functionally aligning a
+// suspect netlist revision against a golden one (see DiffNetlists).
+type NetlistDiff = netlist.Diff
+
+// NetlistDiffOptions tunes DiffNetlists. The zero value selects the
+// calibrated defaults (simulation and WL resynchronization enabled).
+type NetlistDiffOptions = netlist.DiffOptions
+
+// RetypedPair is one golden/suspect node pair whose position matched but
+// whose function changed (see NetlistDiff.Retyped).
+type RetypedPair = netlist.RetypedPair
+
+// DiffNetlists aligns suspect against golden with a multi-pass matcher —
+// boundary anchoring, forward/backward structural signatures, dormant
+// bit-parallel simulation, trace-seeded Weisfeiler-Leman refinement, and
+// role inference across splice frontiers — and returns the unmatched
+// remainder classified as added, removed, and retyped nodes plus boundary
+// (port) changes. On a trojaned revision of a clean design the Added set
+// is the injected gate set; NetlistDiff.SuspectSet bundles it with the
+// suspect halves of retyped pairs. Both netlists should be Validated;
+// neither is mutated.
+func DiffNetlists(golden, suspect *Netlist, opt NetlistDiffOptions) *NetlistDiff {
+	return netlist.DiffNetlists(golden, suspect, opt)
+}
+
+// ConeDirection selects which way BoundedCone walks (ConeFanin against
+// signal flow, ConeFanout with it).
+type ConeDirection = netlist.ConeDirection
+
+// Cone traversal directions for BoundedCone.
+const (
+	ConeFanin  = netlist.Fanin
+	ConeFanout = netlist.Fanout
+)
+
+// ConeNode is one visited node of a bounded cone traversal.
+type ConeNode = netlist.ConeNode
+
+// BoundedConeResult is the outcome of a bounded cone query: the visited
+// nodes in deterministic BFS order plus explicit truncation flags. Query
+// with Netlist.BoundedCone(root, dir, maxDepth, maxNodes); bounds <= 0 are
+// unbounded. The revand session API exposes this as the per-session cone
+// endpoint.
+type BoundedConeResult = netlist.BoundedConeResult
+
 // SimplifyResult pairs a simplified netlist with its node mapping.
 type SimplifyResult = simplify.Result
 

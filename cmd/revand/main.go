@@ -66,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fleetMode    = fs.Bool("fleet", false, "enable fleet coordinator mode: large netlists are partitioned and dispatched to -peers")
 		peerList     = fs.String("peers", "", "comma-separated peer revand base URLs (e.g. http://10.0.0.7:8080,http://10.0.0.8:8080)")
 		fleetMin     = fs.Int("fleet-min", 2000, "smallest netlist (gates+latches) the fleet path partitions; smaller requests stay single-process")
+		sessionTTL   = fs.Duration("session-ttl", 15*time.Minute, "idle lifetime of an exploration session")
+		sessionMax   = fs.Int("session-max", 64, "max live exploration sessions; the least recently used is evicted past the cap (negative = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -96,6 +98,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		Fleet:             *fleetMode,
 		Peers:             peers,
 		FleetMinElements:  *fleetMin,
+		SessionTTL:        *sessionTTL,
+		MaxSessions:       *sessionMax,
 	}
 
 	logger := log.New(stdout, "revand: ", log.LstdFlags)

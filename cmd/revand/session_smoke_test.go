@@ -1,0 +1,219 @@
+package main
+
+// TestSessionSmoke is the scripted session walkthrough run by
+// `make session-smoke`: boot the daemon, analyze an article as a job,
+// bind a session to it, explore (blocks, expand, cone), re-run a stage
+// from the warm stage store, upload a trojaned revision and diff it,
+// then deliver SIGTERM and require a clean drain. It is the end-to-end
+// counterpart of the unit battery in internal/server.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// smokeJSON issues one request and decodes the response, failing the
+// test on transport errors or an unexpected status.
+func smokeJSON(t *testing.T, method, rawURL, body string, wantCode int, out interface{}) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, rawURL, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, rawURL, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s = %d, want %d: %.300s", method, rawURL, resp.StatusCode, wantCode, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: bad JSON: %v: %.300s", method, rawURL, err, raw)
+		}
+	}
+}
+
+func TestSessionSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-queue", "8",
+			"-session-ttl", "1m", "-session-max", "4"},
+			&stdout, &stderr, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not come up\nstderr: %s", stderr.String())
+	}
+	base := "http://" + addr
+
+	// Analyze an article as an async job and wait for it.
+	var job struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	smokeJSON(t, http.MethodPost, base+"/v1/jobs", `{"article": "evoter"}`,
+		http.StatusAccepted, &job)
+	deadline := time.Now().Add(60 * time.Second)
+	for job.Status != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", job.Status)
+		}
+		if job.Status == "failed" || job.Status == "degraded" {
+			t.Fatalf("seed job finished %q", job.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+		smokeJSON(t, http.MethodGet, base+"/v1/jobs/"+job.ID, "", http.StatusOK, &job)
+	}
+
+	// Bind a session to the finished job.
+	var sess struct {
+		ID        string `json:"id"`
+		Revisions []struct {
+			Name     string `json:"name"`
+			Analyzed bool   `json:"analyzed"`
+		} `json:"revisions"`
+	}
+	smokeJSON(t, http.MethodPost, base+"/v1/sessions",
+		fmt.Sprintf(`{"job_id": %q}`, job.ID), http.StatusCreated, &sess)
+	if sess.ID == "" {
+		t.Fatal("session has no ID")
+	}
+	sURL := base + "/v1/sessions/" + sess.ID
+
+	// Explore: list recovered blocks, expand the first one.
+	var blocks struct {
+		Blocks []struct {
+			Index    int    `json:"index"`
+			Type     string `json:"type"`
+			Elements int    `json:"elements"`
+		} `json:"blocks"`
+	}
+	smokeJSON(t, http.MethodGet, sURL+"/blocks", "", http.StatusOK, &blocks)
+	if len(blocks.Blocks) > 0 {
+		var detail struct {
+			Members []struct {
+				ID int `json:"id"`
+			} `json:"members"`
+		}
+		smokeJSON(t, http.MethodGet, sURL+"/blocks/0", "", http.StatusOK, &detail)
+		if len(detail.Members) != blocks.Blocks[0].Elements {
+			t.Errorf("block 0 expanded to %d members, summary said %d",
+				len(detail.Members), blocks.Blocks[0].Elements)
+		}
+	}
+
+	// Cone query rooted at the first primary input.
+	var ports struct {
+		Inputs []struct {
+			Name string `json:"name"`
+		} `json:"inputs"`
+	}
+	smokeJSON(t, http.MethodGet, sURL+"/ports", "", http.StatusOK, &ports)
+	if len(ports.Inputs) == 0 {
+		t.Fatal("article reports no inputs")
+	}
+	var cone struct {
+		Nodes []struct {
+			Depth int `json:"depth"`
+		} `json:"nodes"`
+	}
+	smokeJSON(t, http.MethodGet,
+		sURL+"/cone?net="+url.QueryEscape(ports.Inputs[0].Name)+"&dir=fanout&depth=3&limit=100",
+		"", http.StatusOK, &cone)
+	if len(cone.Nodes) == 0 {
+		t.Error("fan-out cone of a primary input is empty")
+	}
+
+	// Stage re-run against the warm stage store: everything must answer
+	// from cache, nothing recomputed.
+	var rerun struct {
+		Trace []struct {
+			Stage      string `json:"stage"`
+			Provenance string `json:"provenance"`
+		} `json:"trace"`
+	}
+	smokeJSON(t, http.MethodPost, sURL+"/rerun", `{}`, http.StatusOK, &rerun)
+	if len(rerun.Trace) == 0 {
+		t.Fatal("rerun returned no stage trace")
+	}
+	for _, st := range rerun.Trace {
+		if st.Provenance != "cached" {
+			t.Errorf("stage %s re-ran with provenance %q, want cached", st.Stage, st.Provenance)
+		}
+	}
+
+	// Differential mode: upload the trojaned twin and diff it.
+	smokeJSON(t, http.MethodPost, sURL+"/revisions/suspect",
+		`{"article": "evoter-trojan"}`, http.StatusCreated, nil)
+	var diff struct {
+		Identical    bool `json:"identical"`
+		Added        []struct{}
+		Removed      []struct{}
+		SuspectGates []struct{} `json:"suspect_gates"`
+	}
+	smokeJSON(t, http.MethodPost, sURL+"/diff",
+		`{"golden": "main", "suspect": "suspect"}`, http.StatusOK, &diff)
+	if diff.Identical {
+		t.Error("diff against the trojaned twin reported identical")
+	}
+	if len(diff.Added) == 0 || len(diff.SuspectGates) != len(diff.Added) {
+		t.Errorf("diff found %d added nodes, %d suspect gates; want a non-empty equal pair",
+			len(diff.Added), len(diff.SuspectGates))
+	}
+	if len(diff.Removed) != 0 {
+		t.Errorf("diff removed %d nodes from a pure-insertion trojan", len(diff.Removed))
+	}
+
+	// Session metrics made it to the exporter.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"revand_sessions_created_total 1", "revand_session_diffs_total 1"} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Drain.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM, want 0\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if !strings.Contains(stdout.String(), "drained") {
+		t.Errorf("shutdown log missing drain message:\n%s", stdout.String())
+	}
+}

@@ -13,6 +13,14 @@
 //	revcheck -mutations none       # skip mutations
 //	revcheck -bless                # rewrite the baseline from this run
 //	revcheck -decompile            # RTL decompile gate instead (see below)
+//	revcheck -diff                 # differential trojan-recovery gate
+//
+// With -diff the harness switches to the differential gate: every
+// golden/suspect trojan article pair (gate-level and LUT-mapped) is
+// compared with the structural diff matcher, which must recover the
+// injected trojan gate set exactly — added nodes equal to the labeled
+// trojan set, nothing removed or retyped — and each golden netlist must
+// self-diff as identical.
 //
 // With -decompile the harness switches to the decompilation gate: every
 // labeled article is lowered to word-level Verilog at each worker count,
@@ -52,12 +60,20 @@ func main() {
 		minMacro = flag.Float64("min-macro", 0.9, "minimum per-article macro F1")
 		seed     = flag.Int64("seed", 11, "mutation seed")
 
+		diffGate     = flag.Bool("diff", false, "run the differential trojan-recovery gate instead of the conformance matrix")
 		decompile    = flag.Bool("decompile", false, "run the RTL decompilation gate instead of the conformance matrix")
 		decompileOut = flag.String("decompile-out", "BENCH_decompile.json", "decompile scorecard output path ('' to skip)")
 		decompileBas = flag.String("decompile-baseline", "testdata/decompile_baseline.json",
 			"decompile baseline to gate residual counts against ('' to skip)")
 	)
 	flag.Parse()
+	if *diffGate {
+		if err := runDiff(*articles); err != nil {
+			fmt.Fprintln(os.Stderr, "revcheck:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *decompile {
 		if err := runDecompile(*articles, *workers, *decompileOut, *decompileBas, *bless); err != nil {
 			fmt.Fprintln(os.Stderr, "revcheck:", err)

@@ -326,7 +326,9 @@ var labeledArticles = map[string]func() (*netlist.Netlist, *Labels){
 }
 
 func init() {
-	for _, name := range baseArticleNames {
+	lutted := append(append([]string(nil), baseArticleNames...),
+		"oc8051-trojan", "evoter-trojan")
+	for _, name := range lutted {
 		build := labeledArticles[name]
 		labeledArticles[name+"-lut"] = func() (*netlist.Netlist, *Labels) {
 			return LutMappedLabeled(build)
@@ -348,10 +350,25 @@ func LabeledArticleNames() []string {
 	return names
 }
 
+// TrojanArticlePairs lists the golden/suspect article-name pairs the
+// differential trojan workflow is scored on: each labeled trojan article
+// against its clean counterpart, in both gate-level and LUT-mapped form.
+// The pairs are accepted by LabeledArticle but deliberately kept out of
+// LabeledArticleNames: they are diff workload, not conformance-matrix
+// articles.
+func TrojanArticlePairs() [][2]string {
+	return [][2]string{
+		{"oc8051", "oc8051-trojan"},
+		{"evoter", "evoter-trojan"},
+		{"oc8051-lut", "oc8051-trojan-lut"},
+		{"evoter-lut", "evoter-trojan-lut"},
+	}
+}
+
 // LabeledArticle builds the named article together with its ground-truth
 // labels. In addition to the Table 2 articles it accepts the
-// "oc8051-trojan" and "evoter-trojan" variants, whose labels carry the
-// trojan suspect-set ground truth.
+// "oc8051-trojan" and "evoter-trojan" variants (and their "-lut"
+// mappings), whose labels carry the trojan suspect-set ground truth.
 func LabeledArticle(name string) (*netlist.Netlist, *Labels, error) {
 	f, ok := labeledArticles[name]
 	if !ok {

@@ -124,6 +124,102 @@ func (n *Netlist) TopoOrder() []ID {
 	return order
 }
 
+// ConeDirection selects which way BoundedCone walks the netlist graph.
+type ConeDirection int
+
+const (
+	// Fanin walks against signal flow: the nodes whose values the root
+	// depends on.
+	Fanin ConeDirection = iota
+	// Fanout walks with signal flow: the nodes whose values depend on the
+	// root.
+	Fanout
+)
+
+func (d ConeDirection) String() string {
+	if d == Fanout {
+		return "fanout"
+	}
+	return "fanin"
+}
+
+// ConeNode is one visited node of a BoundedCone traversal.
+type ConeNode struct {
+	ID    ID
+	Depth int
+}
+
+// BoundedConeResult is the outcome of a depth- and size-capped cone query.
+type BoundedConeResult struct {
+	Root ID
+	Dir  ConeDirection
+	// Nodes lists the visited nodes in BFS order, the root first at depth
+	// 0. Within one depth level nodes are ordered ascending by ID, so the
+	// result is deterministic.
+	Nodes []ConeNode
+	// TruncatedDepth is set when the frontier still had unvisited
+	// neighbors past MaxDepth; TruncatedSize when MaxNodes cut the
+	// traversal short.
+	TruncatedDepth bool
+	TruncatedSize  bool
+}
+
+// BoundedCone runs a breadth-first cone traversal from root, through
+// latches (the sequential cone, not just the combinational one ConeOf
+// computes), bounded by maxDepth levels beyond the root and maxNodes
+// visited nodes. A bound <= 0 means unbounded for that axis. Interactive
+// exploration is the intended caller: the caps make a query over a
+// high-fanout net (a clock enable, a reset tree) return a bounded answer
+// with explicit truncation flags instead of the whole design.
+func (n *Netlist) BoundedCone(root ID, dir ConeDirection, maxDepth, maxNodes int) BoundedConeResult {
+	res := BoundedConeResult{Root: root, Dir: dir}
+	if int(root) < 0 || int(root) >= len(n.nodes) {
+		return res
+	}
+	seen := map[ID]bool{root: true}
+	res.Nodes = append(res.Nodes, ConeNode{ID: root, Depth: 0})
+	frontier := []ID{root}
+	neighbors := func(id ID) []ID {
+		if dir == Fanout {
+			return n.fanout[id]
+		}
+		return n.nodes[id].Fanin
+	}
+	for depth := 1; len(frontier) > 0; depth++ {
+		if maxDepth > 0 && depth > maxDepth {
+			// Anything still reachable from the frontier is cut off.
+			for _, id := range frontier {
+				for _, nb := range neighbors(id) {
+					if !seen[nb] {
+						res.TruncatedDepth = true
+					}
+				}
+			}
+			break
+		}
+		var next []ID
+		for _, id := range frontier {
+			for _, nb := range neighbors(id) {
+				if seen[nb] {
+					continue
+				}
+				seen[nb] = true
+				next = append(next, nb)
+			}
+		}
+		next = SortedIDs(next)
+		for _, nb := range next {
+			if maxNodes > 0 && len(res.Nodes) >= maxNodes {
+				res.TruncatedSize = true
+				return res
+			}
+			res.Nodes = append(res.Nodes, ConeNode{ID: nb, Depth: depth})
+		}
+		frontier = next
+	}
+	return res
+}
+
 // HasCombPath reports whether there is a purely combinational path from the
 // output of node from to node to (to itself is not considered a path unless
 // a cycle through gates exists, which Check forbids).

@@ -65,13 +65,13 @@ func TestScoreSynthetic(t *testing.T) {
 	}
 	rep := &core.Report{
 		All: []*module.Module{
-			mod(module.Adder, 4, ids(10, 11, 12, 13)),          // grounded, recovers adder
-			mod(module.WordOp, 4, ids(20, 21, 22, 23)),         // composite: recall only
-			mod(module.ShiftRegister, 4, ids(30, 31, 32, 33)),  // merged tandem pair
-			mod(module.ParityTree, 3, ids(60, 61, 62)),         // grounded in noise
-			mod(module.Decoder, 2, ids(70, 71, 72, 73)),        // grounded in trojan
+			mod(module.Adder, 4, ids(10, 11, 12, 13)),           // grounded, recovers adder
+			mod(module.WordOp, 4, ids(20, 21, 22, 23)),          // composite: recall only
+			mod(module.ShiftRegister, 4, ids(30, 31, 32, 33)),   // merged tandem pair
+			mod(module.ParityTree, 3, ids(60, 61, 62)),          // grounded in noise
+			mod(module.Decoder, 2, ids(70, 71, 72, 73)),         // grounded in trojan
 			mod(module.Counter, 4, ids(10, 11, 60, 61, 70, 71)), // mixed: ungrounded
-			mod(module.Mux, 2, ids(50, 51)),                    // grounded, recovers mux
+			mod(module.Mux, 2, ids(50, 51)),                     // grounded, recovers mux
 		},
 		Words: []words.Word{
 			{Bits: ids(10, 11, 12, 13), Origin: "adder"},

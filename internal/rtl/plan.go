@@ -72,9 +72,9 @@ type regBlock struct {
 type plan struct {
 	instances  []*instance
 	regs       []*regBlock
-	covered    map[netlist.ID]bool // nodes not emitted as residual
-	exposed    map[netlist.ID]bool // covered nodes still visible as nets
-	referenced map[netlist.ID]bool // nets named by an admitted plan's ports
+	covered    map[netlist.ID]bool      // nodes not emitted as residual
+	exposed    map[netlist.ID]bool      // covered nodes still visible as nets
+	referenced map[netlist.ID]bool      // nets named by an admitted plan's ports
 	owner      map[netlist.ID]*instance // covered node -> owning instance
 }
 

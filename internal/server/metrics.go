@@ -46,16 +46,43 @@ type Metrics struct {
 	http      map[string]int64 // "route|code" -> count
 	stages    map[string]*histogram
 	queueFull int64 // submissions rejected because the queue was full
+
+	sessionsCreated int64
+	sessionsClosed  map[string]int64 // eviction reason -> count
+	sessionDiffs    int64
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		jobs:     make(map[string]int64),
-		analyses: make(map[string]int64),
-		http:     make(map[string]int64),
-		stages:   make(map[string]*histogram),
+		jobs:           make(map[string]int64),
+		analyses:       make(map[string]int64),
+		http:           make(map[string]int64),
+		stages:         make(map[string]*histogram),
+		sessionsClosed: make(map[string]int64),
 	}
+}
+
+// SessionCreated counts one exploration session opening.
+func (m *Metrics) SessionCreated() {
+	m.mu.Lock()
+	m.sessionsCreated++
+	m.mu.Unlock()
+}
+
+// SessionClosed counts one session leaving the store, by reason
+// ("ttl", "lru", or "deleted").
+func (m *Metrics) SessionClosed(reason string) {
+	m.mu.Lock()
+	m.sessionsClosed[reason]++
+	m.mu.Unlock()
+}
+
+// SessionDiff counts one differential comparison served.
+func (m *Metrics) SessionDiff() {
+	m.mu.Lock()
+	m.sessionDiffs++
+	m.mu.Unlock()
 }
 
 // JobFinished counts a job reaching a terminal state.
@@ -113,6 +140,7 @@ type Gauges struct {
 	Cache            CacheStats
 	StageCache       netlistre.StageCacheStats
 	UptimeSeconds    float64
+	SessionsActive   int
 	Fleet            *FleetGauges
 }
 
@@ -235,6 +263,21 @@ func (m *Metrics) WriteProm(w io.Writer, g Gauges) error {
 	e.printf("# HELP revand_stagecache_entries Stage artifacts currently stored.\n")
 	e.printf("# TYPE revand_stagecache_entries gauge\n")
 	e.printf("revand_stagecache_entries %d\n", g.StageCache.Entries)
+
+	e.printf("# HELP revand_sessions_created_total Exploration sessions opened.\n")
+	e.printf("# TYPE revand_sessions_created_total counter\n")
+	e.printf("revand_sessions_created_total %d\n", m.sessionsCreated)
+	e.printf("# HELP revand_sessions_closed_total Sessions closed, by reason.\n")
+	e.printf("# TYPE revand_sessions_closed_total counter\n")
+	for _, reason := range sortedKeys(m.sessionsClosed) {
+		e.printf("revand_sessions_closed_total{reason=%q} %d\n", reason, m.sessionsClosed[reason])
+	}
+	e.printf("# HELP revand_sessions_active Sessions currently live.\n")
+	e.printf("# TYPE revand_sessions_active gauge\n")
+	e.printf("revand_sessions_active %d\n", g.SessionsActive)
+	e.printf("# HELP revand_session_diffs_total Differential comparisons served.\n")
+	e.printf("# TYPE revand_session_diffs_total counter\n")
+	e.printf("revand_session_diffs_total %d\n", m.sessionDiffs)
 
 	e.printf("# HELP revand_uptime_seconds Seconds since the service started.\n")
 	e.printf("# TYPE revand_uptime_seconds gauge\n")

@@ -83,6 +83,14 @@ type Config struct {
 	// on the synchronous endpoint, steering them to /v1/jobs
 	// (default 20000; negative disables the gate).
 	MaxSyncElements int
+	// SessionTTL is how long an idle exploration session stays alive
+	// (default 15 minutes). Expiry is lazy — checked on access — so no
+	// background goroutine runs.
+	SessionTTL time.Duration
+	// MaxSessions bounds the session store; the least recently used
+	// session is evicted past the cap (default 64; negative means
+	// unbounded).
+	MaxSessions int
 	// Fleet enables coordinator mode: netlists of at least
 	// FleetMinElements elements are reset-tree partitioned and the
 	// partitions dispatched to Peers as /v1/jobs jobs, with local
@@ -126,6 +134,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxSyncElements == 0 {
 		c.MaxSyncElements = 20000
 	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	} else if c.MaxSessions < 0 {
+		c.MaxSessions = 0 // sessionStore treats 0 as unbounded
+	}
 	if c.FleetMinElements == 0 {
 		c.FleetMinElements = 2000
 	}
@@ -135,14 +151,15 @@ func (c Config) withDefaults() Config {
 // Server is the revand HTTP service. Create with New, serve it as an
 // http.Handler, and call Shutdown to drain the job queue.
 type Server struct {
-	cfg     Config
-	cache   *Cache
-	stages  *netlistre.StageStore // nil when StageCacheEntries < 0
-	rtl     *artifact.Store       // decompiled-RTL cache, keyed by fingerprint+options
-	metrics *Metrics
-	queue   *Queue
-	mux     *http.ServeMux
-	start   time.Time
+	cfg      Config
+	cache    *Cache
+	stages   *netlistre.StageStore // nil when StageCacheEntries < 0
+	rtl      *artifact.Store       // decompiled-RTL cache, keyed by fingerprint+options
+	metrics  *Metrics
+	queue    *Queue
+	sessions *sessionStore
+	mux      *http.ServeMux
+	start    time.Time
 
 	// Fleet coordinator state; nil unless Config.Fleet is set.
 	fleetReg  *fleet.Registry
@@ -163,6 +180,7 @@ func New(cfg Config) *Server {
 	}
 	s.rtl = artifact.NewStore(rtlCacheEntries)
 	s.queue = NewQueue(s.cfg.QueueWorkers, s.cfg.QueueDepth, s.runJob)
+	s.sessions = newSessionStore(s.cfg.SessionTTL, s.cfg.MaxSessions, s.metrics)
 	if s.cfg.Fleet {
 		client := &http.Client{Transport: s.cfg.FleetTransport}
 		s.fleetReg = fleet.NewRegistry(s.cfg.Peers, client, s.cfg.FleetOptions)
@@ -177,6 +195,17 @@ func New(cfg Config) *Server {
 	s.route("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleGetJob)
 	s.route("GET /v1/jobs/{id}/rtl", "/v1/jobs/{id}/rtl", s.handleJobRTL)
 	s.route("GET /v1/articles", "/v1/articles", s.handleArticles)
+	s.route("POST /v1/sessions", "/v1/sessions", s.handleCreateSession)
+	s.route("GET /v1/sessions/{id}", "/v1/sessions/{id}", s.handleGetSession)
+	s.route("DELETE /v1/sessions/{id}", "/v1/sessions/{id}", s.handleDeleteSession)
+	s.route("GET /v1/sessions/{id}/blocks", "/v1/sessions/{id}/blocks", s.handleSessionBlocks)
+	s.route("GET /v1/sessions/{id}/blocks/{idx}", "/v1/sessions/{id}/blocks/{idx}", s.handleSessionBlock)
+	s.route("GET /v1/sessions/{id}/words", "/v1/sessions/{id}/words", s.handleSessionWords)
+	s.route("GET /v1/sessions/{id}/ports", "/v1/sessions/{id}/ports", s.handleSessionPorts)
+	s.route("GET /v1/sessions/{id}/cone", "/v1/sessions/{id}/cone", s.handleSessionCone)
+	s.route("POST /v1/sessions/{id}/rerun", "/v1/sessions/{id}/rerun", s.handleSessionRerun)
+	s.route("POST /v1/sessions/{id}/revisions/{name}", "/v1/sessions/{id}/revisions/{name}", s.handleAddRevision)
+	s.route("POST /v1/sessions/{id}/diff", "/v1/sessions/{id}/diff", s.handleSessionDiff)
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.route("GET /metrics", "/metrics", s.handleMetrics)
 	return s
@@ -721,6 +750,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		QueueWaitSeconds: s.queue.EstimatedWaitSeconds(),
 		Cache:            s.cache.Stats(),
 		UptimeSeconds:    time.Since(s.start).Seconds(),
+		SessionsActive:   s.sessions.Active(),
 	}
 	if s.stages != nil {
 		g.StageCache = s.stages.Stats()
